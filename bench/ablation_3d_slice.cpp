@@ -1,0 +1,71 @@
+// Ablation E9 — JIGSAW 3D Slice runtime (paper Sec. IV / VI-A).
+//
+// The 3D variant grids a volume as Nz sequential 2D slices. An unsorted
+// stream must be replayed for every slice — (M+15)*Nz cycles — while
+// host-side z-binning streams each sample only to the Wz slices its window
+// touches, cutting runtime to ~(M+15)*Wz. This harness runs both modes of
+// the cycle simulator on a stack-of-stars acquisition and verifies the
+// outputs are bit-identical.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/grid.hpp"
+#include "jigsaw/cycle_sim.hpp"
+#include "trajectory/phantom.hpp"
+#include "trajectory/trajectory.hpp"
+
+using namespace jigsaw;
+
+int main() {
+  std::printf("Ablation E9 — 3D Slice: unsorted replay vs z-binned "
+              "streaming\n\n");
+
+  ConsoleTable table({"grid G^3", "M", "Wz", "unsorted cycles",
+                      "z-binned cycles", "speedup", "paper model Nz/Wz",
+                      "bit-identical"});
+
+  for (std::int64_t n : {8, 16, 32}) {
+    const std::int64_t g = 2 * n;
+    core::GridderOptions opt;
+    opt.width = 4;
+    opt.tile = 8;
+    opt.table_oversampling = 32;
+
+    // Stack-of-stars: radial in-plane, Nz partitions.
+    core::SampleSet<3> in;
+    in.coords = trajectory::stack_of_stars_3d(static_cast<int>(n),
+                                              static_cast<int>(2 * n),
+                                              static_cast<int>(n));
+    in.values.assign(in.coords.size(), c64(0.01, 0.0));
+
+    sim::CycleSim unsorted(n, opt, true);
+    core::Grid<3> a(unsorted.grid_size());
+    unsorted.run_3d(in, a, false);
+    const auto cyc_full = unsorted.stats().gridding_cycles;
+
+    sim::CycleSim binned(n, opt, true);
+    core::Grid<3> b(binned.grid_size());
+    binned.run_3d(in, b, true);
+    const auto cyc_cut = binned.stats().gridding_cycles;
+
+    bool identical = true;
+    for (std::int64_t i = 0; i < a.total(); ++i) {
+      if (!(a[i] == b[i])) {
+        identical = false;
+        break;
+      }
+    }
+
+    table.add_row({std::to_string(g) + "^3",
+                   std::to_string(in.coords.size()), "4",
+                   std::to_string(cyc_full), std::to_string(cyc_cut),
+                   ConsoleTable::fmt_times(static_cast<double>(cyc_full) /
+                                           static_cast<double>(cyc_cut)),
+                   ConsoleTable::fmt_times(static_cast<double>(g) / 4.0),
+                   identical ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\npaper model: unsorted (M+15)*Nz, z-binned ~(M+15)*Wz; the "
+              "measured speedup approaches Nz/Wz as M grows.\n");
+  return 0;
+}

@@ -1,0 +1,225 @@
+// Ablation E7 — the memory-system argument of Sec. VI.A.
+//
+// The paper attributes part of Slice-and-Dice's GPU win to cache behaviour:
+// ~98% L2 hit rate vs Impatient's ~80%, because concurrent binning blocks
+// evict one another's tiles while the dice layout keeps each column's
+// working line resident. We reproduce the experiment by generating the
+// grid/sample access streams each strategy's thread blocks would issue,
+// interleaving K concurrent blocks round-robin (GPU-style), and replaying
+// them through a Titan-Xp-class L2 model (3 MiB, 16-way, 64 B lines).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/binning_gridder.hpp"
+#include "core/window.hpp"
+#include "memsim/cache.hpp"
+
+using namespace jigsaw;
+
+
+namespace {
+
+constexpr int kBlocks = 30;          // concurrently resident thread blocks
+constexpr std::uint64_t kGridBase = 0;          // grid region base address
+constexpr std::uint64_t kSampleBase = 1ull << 32;  // sample arrays
+
+memsim::CacheConfig titan_l2() {
+  memsim::CacheConfig c;
+  c.size_bytes = 3ull << 20;
+  c.line_bytes = 64;
+  c.ways = 16;
+  return c;
+}
+
+struct Access {
+  std::uint64_t addr;
+  bool write;
+};
+
+/// Serial CPU baseline: one stream, row-major window scatter.
+double serial_hit_rate(const std::vector<Coord<2>>& coords, std::int64_t g,
+                       int w) {
+  memsim::Cache cache(titan_l2());
+  for (std::size_t j = 0; j < coords.size(); ++j) {
+    cache.access(kSampleBase + j * 16, 16, false);
+    std::int64_t idx[2][16];
+    for (int d = 0; d < 2; ++d) {
+      const double u = core::grid_coord(coords[j][static_cast<std::size_t>(d)], g);
+      const std::int64_t g0 = core::window_start(u, w);
+      for (int o = 0; o < w; ++o) idx[d][o] = pos_mod(g0 + o, g);
+    }
+    for (int oy = 0; oy < w; ++oy) {
+      for (int ox = 0; ox < w; ++ox) {
+        cache.access(kGridBase + static_cast<std::uint64_t>(
+                                     idx[0][oy] * g + idx[1][ox]) *
+                                     16,
+                     16, true);
+      }
+    }
+  }
+  return cache.stats().hit_rate();
+}
+
+/// Slice-and-Dice GPU model: K blocks each own a contiguous slice of the
+/// (trajectory-ordered) input and issue dice-layout read-modify-writes.
+double slice_dice_hit_rate(const std::vector<Coord<2>>& coords,
+                           std::int64_t g, int w, std::int64_t t) {
+  memsim::Cache cache(titan_l2());
+  const std::int64_t ntiles = g / t;
+  const std::int64_t tile_count = ntiles * ntiles;
+  const std::size_t chunk = (coords.size() + kBlocks - 1) / kBlocks;
+
+  // Round-robin: each "step" lets every live block process one sample.
+  std::vector<std::size_t> cursor(kBlocks);
+  for (int b = 0; b < kBlocks; ++b) cursor[b] = b * chunk;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int b = 0; b < kBlocks; ++b) {
+      const std::size_t j = cursor[b];
+      const std::size_t end =
+          std::min(coords.size(), static_cast<std::size_t>(b + 1) * chunk);
+      if (j >= end) continue;
+      ++cursor[b];
+      progress = true;
+      cache.access(kSampleBase + j * 16, 16, false);
+      // Two-part decomposition -> dice addresses for the W^2 columns.
+      std::int64_t col[2][16], tile[2][16];
+      for (int d = 0; d < 2; ++d) {
+        const double u =
+            core::grid_coord(coords[j][static_cast<std::size_t>(d)], g);
+        const double us = u + static_cast<double>(w) * 0.5;
+        const core::Decomposed dec = core::decompose(us, static_cast<int>(t));
+        const auto fl = static_cast<std::int64_t>(dec.relative);
+        for (int k = 0; k < w; ++k) {
+          std::int64_t c = fl - k, q = dec.tile;
+          if (c < 0) {
+            c += t;
+            q -= 1;
+          }
+          col[d][k] = c;
+          tile[d][k] = pos_mod(q, ntiles);
+        }
+      }
+      for (int ky = 0; ky < w; ++ky) {
+        for (int kx = 0; kx < w; ++kx) {
+          const std::int64_t lin =
+              (col[0][ky] * t + col[1][kx]) * tile_count +
+              tile[0][ky] * ntiles + tile[1][kx];
+          cache.access(kGridBase + static_cast<std::uint64_t>(lin) * 16, 16,
+                       true);
+        }
+      }
+    }
+  }
+  return cache.stats().hit_rate();
+}
+
+/// Impatient-like binning GPU model: K blocks each process tile-bin pairs;
+/// the whole bin is streamed once per warp (two 32-thread warps cover the
+/// 8x8 tile) and the tile is written back at the end.
+double binning_hit_rate(const core::BinningGridder<2>& gridder,
+                        const std::vector<std::vector<std::int32_t>>& bins,
+                        std::int64_t g, std::int64_t b_tile) {
+  memsim::Cache cache(titan_l2());
+  const std::int64_t tiles = gridder.tiles_per_dim();
+  const std::int64_t ntiles_total = tiles * tiles;
+
+  // Each block walks its strided subset of tiles; blocks interleave
+  // bin-read bursts of one sample record per turn.
+  struct BlockState {
+    std::int64_t tile = -1;  // current tile linear index
+    std::size_t pos = 0;     // position within the (twice-read) bin
+    int pass = 0;
+  };
+  std::vector<BlockState> st(kBlocks);
+  std::vector<std::int64_t> next_tile(kBlocks);
+  for (int b = 0; b < kBlocks; ++b) next_tile[b] = b;
+
+  auto writeback_tile = [&](std::int64_t tl) {
+    const std::int64_t ty = tl / tiles, tx = tl % tiles;
+    for (std::int64_t y = 0; y < b_tile; ++y) {
+      for (std::int64_t x = 0; x < b_tile; ++x) {
+        const std::int64_t lin = (ty * b_tile + y) * g + tx * b_tile + x;
+        cache.access(kGridBase + static_cast<std::uint64_t>(lin) * 16, 16,
+                     true);
+      }
+    }
+  };
+
+  bool live = true;
+  while (live) {
+    live = false;
+    for (int b = 0; b < kBlocks; ++b) {
+      auto& s = st[b];
+      if (s.tile < 0) {  // fetch next tile
+        if (next_tile[b] >= ntiles_total) continue;
+        s.tile = next_tile[b];
+        next_tile[b] += kBlocks;
+        s.pos = 0;
+        s.pass = 0;
+      }
+      live = true;
+      const auto& bin = bins[static_cast<std::size_t>(s.tile)];
+      if (s.pos < bin.size()) {
+        // One bin sample record read (broadcast to the warp).
+        cache.access(kSampleBase +
+                         static_cast<std::uint64_t>(
+                             bin[s.pos]) *
+                             16,
+                     16, false);
+        ++s.pos;
+      } else if (s.pass == 0) {
+        s.pass = 1;  // second warp re-reads the bin
+        s.pos = 0;
+        if (bin.empty()) {
+          writeback_tile(s.tile);
+          s.tile = -1;
+        }
+      } else {
+        writeback_tile(s.tile);
+        s.tile = -1;
+      }
+    }
+  }
+  return cache.stats().hit_rate();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation E7 — L2 hit rates of the gridding strategies "
+              "(paper Sec. VI.A: Slice-and-Dice ~98%%, Impatient ~80%%)\n\n");
+
+  ConsoleTable table({"image", "serial (1 stream)", "binning (30 blocks)",
+                      "slice-and-dice (30 blocks)"});
+  for (const auto& cfg : bench::image_configs()) {
+    if (cfg.m > 600000) continue;  // keep the replay time sane
+    const auto coords = trajectory::make_2d(cfg.traj, cfg.m);
+    const std::int64_t g = 2 * cfg.n;
+    const int w = 6;
+    const std::int64_t t = 8;
+
+    core::GridderOptions opt = bench::impatient_options();
+    core::BinningGridder<2> binning(cfg.n, opt);
+    core::SampleSet<2> set;
+    set.coords = coords;
+    set.values.assign(coords.size(), c64{});
+    const auto bins = binning.presort(set);
+
+    const double hr_serial = serial_hit_rate(coords, g, w);
+    const double hr_binning = binning_hit_rate(binning, bins, g, t);
+    const double hr_snd = slice_dice_hit_rate(coords, g, w, t);
+
+    table.add_row({cfg.name,
+                   ConsoleTable::fmt(100.0 * hr_serial, 1) + "%",
+                   ConsoleTable::fmt(100.0 * hr_binning, 1) + "%",
+                   ConsoleTable::fmt(100.0 * hr_snd, 1) + "%"});
+  }
+  table.print();
+  std::printf("\nclaim check: slice-and-dice sustains a higher L2 hit rate "
+              "than concurrent binning blocks on every workload.\n");
+  return 0;
+}

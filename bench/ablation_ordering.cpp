@@ -1,0 +1,113 @@
+// Ablation E12 — sample-ordering sensitivity.
+//
+// The paper stresses that JIGSAW's runtime is "irrespective of sampling
+// pattern" and that CPU gridding suffers because samples "often arrive in
+// effectively random order" (Secs. II, IV). This harness quantifies both
+// halves: the serial CPU gridder is timed on the same sample set in
+// acquisition order, shuffled order, and Morton (Z-curve) order — a
+// locality-restoring presort some CPU implementations use — while the
+// JIGSAW cycle model is exercised on each ordering to confirm identical
+// M+12-cycle runtimes.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/grid.hpp"
+#include "core/window.hpp"
+#include "jigsaw/cycle_sim.hpp"
+
+using namespace jigsaw;
+
+namespace {
+
+/// 32-bit Morton (Z-order) key from two 16-bit quantized coordinates.
+std::uint64_t morton_key(const Coord<2>& c) {
+  auto spread = [](std::uint32_t v) {
+    std::uint64_t x = v & 0xffff;
+    x = (x | (x << 8)) & 0x00ff00ff;
+    x = (x | (x << 4)) & 0x0f0f0f0f;
+    x = (x | (x << 2)) & 0x33333333;
+    x = (x | (x << 1)) & 0x55555555;
+    return x;
+  };
+  const auto qy = static_cast<std::uint32_t>((c[0] + 0.5) * 65535.0);
+  const auto qx = static_cast<std::uint32_t>((c[1] + 0.5) * 65535.0);
+  return (spread(qy) << 1) | spread(qx);
+}
+
+core::SampleSet<2> reorder(const core::SampleSet<2>& in,
+                           const std::vector<std::size_t>& perm) {
+  core::SampleSet<2> out;
+  out.coords.resize(in.size());
+  out.values.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.coords[i] = in.coords[perm[i]];
+    out.values[i] = in.values[perm[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation E12 — sample-ordering sensitivity\n\n");
+
+  const auto& cfg = bench::image_configs()[3];  // Image4: 768^2, 1M samples
+  auto workload = bench::build_workload(cfg, false);
+  const std::size_t m = workload.size();
+
+  // Orderings.
+  std::vector<std::size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const auto acquisition = workload;  // trajectory (spoke) order
+
+  Rng rng(99);
+  for (std::size_t i = m - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.below(i + 1)]);
+  }
+  const auto shuffled = reorder(workload, perm);
+
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return morton_key(workload.coords[a]) < morton_key(workload.coords[b]);
+  });
+  const auto morton = reorder(workload, perm);
+
+  auto serial = core::make_gridder<2>(cfg.n, bench::mirt_baseline_options());
+  core::Grid<2> grid(serial->grid_size());
+
+  struct Case {
+    const core::SampleSet<2>* set;
+    const char* name;
+  };
+  const Case cases[] = {{&acquisition, "acquisition (spokes)"},
+                        {&shuffled, "shuffled (random)"},
+                        {&morton, "morton (Z-curve presort)"}};
+
+  ConsoleTable table({"ordering", "serial cpu[s]", "vs acquisition",
+                      "jigsaw cycles"});
+  double t_acq = 0.0;
+  for (const auto& c : cases) {
+    const double t = time_best([&] { serial->adjoint(*c.set, grid); });
+    if (t_acq == 0.0) t_acq = t;
+
+    sim::CycleSim sim_run(cfg.n, bench::slice_dice_options(), false);
+    core::Grid<2> g2(sim_run.grid_size());
+    sim_run.run_2d(*c.set, g2);
+
+    table.add_row({c.name, ConsoleTable::fmt(t, 3),
+                   ConsoleTable::fmt_times(t / t_acq, 2),
+                   std::to_string(sim_run.stats().gridding_cycles)});
+  }
+  table.print();
+
+  std::printf("\nclaims: CPU gridding time swings with sample ordering "
+              "(locality), while JIGSAW's cycle count is bit-identical for "
+              "all three orderings (M + 12 = %lld).\n",
+              static_cast<long long>(m) + 12);
+  return 0;
+}

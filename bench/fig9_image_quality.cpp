@@ -1,0 +1,163 @@
+// Reproduction of Fig. 9 + Sec. VI-C: image quality of the fixed-point
+// JIGSAW datapath.
+//
+// The paper feeds the same non-uniform samples through (a) the double-
+// precision reference and (b) the hardware pipeline, then compares output
+// grids: NRMSD 0.047% for a 32-bit float implementation and 0.012% for the
+// 32-bit fixed-point JIGSAW datapath — i.e. fixed point with 16-bit weights
+// *betters* float32 while halving ALU width and table storage. It also
+// shows reconstructions with the table oversampling reduced 32x (L=1024
+// doubles vs L=32 fixed) remain visually indistinguishable.
+//
+// This harness measures exactly those comparisons on the analytic phantom
+// (the liver-data substitute) and writes the two reconstruction panels as
+// PGM images.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/pgm.hpp"
+#include "common/table.hpp"
+#include "core/float_gridder.hpp"
+#include "core/jigsaw_datapath.hpp"
+#include "core/jigsaw_gridder.hpp"
+#include "core/metrics.hpp"
+#include "core/nufft.hpp"
+#include "core/serial_gridder.hpp"
+#include "core/window.hpp"
+
+using namespace jigsaw;
+
+
+namespace {
+
+/// Quantize trajectory coordinates to the accelerator's Q.16 bus format so
+/// that precision comparisons are like-for-like (both datapaths see the
+/// same inputs, as in the paper's verification flow).
+std::vector<Coord<2>> quantize_coords(const std::vector<Coord<2>>& coords,
+                                      std::int64_t g) {
+  std::vector<Coord<2>> out = coords;
+  for (auto& c : out) {
+    for (int d = 0; d < 2; ++d) {
+      const double u = core::grid_coord(c[static_cast<std::size_t>(d)], g);
+      const double uq =
+          static_cast<double>(core::datapath::quantize_coord(u)) / 65536.0;
+      double tau = uq / static_cast<double>(g) - 0.5;
+      if (tau >= 0.5) tau -= 1.0;
+      if (tau < -0.5) tau += 1.0;
+      c[static_cast<std::size_t>(d)] = tau;
+    }
+  }
+  return out;
+}
+
+/// Single-precision gridding — the "32-bit floating-point implementation"
+/// of Sec. VI-C (library engine core::FloatGridder).
+std::vector<c64> grid_float(const core::SampleSet<2>& in, std::int64_t n,
+                            int width, int table) {
+  core::GridderOptions opt;
+  opt.width = width;
+  opt.tile = 8;
+  opt.table_oversampling = table;
+  core::FloatGridder<2> g(n, opt);
+  core::Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  return std::vector<c64>(grid.data(), grid.data() + grid.total());
+}
+
+std::vector<c64> grid_double(const core::SampleSet<2>& in, std::int64_t n,
+                             int width, int table) {
+  core::GridderOptions opt;
+  opt.width = width;
+  opt.tile = 8;
+  opt.table_oversampling = table;
+  core::SerialGridder<2> g(n, opt);
+  core::Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  return std::vector<c64>(grid.data(), grid.data() + grid.total());
+}
+
+std::vector<c64> grid_jigsaw(const core::SampleSet<2>& in, std::int64_t n,
+                             int width, int table) {
+  core::GridderOptions opt;
+  opt.width = width;
+  opt.tile = 8;
+  opt.table_oversampling = table;
+  core::JigsawGridder<2> g(n, opt);
+  core::Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  std::printf("  (jigsaw scale 2^%d, %llu saturation events)\n",
+              g.scale_log2(),
+              static_cast<unsigned long long>(g.stats().saturation_events));
+  return std::vector<c64>(grid.data(), grid.data() + grid.total());
+}
+
+/// Full adjoint-NuFFT reconstruction (for the visual panels).
+std::vector<c64> reconstruct(const core::SampleSet<2>& in, std::int64_t n,
+                             core::GridderKind kind, int table) {
+  core::GridderOptions opt;
+  opt.kind = kind;
+  opt.width = 6;
+  opt.tile = 8;
+  opt.table_oversampling = table;
+  core::NufftPlan<2> plan(n, in.coords, opt);
+  return plan.adjoint(in.values);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 9 / Sec. VI-C — JIGSAW image quality\n\n");
+  const std::int64_t n = 64;
+  const int width = 6;
+
+  // Density-compensated radial phantom acquisition.
+  auto coords = trajectory::radial_2d(128, 128);
+  auto values = trajectory::kspace_samples(trajectory::shepp_logan(), coords,
+                                           static_cast<int>(n));
+  const auto dcf = trajectory::radial_density_weights(coords);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] *= dcf[i];
+
+  // Like-for-like inputs: both datapaths see Q.16-quantized coordinates.
+  const auto qcoords = quantize_coords(coords, 2 * n);
+  const core::SampleSet<2> sq{qcoords, values};
+
+  std::printf("grid-level NRMSD vs double-precision reference "
+              "(same inputs, same table):\n");
+  ConsoleTable table({"implementation", "table L", "NRMSD", "paper"});
+
+  const auto ref1024 = grid_double(sq, n, width, 1024);
+  const auto f32 = grid_float(sq, n, width, 1024);
+  const double nrmsd_float = core::nrmsd(f32, ref1024);
+  table.add_row({"32-bit float, L=1024", "1024",
+                 ConsoleTable::fmt(100.0 * nrmsd_float, 4) + "%", "0.047%"});
+
+  const auto ref32 = grid_double(sq, n, width, 32);
+  const auto fixed = grid_jigsaw(sq, n, width, 32);
+  const double nrmsd_fixed = core::nrmsd(fixed, ref32);
+  table.add_row({"32-bit fixed (JIGSAW), L=32", "32",
+                 ConsoleTable::fmt(100.0 * nrmsd_fixed, 4) + "%", "0.012%"});
+  table.print();
+
+  // Visual panels: (a) doubles with L=1024, (b) 16-bit fixed with L=32 —
+  // table oversampling reduced 32x.
+  const core::SampleSet<2> s{coords, values};
+  const auto panel_a =
+      reconstruct(s, n, core::GridderKind::Serial, 1024);
+  const auto panel_b = reconstruct(s, n, core::GridderKind::Jigsaw, 32);
+  write_pgm("fig9_panel_a_double_L1024.pgm", panel_a, static_cast<int>(n),
+            static_cast<int>(n));
+  write_pgm("fig9_panel_b_fixed_L32.pgm", panel_b, static_cast<int>(n),
+            static_cast<int>(n));
+  std::printf("\nreconstruction panels written: fig9_panel_a_double_L1024.pgm"
+              ", fig9_panel_b_fixed_L32.pgm\n");
+  std::printf("panel NRMSD (L reduced 32x + fixed point): %.3f%% — "
+              "visually indistinguishable per the paper\n",
+              100.0 * core::nrmsd(panel_b, panel_a));
+  std::printf("\nshape checks: float error small (<0.5%%): %s | fixed error "
+              "same order or better: %s\n",
+              nrmsd_float < 5e-3 ? "yes" : "NO",
+              nrmsd_fixed < 5e-3 ? "yes" : "NO");
+  return 0;
+}

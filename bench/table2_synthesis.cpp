@@ -1,0 +1,80 @@
+// Reproduction of Table II: JIGSAW synthesis results in 16 nm technology —
+// power and area for the 2D and 3D Slice variants, with and without the
+// target-grid accumulation SRAM.
+//
+// The numbers come from energy::AsicModel, a component-level model whose
+// four technology constants are calibrated against the paper's synthesis
+// rows (see asic_model.hpp); the table below also prints the component
+// breakdown the paper describes in prose (SRAM ~95% of area, >56% of
+// power).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "energy/asic_model.hpp"
+
+using namespace jigsaw;
+using energy::AsicConfig;
+using energy::estimate_asic;
+
+int main() {
+  std::printf("Table II — JIGSAW synthesis results (16 nm, 1.0 GHz)\n\n");
+
+  struct Row {
+    const char* name;
+    bool three_d;
+    bool sram;
+    double paper_power, paper_area;
+  };
+  const Row rows[] = {
+      {"2D (8MB SRAM)", false, true, 216.86, 12.20},
+      {"2D (no accum SRAM)", false, false, 94.22, 0.42},
+      {"3D Slice (8MB SRAM)", true, true, 104.36, 12.42},
+      {"3D Slice (no accum SRAM)", true, false, 63.62, 0.64},
+  };
+
+  ConsoleTable table({"configuration", "power[mW]", "paper", "area[mm^2]",
+                      "paper"});
+  for (const auto& r : rows) {
+    AsicConfig cfg;
+    cfg.grid_n = 1024;
+    cfg.tile = 8;
+    cfg.window = 6;
+    cfg.three_d = r.three_d;
+    cfg.nz = 1024;
+    cfg.wz = 6;
+    cfg.include_accum_sram = r.sram;
+    const auto e = estimate_asic(cfg);
+    table.add_row({r.name, ConsoleTable::fmt(e.power_mw, 2),
+                   ConsoleTable::fmt(r.paper_power, 2),
+                   ConsoleTable::fmt(e.area_mm2, 2),
+                   ConsoleTable::fmt(r.paper_area, 2)});
+  }
+  table.print();
+
+  // Prose claims of Sec. VI-B.
+  AsicConfig full;
+  full.grid_n = 1024;
+  full.window = 6;
+  const auto e = estimate_asic(full);
+  std::printf("\ncomponent breakdown (2D, 8MB SRAM):\n");
+  std::printf("  accumulation SRAM: %.2f mm^2 (%.0f%% of area, paper ~95%%),"
+              " %.2f mW (%.0f%% of power, paper >56%%)\n",
+              e.accum_sram_area_mm2, 100.0 * e.accum_sram_area_mm2 / e.area_mm2,
+              e.accum_sram_power_mw, 100.0 * e.accum_sram_power_mw / e.power_mw);
+  std::printf("  pipeline logic + weight SRAMs: %.2f mm^2, %.2f mW\n",
+              e.logic_area_mm2, e.logic_power_mw);
+
+  std::printf("\ndesign-space sweep (2D, with SRAM):\n");
+  ConsoleTable sweep({"grid N", "power[mW]", "area[mm^2]", "SRAM[MB]"});
+  for (int n : {128, 256, 512, 1024}) {
+    AsicConfig cfg;
+    cfg.grid_n = n;
+    cfg.window = 6;
+    const auto s = estimate_asic(cfg);
+    sweep.add_row({std::to_string(n), ConsoleTable::fmt(s.power_mw, 2),
+                   ConsoleTable::fmt(s.area_mm2, 2),
+                   ConsoleTable::fmt(s.accum_sram_mb, 3)});
+  }
+  sweep.print();
+  return 0;
+}

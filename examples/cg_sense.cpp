@@ -1,0 +1,69 @@
+// Multi-coil CG-SENSE reconstruction — the parallel-imaging, iterative
+// workload the paper's introduction motivates (millions of NuFFTs per
+// volume). Simulates an 8-coil undersampled radial acquisition of the
+// phantom and reconstructs it with conjugate gradients on the SENSE normal
+// equations, comparing coil counts and reporting how much of the runtime
+// is spent inside the gridding engine.
+#include <cstdio>
+
+#include "common/pgm.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/metrics.hpp"
+#include "core/sense.hpp"
+#include "trajectory/phantom.hpp"
+#include "trajectory/trajectory.hpp"
+
+using namespace jigsaw;
+
+
+int main() {
+  const std::int64_t n = 64;
+  // 2x undersampled radial acquisition (50 spokes where ~100 meet Nyquist).
+  const auto coords = trajectory::radial_2d(50, 128);
+  std::printf("CG-SENSE: %zu k-space samples (2x undersampled radial), "
+              "%lldx%lld image\n\n",
+              coords.size(), static_cast<long long>(n),
+              static_cast<long long>(n));
+
+  core::GridderOptions opt;  // slice-and-dice defaults
+  core::NufftPlan<2> plan(n, coords, opt);
+
+  // Ground truth and its per-coil acquisition.
+  const auto truth_d =
+      trajectory::rasterize(trajectory::shepp_logan(), static_cast<int>(n));
+  std::vector<c64> truth(truth_d.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) truth[i] = truth_d[i];
+
+  ConsoleTable table({"coils", "CG iters", "NRMSD", "time[s]",
+                      "gridding share"});
+  std::vector<c64> best;
+  for (int coils : {1, 2, 4, 8}) {
+    const auto maps = core::make_birdcage_maps(n, coils);
+    const auto y = core::simulate_multicoil(plan, maps, truth);
+
+    plan.gridder().reset_stats();
+    Timer t;
+    core::CgResult cg;
+    const auto recon = core::cg_sense(plan, maps, y, 20, 1e-7, &cg);
+    const double secs = t.seconds();
+    const double grid_secs = plan.gridder().stats().grid_seconds;
+
+    std::vector<double> mag(recon.size());
+    for (std::size_t i = 0; i < recon.size(); ++i) mag[i] = std::abs(recon[i]);
+    table.add_row({std::to_string(coils), std::to_string(cg.iterations),
+                   ConsoleTable::fmt(core::nrmsd(mag, truth_d), 4),
+                   ConsoleTable::fmt(secs, 2),
+                   ConsoleTable::fmt(100.0 * grid_secs / secs, 1) + "%"});
+    if (coils == 8) best = recon;
+  }
+  table.print();
+
+  write_pgm("cg_sense_8coil.pgm", best, static_cast<int>(n),
+            static_cast<int>(n));
+  std::printf("\n8-coil reconstruction written to cg_sense_8coil.pgm\n");
+  std::printf("note the gridding share: every CG iteration performs one "
+              "forward and one adjoint NuFFT per coil — exactly the "
+              "workload JIGSAW accelerates.\n");
+  return 0;
+}

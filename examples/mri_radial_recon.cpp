@@ -1,0 +1,105 @@
+// MRI radial reconstruction walk-through: compares every gridding engine on
+// the same acquisition — quality (NRMSD vs ground truth), work counters,
+// and wall time — and demonstrates Pipe-Menon density compensation as an
+// alternative to the analytic ramp.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/pgm.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/density.hpp"
+#include "core/metrics.hpp"
+#include "core/nufft.hpp"
+#include "trajectory/phantom.hpp"
+#include "trajectory/trajectory.hpp"
+
+using namespace jigsaw;
+
+namespace {
+
+double score_against(const std::vector<c64>& image,
+                     const std::vector<double>& truth) {
+  std::vector<double> mag(image.size());
+  double dot = 0, sq = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    mag[i] = std::abs(image[i]);
+    dot += mag[i] * truth[i];
+    sq += mag[i] * mag[i];
+  }
+  if (sq > 0) {
+    for (auto& v : mag) v *= dot / sq;
+  }
+  return core::nrmsd(mag, truth);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 96;
+  std::printf("Radial MRI reconstruction on a %lldx%lld grid\n\n",
+              static_cast<long long>(n), static_cast<long long>(n));
+
+  const auto coords = trajectory::radial_2d(160, 192);
+  const auto raw = trajectory::kspace_samples(trajectory::shepp_logan(),
+                                              coords, static_cast<int>(n));
+  const auto truth =
+      trajectory::rasterize(trajectory::shepp_logan(), static_cast<int>(n));
+
+  // --- Density compensation: analytic ramp vs iterative Pipe-Menon.
+  const auto ramp = trajectory::radial_density_weights(coords);
+  core::GridderOptions dopt;
+  dopt.kind = core::GridderKind::Serial;
+  auto dgrid = core::make_gridder<2>(n, dopt);
+  const auto pm = core::pipe_menon_weights<2>(*dgrid, coords);
+
+  auto weight = [&](const std::vector<double>& w) {
+    auto v = raw;
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] *= w[i];
+    return v;
+  };
+  const auto kdata_ramp = weight(ramp);
+  const auto kdata_pm = weight(pm);
+
+  // --- Engine comparison on the ramp-compensated data.
+  ConsoleTable table({"engine", "NRMSD", "time[ms]", "checks/sample",
+                      "dup factor", "presort[ms]"});
+  for (auto kind :
+       {core::GridderKind::Serial, core::GridderKind::Binning,
+        core::GridderKind::SliceDice, core::GridderKind::Jigsaw}) {
+    core::GridderOptions opt;
+    opt.kind = kind;
+    opt.exact_weights = (kind == core::GridderKind::Binning);
+    core::NufftPlan<2> plan(n, coords, opt);
+    Timer t;
+    const auto image = plan.adjoint(kdata_ramp);
+    const double ms = 1e3 * t.seconds();
+    const auto& s = plan.gridder().stats();
+    const double m = static_cast<double>(coords.size());
+    table.add_row({core::to_string(kind),
+                   ConsoleTable::fmt(score_against(image, truth), 4),
+                   ConsoleTable::fmt(ms, 1),
+                   ConsoleTable::fmt(static_cast<double>(s.boundary_checks) / m, 1),
+                   ConsoleTable::fmt(static_cast<double>(s.samples_processed) / m, 2),
+                   ConsoleTable::fmt(1e3 * s.presort_seconds, 2)});
+    if (kind == core::GridderKind::SliceDice) {
+      write_pgm("mri_recon_slice_dice.pgm", image, static_cast<int>(n),
+                static_cast<int>(n));
+    }
+  }
+  table.print();
+
+  // --- Density compensation comparison (Slice-and-Dice engine).
+  core::GridderOptions opt;
+  core::NufftPlan<2> plan(n, coords, opt);
+  std::printf("\ndensity compensation (slice-and-dice engine):\n");
+  std::printf("  none:        NRMSD %.4f\n",
+              score_against(plan.adjoint(raw), truth));
+  std::printf("  ramp:        NRMSD %.4f\n",
+              score_against(plan.adjoint(kdata_ramp), truth));
+  std::printf("  pipe-menon:  NRMSD %.4f\n",
+              score_against(plan.adjoint(kdata_pm), truth));
+  std::printf("\nimage written to mri_recon_slice_dice.pgm\n");
+  return 0;
+}

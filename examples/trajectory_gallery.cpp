@@ -1,0 +1,93 @@
+// Trajectory gallery: runs the Slice-and-Dice NuFFT over every supported
+// sampling pattern (radial, spiral, rosette, random, jittered Cartesian)
+// and prints reconstruction quality plus the trajectory-independence of
+// the JIGSAW timing model — the property the paper emphasizes (runtime
+// depends only on M, never on sampling pattern).
+#include <cstdio>
+
+#include "common/pgm.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/density.hpp"
+#include "core/metrics.hpp"
+#include "core/nufft.hpp"
+#include "energy/asic_model.hpp"
+#include "jigsaw/cycle_sim.hpp"
+#include "trajectory/phantom.hpp"
+#include "trajectory/trajectory.hpp"
+
+using namespace jigsaw;
+
+namespace {
+
+double score_against(const std::vector<c64>& image,
+                     const std::vector<double>& truth) {
+  std::vector<double> mag(image.size());
+  double dot = 0, sq = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    mag[i] = std::abs(image[i]);
+    dot += mag[i] * truth[i];
+    sq += mag[i] * mag[i];
+  }
+  if (sq > 0) {
+    for (auto& v : mag) v *= dot / sq;
+  }
+  return core::nrmsd(mag, truth);
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 64;
+  const std::int64_t m = 40000;
+  const auto truth =
+      trajectory::rasterize(trajectory::shepp_logan(), static_cast<int>(n));
+
+  std::printf("trajectory gallery — %lld-sample acquisitions onto a "
+              "%lldx%lld image\n\n",
+              static_cast<long long>(m), static_cast<long long>(n),
+              static_cast<long long>(n));
+
+  ConsoleTable table({"trajectory", "M", "NRMSD", "cpu grid[ms]",
+                      "jigsaw cycles", "jigsaw[us]"});
+
+  for (auto type :
+       {trajectory::TrajectoryType::Radial, trajectory::TrajectoryType::Spiral,
+        trajectory::TrajectoryType::Rosette, trajectory::TrajectoryType::Random,
+        trajectory::TrajectoryType::Cartesian}) {
+    const auto coords = trajectory::make_2d(type, m);
+    auto kdata = trajectory::kspace_samples(trajectory::shepp_logan(), coords,
+                                            static_cast<int>(n));
+
+    core::GridderOptions opt;  // slice-and-dice defaults
+    core::NufftPlan<2> plan(n, coords, opt);
+
+    // Iterative density compensation works for every pattern.
+    const auto dcf = core::pipe_menon_weights<2>(plan.gridder(), coords);
+    for (std::size_t i = 0; i < kdata.size(); ++i) kdata[i] *= dcf[i];
+
+    core::NufftTimings t;
+    const auto image = plan.adjoint(kdata, &t);
+
+    // JIGSAW: identical cycle count for every trajectory.
+    sim::CycleSim sim(n, opt, false);
+    core::Grid<2> grid(sim.grid_size());
+    core::SampleSet<2> in{coords, kdata};
+    sim.run_2d(in, grid);
+
+    table.add_row({trajectory::to_string(type), std::to_string(coords.size()),
+                   ConsoleTable::fmt(score_against(image, truth), 4),
+                   ConsoleTable::fmt(1e3 * t.grid_seconds, 2),
+                   std::to_string(sim.stats().gridding_cycles),
+                   ConsoleTable::fmt(1e6 * sim.stats().gridding_seconds(), 2)});
+
+    write_pgm("gallery_" + trajectory::to_string(type) + ".pgm", image,
+              static_cast<int>(n), static_cast<int>(n));
+  }
+  table.print();
+  std::printf("\nnote the JIGSAW column: cycles = M + 12 for every pattern "
+              "(trajectory-agnostic, deterministic), while CPU gridding "
+              "time varies with sample ordering and locality.\n");
+  std::printf("images written: gallery_<trajectory>.pgm\n");
+  return 0;
+}

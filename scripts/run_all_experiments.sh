@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate every paper artifact (tables, figures, ablations) plus the
+# example applications, mirroring the EXPERIMENTS.md record.
+set -u
+BUILD="${1:-build}"
+
+echo "== configure + build"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== test suite"
+ctest --test-dir "$BUILD" --output-on-failure
+
+echo "== paper artifacts (bench/)"
+for b in "$BUILD"/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "--- $(basename "$b")"
+    "$b"
+  fi
+done
+
+echo "== examples"
+for e in "$BUILD"/examples/*; do
+  if [ -f "$e" ] && [ -x "$e" ]; then
+    echo "--- $(basename "$e")"
+    "$e"
+  fi
+done

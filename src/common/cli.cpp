@@ -1,0 +1,52 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace jigsaw {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known_flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    bool has_value = false;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    JIGSAW_REQUIRE(std::find(known_flags.begin(), known_flags.end(), arg) !=
+                       known_flags.end(),
+                   "unknown flag --" << arg);
+    if (!has_value) {
+      // `--flag value` unless the next token is another flag / absent.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+    }
+    flags_[arg] = value;
+  }
+}
+
+long long CliArgs::get_int(const std::string& flag, long long fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::atoll(it->second.c_str());
+}
+
+double CliArgs::get_double(const std::string& flag, double fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::atof(it->second.c_str());
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the tools/ binaries.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag`. Unknown
+// flags are an error (catches typos); positional arguments are collected
+// in order.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+
+class CliArgs {
+ public:
+  /// Parse argv. `known_flags` lists every accepted flag name (without the
+  /// leading dashes). Throws std::invalid_argument on unknown flags or a
+  /// trailing flag with no value.
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& known_flags);
+
+  bool has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+  std::string get(const std::string& flag,
+                  const std::string& fallback = "") const {
+    const auto it = flags_.find(flag);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  long long get_int(const std::string& flag, long long fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,29 @@
+// Error handling helpers: precondition checks that throw std::invalid_argument
+// / std::runtime_error with stream-formatted context, e.g.
+//   JIGSAW_REQUIRE(n >= 1, "bad length " << n);
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+
+/// Throw std::invalid_argument when a user-facing precondition fails.
+#define JIGSAW_REQUIRE(cond, ...)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream jigsaw_os_;                                        \
+      jigsaw_os_ << "jigsaw: requirement failed (" << #cond                 \
+                 << "): " << __VA_ARGS__;                                   \
+      throw std::invalid_argument(jigsaw_os_.str());                        \
+    }                                                                       \
+  } while (0)
+
+/// Throw std::runtime_error for internal invariant violations.
+#define JIGSAW_CHECK(cond, ...)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream jigsaw_os_;                                        \
+      jigsaw_os_ << "jigsaw: internal invariant failed (" << #cond          \
+                 << "): " << __VA_ARGS__;                                   \
+      throw std::runtime_error(jigsaw_os_.str());                           \
+    }                                                                       \
+  } while (0)

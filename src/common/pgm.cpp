@@ -1,0 +1,49 @@
+#include "common/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace jigsaw {
+
+bool write_pgm(const std::string& path, const std::vector<double>& pixels,
+               int width, int height) {
+  if (width <= 0 || height <= 0 ||
+      pixels.size() != static_cast<std::size_t>(width) *
+                           static_cast<std::size_t>(height)) {
+    return false;
+  }
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  double lo = pixels[0], hi = pixels[0];
+  for (double v : pixels) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::fprintf(f.get(), "P5\n%d %d\n255\n", width, height);
+  std::vector<unsigned char> row(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double v =
+          (pixels[static_cast<std::size_t>(y) * width + x] - lo) / span;
+      row[static_cast<std::size_t>(x)] =
+          static_cast<unsigned char>(std::lround(v * 255.0));
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f.get()) != row.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_pgm(const std::string& path, const std::vector<c64>& pixels,
+               int width, int height) {
+  std::vector<double> mag(pixels.size());
+  for (std::size_t i = 0; i < pixels.size(); ++i) mag[i] = std::abs(pixels[i]);
+  return write_pgm(path, mag, width, height);
+}
+
+}  // namespace jigsaw

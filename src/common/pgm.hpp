@@ -1,0 +1,22 @@
+// Minimal binary PGM (P5) writer for reconstruction outputs — lets the
+// quality experiments and examples emit viewable images with no external
+// image dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jigsaw {
+
+/// Write an n x n grayscale image. Values are min/max normalized to 0..255.
+/// Returns false on I/O failure.
+bool write_pgm(const std::string& path, const std::vector<double>& pixels,
+               int width, int height);
+
+/// Magnitude-image convenience overload.
+bool write_pgm(const std::string& path, const std::vector<c64>& pixels,
+               int width, int height);
+
+}  // namespace jigsaw

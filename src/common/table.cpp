@@ -1,0 +1,87 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace jigsaw {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void ConsoleTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string ConsoleTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string ConsoleTable::fmt_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  const double a = std::fabs(v);
+  if (a >= 1e9) {
+    scaled = v / 1e9;
+    suffix = " G";
+  } else if (a >= 1e6) {
+    scaled = v / 1e6;
+    suffix = " M";
+  } else if (a >= 1e3) {
+    scaled = v / 1e3;
+    suffix = " k";
+  } else if (a > 0 && a < 1e-6) {
+    scaled = v * 1e9;
+    suffix = " n";
+  } else if (a > 0 && a < 1e-3) {
+    scaled = v * 1e6;
+    suffix = " u";
+  } else if (a > 0 && a < 1.0) {
+    scaled = v * 1e3;
+    suffix = " m";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+std::string ConsoleTable::fmt_times(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+  return buf;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,33 @@
+// Console table formatting used by the benchmark harnesses so that every
+// figure/table reproduction prints rows in a uniform, diff-friendly layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline; returns the full text block.
+  std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  /// Format helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_si(double v, int precision = 3);   // 1.2 k / 3.4 M
+  static std::string fmt_times(double v, int precision = 1);  // "123.4x"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,41 @@
+// Wall-clock timer for benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace jigsaw {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Run `fn` repeatedly until `min_seconds` of wall time or `max_reps`
+/// repetitions have elapsed; return the best (minimum) per-rep time.
+template <typename Fn>
+double time_best(Fn&& fn, double min_seconds = 0.05, int max_reps = 5) {
+  double best = 1e300;
+  double total = 0.0;
+  for (int rep = 0; rep < max_reps; ++rep) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    if (s < best) best = s;
+    total += s;
+    if (total >= min_seconds && rep >= 0) break;
+  }
+  return best;
+}
+
+}  // namespace jigsaw

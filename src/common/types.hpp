@@ -1,0 +1,57 @@
+// Core scalar/complex type aliases shared across the library.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jigsaw {
+
+using c64 = std::complex<double>;
+using c32 = std::complex<float>;
+
+/// d-dimensional non-uniform sample coordinate in normalized torus units,
+/// each component in [-0.5, 0.5).
+template <int D>
+using Coord = std::array<double, D>;
+
+/// d-dimensional integer index (grid point / tile coordinate).
+template <int D>
+using Index = std::array<std::int64_t, D>;
+
+/// Number of points in a d-dimensional box of side n.
+template <int D>
+constexpr std::int64_t pow_dim(std::int64_t n) {
+  std::int64_t r = 1;
+  for (int i = 0; i < D; ++i) r *= n;
+  return r;
+}
+
+/// Row-major linear index of `idx` in a cube of side `n` (last dim fastest).
+template <int D>
+constexpr std::int64_t linear_index(const Index<D>& idx, std::int64_t n) {
+  std::int64_t lin = 0;
+  for (int i = 0; i < D; ++i) lin = lin * n + idx[static_cast<std::size_t>(i)];
+  return lin;
+}
+
+/// Inverse of linear_index.
+template <int D>
+constexpr Index<D> unlinear_index(std::int64_t lin, std::int64_t n) {
+  Index<D> idx{};
+  for (int i = D - 1; i >= 0; --i) {
+    idx[static_cast<std::size_t>(i)] = lin % n;
+    lin /= n;
+  }
+  return idx;
+}
+
+/// Positive modulo (result in [0, n)).
+constexpr std::int64_t pos_mod(std::int64_t a, std::int64_t n) {
+  std::int64_t m = a % n;
+  return m < 0 ? m + n : m;
+}
+
+}  // namespace jigsaw

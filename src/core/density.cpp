@@ -1,0 +1,49 @@
+#include "core/density.hpp"
+
+#include <cmath>
+
+namespace jigsaw::core {
+
+template <int D>
+std::vector<double> pipe_menon_weights(Gridder<D>& gridder,
+                                       const std::vector<Coord<D>>& coords,
+                                       const PipeMenonOptions& options) {
+  JIGSAW_REQUIRE(!coords.empty(), "no coordinates");
+  JIGSAW_REQUIRE(options.iterations >= 1, "need >= 1 iteration");
+  const std::size_t m = coords.size();
+  std::vector<double> w(m, 1.0);
+
+  Grid<D> grid(gridder.grid_size());
+  SampleSet<D> set;
+  set.coords = coords;
+  set.values.assign(m, c64{});
+
+  for (int it = 0; it < options.iterations; ++it) {
+    for (std::size_t j = 0; j < m; ++j) set.values[j] = c64(w[j], 0.0);
+    gridder.adjoint(set, grid);
+    gridder.forward(grid, set);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double p = std::abs(set.values[j]);
+      w[j] /= std::max(p, options.epsilon);
+    }
+  }
+
+  // Normalize to mean 1.
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  const double scale = static_cast<double>(m) / sum;
+  for (auto& v : w) v *= scale;
+  return w;
+}
+
+template std::vector<double> pipe_menon_weights<1>(Gridder<1>&,
+                                                   const std::vector<Coord<1>>&,
+                                                   const PipeMenonOptions&);
+template std::vector<double> pipe_menon_weights<2>(Gridder<2>&,
+                                                   const std::vector<Coord<2>>&,
+                                                   const PipeMenonOptions&);
+template std::vector<double> pipe_menon_weights<3>(Gridder<3>&,
+                                                   const std::vector<Coord<3>>&,
+                                                   const PipeMenonOptions&);
+
+}  // namespace jigsaw::core

@@ -1,0 +1,38 @@
+// Sampling density compensation.
+//
+// Non-uniform trajectories oversample some k-space regions (e.g. the center
+// of radial scans); density-compensation weights equalize this before the
+// adjoint NuFFT so that the gridded reconstruction approximates the inverse
+// rather than the plain adjoint. Two methods:
+//   * analytic ramp for radial trajectories (trajectory module), and
+//   * the iterative Pipe-Menon scheme implemented here, which works for any
+//     trajectory and only needs the gridding operator pair:
+//       w <- w ./ |interp(grid(w))|
+#pragma once
+
+#include <vector>
+
+#include "core/gridder.hpp"
+
+namespace jigsaw::core {
+
+struct PipeMenonOptions {
+  int iterations = 12;
+  double epsilon = 1e-12;  // guard against division by zero
+};
+
+/// Iterative density-compensation weights for `coords`, using `gridder`'s
+/// kernel/grid configuration. Weights are normalized so their mean is 1.
+template <int D>
+std::vector<double> pipe_menon_weights(
+    Gridder<D>& gridder, const std::vector<Coord<D>>& coords,
+    const PipeMenonOptions& options = PipeMenonOptions{});
+
+extern template std::vector<double> pipe_menon_weights<1>(
+    Gridder<1>&, const std::vector<Coord<1>>&, const PipeMenonOptions&);
+extern template std::vector<double> pipe_menon_weights<2>(
+    Gridder<2>&, const std::vector<Coord<2>>&, const PipeMenonOptions&);
+extern template std::vector<double> pipe_menon_weights<3>(
+    Gridder<3>&, const std::vector<Coord<3>>&, const PipeMenonOptions&);
+
+}  // namespace jigsaw::core

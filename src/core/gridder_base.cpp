@@ -1,0 +1,120 @@
+#include "core/gridder.hpp"
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "core/window.hpp"
+
+namespace jigsaw::core {
+
+std::string to_string(GridderKind k) {
+  switch (k) {
+    case GridderKind::Serial: return "serial";
+    case GridderKind::OutputDriven: return "output-driven";
+    case GridderKind::Binning: return "binning";
+    case GridderKind::SliceDice: return "slice-and-dice";
+    case GridderKind::Jigsaw: return "jigsaw";
+    case GridderKind::Sparse: return "sparse-matrix";
+    case GridderKind::FloatSerial: return "serial-f32";
+  }
+  return "unknown";
+}
+
+template <int D>
+Gridder<D>::Gridder(std::int64_t n, const GridderOptions& options)
+    : n_(n), options_(options) {
+  JIGSAW_REQUIRE(n >= 2, "base grid size must be >= 2");
+  JIGSAW_REQUIRE(options.sigma > 1.0 && options.sigma <= 4.0,
+                 "oversampling factor out of range (1, 4]");
+  const double gd = options.sigma * static_cast<double>(n);
+  g_ = static_cast<std::int64_t>(std::llround(gd));
+  JIGSAW_REQUIRE(std::fabs(gd - static_cast<double>(g_)) < 1e-9,
+                 "sigma * N must be an integer, got " << gd);
+  JIGSAW_REQUIRE(options.width >= 1, "kernel width must be >= 1");
+  JIGSAW_REQUIRE(g_ >= options.width,
+                 "oversampled grid smaller than the kernel window");
+  kernel_ = kernels::make_kernel(options.kernel, options.width, options.sigma);
+  lut_ = std::make_unique<kernels::KernelLut>(*kernel_,
+                                              options.table_oversampling);
+}
+
+template <int D>
+void Gridder<D>::forward(const Grid<D>& in, SampleSet<D>& out) {
+  JIGSAW_REQUIRE(in.size() == g_, "grid size mismatch in forward()");
+  JIGSAW_REQUIRE(out.values.size() == out.coords.size(),
+                 "sample set coords/values mismatch");
+  const int w = options_.width;
+  const std::int64_t g = g_;
+  const auto m = static_cast<std::int64_t>(out.size());
+  Timer timer;
+
+  auto work = [&](std::int64_t begin, std::int64_t end, unsigned) {
+    std::int64_t idx[3][64];
+    double wt[3][64];
+    for (std::int64_t j = begin; j < end; ++j) {
+      for (int d = 0; d < D; ++d) {
+        const double u = grid_coord(
+            out.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)],
+            g);
+        const std::int64_t g0 = window_start(u, w);
+        for (int o = 0; o < w; ++o) {
+          idx[d][o] = pos_mod(g0 + o, g);
+          wt[d][o] = weight_1d(static_cast<double>(g0 + o) - u);
+        }
+      }
+      c64 acc{};
+      if constexpr (D == 1) {
+        for (int ox = 0; ox < w; ++ox) {
+          acc += wt[0][ox] * in[idx[0][ox]];
+        }
+      } else if constexpr (D == 2) {
+        for (int oy = 0; oy < w; ++oy) {
+          const std::int64_t row = idx[0][oy] * g;
+          const double wy = wt[0][oy];
+          for (int ox = 0; ox < w; ++ox) {
+            acc += (wy * wt[1][ox]) * in[row + idx[1][ox]];
+          }
+        }
+      } else {
+        for (int oz = 0; oz < w; ++oz) {
+          const std::int64_t zoff = idx[0][oz] * g * g;
+          for (int oy = 0; oy < w; ++oy) {
+            const std::int64_t row = zoff + idx[1][oy] * g;
+            const double wzy = wt[0][oz] * wt[1][oy];
+            for (int ox = 0; ox < w; ++ox) {
+              acc += (wzy * wt[2][ox]) * in[row + idx[2][ox]];
+            }
+          }
+        }
+      }
+      out.values[static_cast<std::size_t>(j)] = acc;
+    }
+  };
+
+  if (options_.threads <= 1) {
+    work(0, m, 0);
+  } else {
+    ThreadPool pool(options_.threads);
+    pool.parallel_for(m, work);
+  }
+
+  stats_.grid_seconds += timer.seconds();
+  stats_.interpolations +=
+      static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(pow_dim<D>(w));
+  if (options_.exact_weights) {
+    stats_.kernel_evals += static_cast<std::uint64_t>(m) *
+                           static_cast<std::uint64_t>(D) *
+                           static_cast<std::uint64_t>(w);
+  } else {
+    stats_.lut_lookups += static_cast<std::uint64_t>(m) *
+                          static_cast<std::uint64_t>(D) *
+                          static_cast<std::uint64_t>(w);
+  }
+}
+
+template class Gridder<1>;
+template class Gridder<2>;
+template class Gridder<3>;
+
+}  // namespace jigsaw::core

@@ -1,0 +1,56 @@
+#include "core/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace jigsaw::core {
+
+bool save_samples_csv(const std::string& path, const SampleSet<2>& samples) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "# kx,ky,real,imag — coordinates in [-0.5, 0.5) torus units\n";
+  f.precision(17);
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    f << samples.coords[j][0] << ',' << samples.coords[j][1] << ','
+      << samples.values[j].real() << ',' << samples.values[j].imag() << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+SampleSet<2> load_samples_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("jigsaw: cannot open sample file: " + path);
+  }
+  SampleSet<2> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    double v[4];
+    char comma;
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0) {
+        ss >> comma;
+        JIGSAW_REQUIRE(comma == ',', "malformed CSV at " << path << ":"
+                                                          << lineno);
+      }
+      JIGSAW_REQUIRE(static_cast<bool>(ss >> v[i]),
+                     "malformed CSV at " << path << ":" << lineno);
+    }
+    JIGSAW_REQUIRE(v[0] >= -0.5 && v[0] < 0.5 && v[1] >= -0.5 && v[1] < 0.5,
+                   "coordinate out of [-0.5, 0.5) at " << path << ":"
+                                                       << lineno);
+    out.coords.push_back({v[0], v[1]});
+    out.values.emplace_back(v[2], v[3]);
+  }
+  JIGSAW_REQUIRE(!out.empty(), "no samples in " << path);
+  return out;
+}
+
+}  // namespace jigsaw::core

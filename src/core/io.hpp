@@ -1,0 +1,23 @@
+// Plain-text I/O for non-uniform sample sets.
+//
+// Lets real acquisitions (or data exported from other NuFFT packages) flow
+// through the CLI and examples: one line per sample,
+//   k0,k1,real,imag
+// with coordinates in normalized torus units [-0.5, 0.5). Lines starting
+// with '#' are comments.
+#pragma once
+
+#include <string>
+
+#include "core/sample_set.hpp"
+
+namespace jigsaw::core {
+
+/// Write a 2D sample set as CSV. Returns false on I/O failure.
+bool save_samples_csv(const std::string& path, const SampleSet<2>& samples);
+
+/// Read a 2D sample set from CSV. Throws std::invalid_argument on malformed
+/// rows or out-of-range coordinates; std::runtime_error if unreadable.
+SampleSet<2> load_samples_csv(const std::string& path);
+
+}  // namespace jigsaw::core

@@ -1,0 +1,292 @@
+// Functional (untimed) model of the JIGSAW accelerator's gridding.
+//
+// Streams the samples once, in order, through the fixed-point datapath of
+// jigsaw_datapath.hpp — exactly the arithmetic the cycle-level simulator
+// performs, minus the timing. Use this engine to study JIGSAW's numerical
+// behaviour (Fig. 9) cheaply; use jigsaw::CycleSim when cycle counts and
+// activity-based energy are needed. The two are bit-exact (tested).
+//
+// The forward (re-gridding) direction falls back to the base double-
+// precision implementation: the paper's accelerator targets the adjoint
+// gridding step.
+#pragma once
+
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/gridder.hpp"
+#include "core/jigsaw_datapath.hpp"
+#include "core/window.hpp"
+
+namespace jigsaw::core {
+
+template <int D>
+class JigsawGridder final : public Gridder<D> {
+ public:
+  JigsawGridder(std::int64_t n, const GridderOptions& options)
+      : Gridder<D>(n, options) {
+    const std::int64_t t = options.tile;
+    JIGSAW_REQUIRE((t & (t - 1)) == 0,
+                   "JIGSAW tile size must be a power of two, got " << t);
+    JIGSAW_REQUIRE(t >= options.width,
+                   "virtual tile must be at least as wide as the window");
+    JIGSAW_REQUIRE(this->g_ % t == 0,
+                   "tile size must divide the oversampled grid");
+    JIGSAW_REQUIRE(
+        (options.table_oversampling & (options.table_oversampling - 1)) == 0,
+        "table oversampling factor must be a power of two");
+    ntiles_ = this->g_ / t;
+    int log2_l = 0;
+    while ((1 << log2_l) < options.table_oversampling) ++log2_l;
+    JIGSAW_REQUIRE(log2_l <= datapath::kCoordFracBits,
+                   "table oversampling exceeds coordinate precision");
+    select_cfg_ = datapath::SelectConfig{
+        options.width, t, ntiles_, log2_l,
+        static_cast<std::int32_t>(this->lut_->entries()) - 1};
+  }
+
+  GridderKind kind() const override { return GridderKind::Jigsaw; }
+
+  std::int64_t tiles_per_dim() const { return ntiles_; }
+  const datapath::SelectConfig& select_config() const { return select_cfg_; }
+
+  /// Scale exponent used by the last adjoint() call.
+  int scale_log2() const { return scale_log2_; }
+
+  void adjoint(const SampleSet<D>& in, Grid<D>& out) override {
+    JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
+    const int w = this->options_.width;
+    const std::int64_t t = this->options_.tile;
+    const std::int64_t columns = pow_dim<D>(t);
+    const std::int64_t tile_count = pow_dim<D>(ntiles_);
+    dice_.assign(static_cast<std::size_t>(columns * tile_count),
+                 fixed::CData32{});
+
+    scale_log2_ = this->options_.fixed_scale_log2 != INT_MIN
+                      ? this->options_.fixed_scale_log2
+                      : datapath::auto_scale_log2(in.values);
+    const double scale = std::ldexp(1.0, scale_log2_);
+
+    Timer timer;
+    const auto m = static_cast<std::int64_t>(in.size());
+    std::uint64_t saturations = 0;
+    datapath::DimSelect sel[3][64];
+    fixed::CWeight16 wsel[3][64];
+    for (std::int64_t j = 0; j < m; ++j) {
+      const c64 fv = in.values[static_cast<std::size_t>(j)] * scale;
+      const fixed::CData32 value = fixed::CData32::from_c64(fv);
+      for (int d = 0; d < D; ++d) {
+        const double u = grid_coord(
+            in.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)],
+            this->g_);
+        const std::int64_t us_q =
+            datapath::quantize_coord(u) +
+            (static_cast<std::int64_t>(w) << (datapath::kCoordFracBits - 1));
+        for (int k = 0; k < w; ++k) {
+          sel[d][k] = datapath::select_dim(us_q, k, select_cfg_);
+          wsel[d][k] = fixed::CWeight16{
+              this->lut_->entry_fixed(sel[d][k].lut_index),
+              fixed::Weight16{}};
+        }
+      }
+      if constexpr (D == 1) {
+        for (int kx = 0; kx < w; ++kx) {
+          const auto& sx = sel[0][kx];
+          const auto wt = datapath::widen_weight(wsel[0][kx]);
+          const std::int64_t addr = sx.column * tile_count + sx.tile;
+          saturations += datapath::accumulate(
+              dice_[static_cast<std::size_t>(addr)],
+              datapath::interpolate(wt, value));
+          this->trace_grid_access(addr, /*write=*/true);
+        }
+      } else if constexpr (D == 2) {
+        for (int ky = 0; ky < w; ++ky) {
+          const auto& sy = sel[0][ky];
+          for (int kx = 0; kx < w; ++kx) {
+            const auto& sx = sel[1][kx];
+            const auto wt = datapath::combine_weights(wsel[0][ky], wsel[1][kx]);
+            const std::int64_t col = sy.column * t + sx.column;
+            const std::int64_t tile_addr = sy.tile * ntiles_ + sx.tile;
+            const std::int64_t addr = col * tile_count + tile_addr;
+            saturations += datapath::accumulate(
+                dice_[static_cast<std::size_t>(addr)],
+                datapath::interpolate(wt, value));
+            this->trace_grid_access(addr, /*write=*/true);
+          }
+        }
+      } else {
+        for (int kz = 0; kz < w; ++kz) {
+          const auto& sz = sel[0][kz];
+          for (int ky = 0; ky < w; ++ky) {
+            const auto& sy = sel[1][ky];
+            const auto wzy =
+                datapath::combine_weights(wsel[0][kz], wsel[1][ky]);
+            for (int kx = 0; kx < w; ++kx) {
+              const auto& sx = sel[2][kx];
+              const auto wt = datapath::combine_weights(wzy, wsel[2][kx]);
+              const std::int64_t col =
+                  (sz.column * t + sy.column) * t + sx.column;
+              const std::int64_t tile_addr =
+                  (sz.tile * ntiles_ + sy.tile) * ntiles_ + sx.tile;
+              const std::int64_t addr = col * tile_count + tile_addr;
+              saturations += datapath::accumulate(
+                  dice_[static_cast<std::size_t>(addr)],
+                  datapath::interpolate(wt, value));
+              this->trace_grid_access(addr, /*write=*/true);
+            }
+          }
+        }
+      }
+    }
+    this->stats_.grid_seconds += timer.seconds();
+
+    // Readout: dequantize into the row-major grid.
+    const double descale = 1.0 / scale;
+    const std::int64_t total = out.total();
+    for (std::int64_t lin = 0; lin < total; ++lin) {
+      const Index<D> p = unlinear_index<D>(lin, this->g_);
+      std::int64_t col = 0, tile_addr = 0;
+      for (int d = 0; d < D; ++d) {
+        const std::int64_t pd = p[static_cast<std::size_t>(d)];
+        col = col * t + (pd % t);
+        tile_addr = tile_addr * ntiles_ + (pd / t);
+      }
+      out[lin] =
+          dice_[static_cast<std::size_t>(col * tile_count + tile_addr)]
+              .to_c64() *
+          descale;
+    }
+
+    const auto window_points = static_cast<std::uint64_t>(pow_dim<D>(w));
+    this->stats_.samples_processed += static_cast<std::uint64_t>(m);
+    this->stats_.boundary_checks +=
+        static_cast<std::uint64_t>(m) * window_points;
+    this->stats_.interpolations +=
+        static_cast<std::uint64_t>(m) * window_points;
+    this->stats_.lut_lookups += static_cast<std::uint64_t>(m) *
+                                static_cast<std::uint64_t>(D) *
+                                static_cast<std::uint64_t>(w);
+    this->stats_.saturation_events += saturations;
+  }
+
+  /// Fixed-point forward interpolation (re-gridding): the symmetric
+  /// operation for the forward NuFFT (paper Fig. 1). The grid is quantized
+  /// into the dice SRAM layout and each sample gathers its W^D windowed
+  /// contributions through the same select / weight-lookup / interpolate
+  /// datapath, accumulating into a per-sample register. Bit-exact with
+  /// jigsaw::CycleSim::run_2d_forward (tested).
+  void forward(const Grid<D>& in, SampleSet<D>& out) override {
+    JIGSAW_REQUIRE(in.size() == this->g_, "grid size mismatch in forward()");
+    const int w = this->options_.width;
+    const std::int64_t t = this->options_.tile;
+    const std::int64_t tile_count = pow_dim<D>(ntiles_);
+
+    // Quantize the grid into dice-layout fixed point.
+    std::vector<c64> grid_vals(in.data(), in.data() + in.total());
+    scale_log2_ = this->options_.fixed_scale_log2 != INT_MIN
+                      ? this->options_.fixed_scale_log2
+                      : datapath::auto_scale_log2(grid_vals);
+    const double scale = std::ldexp(1.0, scale_log2_);
+    dice_.assign(static_cast<std::size_t>(pow_dim<D>(t) * tile_count),
+                 fixed::CData32{});
+    const std::int64_t total = in.total();
+    for (std::int64_t lin = 0; lin < total; ++lin) {
+      const Index<D> p = unlinear_index<D>(lin, this->g_);
+      std::int64_t col = 0, tile_addr = 0;
+      for (int d = 0; d < D; ++d) {
+        const std::int64_t pd = p[static_cast<std::size_t>(d)];
+        col = col * t + (pd % t);
+        tile_addr = tile_addr * ntiles_ + (pd / t);
+      }
+      dice_[static_cast<std::size_t>(col * tile_count + tile_addr)] =
+          fixed::CData32::from_c64(in[lin] * scale);
+    }
+
+    Timer timer;
+    const auto m = static_cast<std::int64_t>(out.size());
+    std::uint64_t saturations = 0;
+    datapath::DimSelect sel[3][64];
+    fixed::CWeight16 wsel[3][64];
+    const double descale = 1.0 / scale;
+    for (std::int64_t j = 0; j < m; ++j) {
+      for (int d = 0; d < D; ++d) {
+        const double u = grid_coord(
+            out.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)],
+            this->g_);
+        const std::int64_t us_q =
+            datapath::quantize_coord(u) +
+            (static_cast<std::int64_t>(w) << (datapath::kCoordFracBits - 1));
+        for (int k = 0; k < w; ++k) {
+          sel[d][k] = datapath::select_dim(us_q, k, select_cfg_);
+          wsel[d][k] = fixed::CWeight16{
+              this->lut_->entry_fixed(sel[d][k].lut_index),
+              fixed::Weight16{}};
+        }
+      }
+      fixed::CData32 acc{};
+      auto gather = [&](const std::int64_t addr,
+                        const datapath::CWeight32& wt) {
+        saturations += datapath::accumulate(
+            acc, datapath::interpolate(
+                     wt, dice_[static_cast<std::size_t>(addr)]));
+      };
+      if constexpr (D == 1) {
+        for (int kx = 0; kx < w; ++kx) {
+          const auto& sx = sel[0][kx];
+          gather(sx.column * tile_count + sx.tile,
+                 datapath::widen_weight(wsel[0][kx]));
+        }
+      } else if constexpr (D == 2) {
+        for (int ky = 0; ky < w; ++ky) {
+          const auto& sy = sel[0][ky];
+          for (int kx = 0; kx < w; ++kx) {
+            const auto& sx = sel[1][kx];
+            const std::int64_t col = sy.column * t + sx.column;
+            const std::int64_t tile_addr = sy.tile * ntiles_ + sx.tile;
+            gather(col * tile_count + tile_addr,
+                   datapath::combine_weights(wsel[0][ky], wsel[1][kx]));
+          }
+        }
+      } else {
+        for (int kz = 0; kz < w; ++kz) {
+          const auto& sz = sel[0][kz];
+          for (int ky = 0; ky < w; ++ky) {
+            const auto& sy = sel[1][ky];
+            const auto wzy =
+                datapath::combine_weights(wsel[0][kz], wsel[1][ky]);
+            for (int kx = 0; kx < w; ++kx) {
+              const auto& sx = sel[2][kx];
+              const std::int64_t col =
+                  (sz.column * t + sy.column) * t + sx.column;
+              const std::int64_t tile_addr =
+                  (sz.tile * ntiles_ + sy.tile) * ntiles_ + sx.tile;
+              gather(col * tile_count + tile_addr,
+                     datapath::combine_weights(wzy, wsel[2][kx]));
+            }
+          }
+        }
+      }
+      out.values[static_cast<std::size_t>(j)] = acc.to_c64() * descale;
+    }
+    this->stats_.grid_seconds += timer.seconds();
+    const auto window_points = static_cast<std::uint64_t>(pow_dim<D>(w));
+    this->stats_.interpolations +=
+        static_cast<std::uint64_t>(m) * window_points;
+    this->stats_.lut_lookups += static_cast<std::uint64_t>(m) *
+                                static_cast<std::uint64_t>(D) *
+                                static_cast<std::uint64_t>(w);
+    this->stats_.saturation_events += saturations;
+  }
+
+  /// Raw fixed-point dice contents after adjoint() — used by the
+  /// bit-exactness test against jigsaw::CycleSim.
+  const std::vector<fixed::CData32>& dice() const { return dice_; }
+
+ private:
+  std::int64_t ntiles_;
+  datapath::SelectConfig select_cfg_;
+  std::vector<fixed::CData32> dice_;
+  int scale_log2_ = 0;
+};
+
+}  // namespace jigsaw::core

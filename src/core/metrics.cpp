@@ -1,0 +1,116 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jigsaw::core {
+
+double nrmsd(const std::vector<c64>& a, const std::vector<c64>& ref) {
+  JIGSAW_REQUIRE(a.size() == ref.size(), "nrmsd size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(a[i] - ref[i]);
+    den += std::norm(ref[i]);
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : HUGE_VAL;
+  return std::sqrt(num / den);
+}
+
+double nrmsd(const std::vector<double>& a, const std::vector<double>& ref) {
+  JIGSAW_REQUIRE(a.size() == ref.size(), "nrmsd size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - ref[i];
+    num += d * d;
+    den += ref[i] * ref[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : HUGE_VAL;
+  return std::sqrt(num / den);
+}
+
+double max_abs_diff(const std::vector<c64>& a, const std::vector<c64>& b) {
+  JIGSAW_REQUIRE(a.size() == b.size(), "max_abs_diff size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double norm2(const std::vector<c64>& a) {
+  double s = 0.0;
+  for (const auto& v : a) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+double psnr_db(const std::vector<double>& a, const std::vector<double>& ref) {
+  JIGSAW_REQUIRE(a.size() == ref.size() && !a.empty(),
+                 "psnr size mismatch or empty");
+  double peak = 0.0, mse = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    peak = std::max(peak, std::fabs(ref[i]));
+    const double d = a[i] - ref[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.size());
+  if (mse == 0.0) return HUGE_VAL;
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+double ssim(const std::vector<double>& a, const std::vector<double>& ref,
+            int n, int window) {
+  JIGSAW_REQUIRE(a.size() == ref.size(), "ssim size mismatch");
+  JIGSAW_REQUIRE(static_cast<std::size_t>(n) * static_cast<std::size_t>(n) ==
+                     a.size(),
+                 "ssim image must be n x n");
+  JIGSAW_REQUIRE(window >= 2 && window <= n, "bad ssim window");
+
+  double lo = ref[0], hi = ref[0];
+  for (double v : ref) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi > lo ? hi - lo : 1.0;
+  const double c1 = (0.01 * range) * (0.01 * range);
+  const double c2 = (0.03 * range) * (0.03 * range);
+
+  double total = 0.0;
+  std::int64_t count = 0;
+  const int step = window / 2;  // half-overlapping windows
+  for (int y0 = 0; y0 + window <= n; y0 += step) {
+    for (int x0 = 0; x0 + window <= n; x0 += step) {
+      double ma = 0, mb = 0;
+      const int wn = window * window;
+      for (int y = 0; y < window; ++y) {
+        for (int x = 0; x < window; ++x) {
+          const std::size_t i =
+              static_cast<std::size_t>((y0 + y) * n + x0 + x);
+          ma += a[i];
+          mb += ref[i];
+        }
+      }
+      ma /= wn;
+      mb /= wn;
+      double va = 0, vb = 0, cov = 0;
+      for (int y = 0; y < window; ++y) {
+        for (int x = 0; x < window; ++x) {
+          const std::size_t i =
+              static_cast<std::size_t>((y0 + y) * n + x0 + x);
+          va += (a[i] - ma) * (a[i] - ma);
+          vb += (ref[i] - mb) * (ref[i] - mb);
+          cov += (a[i] - ma) * (ref[i] - mb);
+        }
+      }
+      va /= wn - 1;
+      vb /= wn - 1;
+      cov /= wn - 1;
+      total += ((2 * ma * mb + c1) * (2 * cov + c2)) /
+               ((ma * ma + mb * mb + c1) * (va + vb + c2));
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 1.0;
+}
+
+}  // namespace jigsaw::core

@@ -1,0 +1,33 @@
+// Image/signal quality metrics.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jigsaw::core {
+
+/// Normalized root-mean-square difference (the paper's NRMSD, Sec. VI-C):
+/// ||a - ref||_2 / ||ref||_2. Multiply by 100 for the percentages the paper
+/// quotes (0.047% float32, 0.012% fixed-point).
+double nrmsd(const std::vector<c64>& a, const std::vector<c64>& ref);
+double nrmsd(const std::vector<double>& a, const std::vector<double>& ref);
+
+/// Maximum absolute difference.
+double max_abs_diff(const std::vector<c64>& a, const std::vector<c64>& b);
+
+/// L2 norm.
+double norm2(const std::vector<c64>& a);
+
+/// Peak signal-to-noise ratio in dB, peak taken from `ref`.
+double psnr_db(const std::vector<double>& a, const std::vector<double>& ref);
+
+/// Mean structural similarity (SSIM) between two n x n grayscale images,
+/// computed over sliding 8x8 windows with the standard constants
+/// (k1=0.01, k2=0.03) and the dynamic range of `ref`. Used by the image-
+/// quality experiments to back the paper's "visually indistinguishable"
+/// claim with a perceptual metric.
+double ssim(const std::vector<double>& a, const std::vector<double>& ref,
+            int n, int window = 8);
+
+}  // namespace jigsaw::core

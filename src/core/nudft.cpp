@@ -1,0 +1,77 @@
+#include "core/nudft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace jigsaw::core {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+template <int D>
+std::vector<c64> nudft_adjoint(const SampleSet<D>& in, std::int64_t n) {
+  const std::int64_t total = pow_dim<D>(n);
+  std::vector<c64> out(static_cast<std::size_t>(total), c64{});
+  const auto m = static_cast<std::int64_t>(in.size());
+  for (std::int64_t lin = 0; lin < total; ++lin) {
+    const Index<D> idx = unlinear_index<D>(lin, n);
+    double k[3];
+    for (int d = 0; d < D; ++d) {
+      k[d] = static_cast<double>(idx[static_cast<std::size_t>(d)] - n / 2);
+    }
+    c64 acc{};
+    for (std::int64_t j = 0; j < m; ++j) {
+      double phase = 0.0;
+      for (int d = 0; d < D; ++d) {
+        phase += k[d] * in.coords[static_cast<std::size_t>(j)]
+                                 [static_cast<std::size_t>(d)];
+      }
+      phase *= kTwoPi;
+      acc += in.values[static_cast<std::size_t>(j)] *
+             c64(std::cos(phase), std::sin(phase));
+    }
+    out[static_cast<std::size_t>(lin)] = acc;
+  }
+  return out;
+}
+
+template <int D>
+std::vector<c64> nudft_forward(const std::vector<c64>& image, std::int64_t n,
+                               const std::vector<Coord<D>>& coords) {
+  JIGSAW_REQUIRE(static_cast<std::int64_t>(image.size()) == pow_dim<D>(n),
+                 "image size mismatch in nudft_forward");
+  std::vector<c64> out(coords.size(), c64{});
+  const std::int64_t total = pow_dim<D>(n);
+  for (std::size_t j = 0; j < coords.size(); ++j) {
+    c64 acc{};
+    for (std::int64_t lin = 0; lin < total; ++lin) {
+      const Index<D> idx = unlinear_index<D>(lin, n);
+      double phase = 0.0;
+      for (int d = 0; d < D; ++d) {
+        phase += static_cast<double>(idx[static_cast<std::size_t>(d)] - n / 2) *
+                 coords[j][static_cast<std::size_t>(d)];
+      }
+      phase *= -kTwoPi;
+      acc += image[static_cast<std::size_t>(lin)] *
+             c64(std::cos(phase), std::sin(phase));
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+template std::vector<c64> nudft_adjoint<1>(const SampleSet<1>&, std::int64_t);
+template std::vector<c64> nudft_adjoint<2>(const SampleSet<2>&, std::int64_t);
+template std::vector<c64> nudft_adjoint<3>(const SampleSet<3>&, std::int64_t);
+template std::vector<c64> nudft_forward<1>(const std::vector<c64>&,
+                                           std::int64_t,
+                                           const std::vector<Coord<1>>&);
+template std::vector<c64> nudft_forward<2>(const std::vector<c64>&,
+                                           std::int64_t,
+                                           const std::vector<Coord<2>>&);
+template std::vector<c64> nudft_forward<3>(const std::vector<c64>&,
+                                           std::int64_t,
+                                           const std::vector<Coord<3>>&);
+
+}  // namespace jigsaw::core

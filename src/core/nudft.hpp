@@ -1,0 +1,37 @@
+// Direct Non-uniform Discrete Fourier Transform (paper Sec. II-A).
+//
+// Exact O(M * N^d) evaluation of Eqs. (1)-(2), used as the accuracy oracle
+// for the NuFFT. Uniform frequencies are centered: k in [-N/2, N/2)^d,
+// stored row-major with index i = k + N/2.
+#pragma once
+
+#include <vector>
+
+#include "core/sample_set.hpp"
+
+namespace jigsaw::core {
+
+/// Adjoint NuDFT (Eq. 2): h[k] = sum_j f_j e^{+2 pi i k . x_j}.
+/// Output has N^D entries (centered layout).
+template <int D>
+std::vector<c64> nudft_adjoint(const SampleSet<D>& in, std::int64_t n);
+
+/// Forward NuDFT (Eq. 1): f_j = sum_k image[k] e^{-2 pi i k . x_j}.
+template <int D>
+std::vector<c64> nudft_forward(const std::vector<c64>& image, std::int64_t n,
+                               const std::vector<Coord<D>>& coords);
+
+extern template std::vector<c64> nudft_adjoint<1>(const SampleSet<1>&,
+                                                  std::int64_t);
+extern template std::vector<c64> nudft_adjoint<2>(const SampleSet<2>&,
+                                                  std::int64_t);
+extern template std::vector<c64> nudft_adjoint<3>(const SampleSet<3>&,
+                                                  std::int64_t);
+extern template std::vector<c64> nudft_forward<1>(
+    const std::vector<c64>&, std::int64_t, const std::vector<Coord<1>>&);
+extern template std::vector<c64> nudft_forward<2>(
+    const std::vector<c64>&, std::int64_t, const std::vector<Coord<2>>&);
+extern template std::vector<c64> nudft_forward<3>(
+    const std::vector<c64>&, std::int64_t, const std::vector<Coord<3>>&);
+
+}  // namespace jigsaw::core

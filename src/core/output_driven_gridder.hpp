@@ -1,0 +1,106 @@
+// Naive output-driven parallel gridder — the strawman of Sec. II-C.
+//
+// One "thread" per uniform grid point accumulates every sample affecting it.
+// Output-parallel execution needs no synchronization (disjoint writes), but
+// there is no way to know whether a point is affected without a distance
+// boundary check, so M checks are performed for each of the G^d grid
+// points — M * G^d in total, the vast majority of which fail. This engine
+// exists to quantify that cost (ablation E8); do not use it on large
+// problems.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "core/gridder.hpp"
+#include "core/window.hpp"
+
+namespace jigsaw::core {
+
+template <int D>
+class OutputDrivenGridder final : public Gridder<D> {
+ public:
+  OutputDrivenGridder(std::int64_t n, const GridderOptions& options)
+      : Gridder<D>(n, options) {
+    // The folded-distance boundary check needs a unique torus
+    // representative per grid point.
+    JIGSAW_REQUIRE(this->g_ > options.width,
+                   "oversampled grid must exceed the window width");
+  }
+
+  GridderKind kind() const override { return GridderKind::OutputDriven; }
+
+  void adjoint(const SampleSet<D>& in, Grid<D>& out) override {
+    JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
+    const int w = this->options_.width;
+    const std::int64_t g = this->g_;
+    const double half_w = static_cast<double>(w) * 0.5;
+    out.clear();
+    Timer timer;
+
+    // Precompute grid-unit coordinates once.
+    const auto m = static_cast<std::int64_t>(in.size());
+    std::vector<std::array<double, D>> u(static_cast<std::size_t>(m));
+    for (std::int64_t j = 0; j < m; ++j) {
+      for (int d = 0; d < D; ++d) {
+        u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+            grid_coord(in.coords[static_cast<std::size_t>(j)]
+                                [static_cast<std::size_t>(d)],
+                       g);
+      }
+    }
+
+    const std::int64_t total = out.total();
+    std::uint64_t interpolations = 0;
+
+    auto work = [&](std::int64_t begin, std::int64_t end, unsigned) {
+      std::uint64_t local_interp = 0;
+      for (std::int64_t lin = begin; lin < end; ++lin) {
+        const Index<D> p = unlinear_index<D>(lin, g);
+        c64 acc{};
+        for (std::int64_t j = 0; j < m; ++j) {
+          // Boundary check: toroidal signed distance in every dimension
+          // must lie in (-W/2, W/2].
+          double dist[3];
+          bool inside = true;
+          for (int d = 0; d < D; ++d) {
+            double dd = static_cast<double>(p[static_cast<std::size_t>(d)]) -
+                        u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
+            dd -= std::floor(dd / static_cast<double>(g) + 0.5) *
+                  static_cast<double>(g);
+            if (!(dd > -half_w && dd <= half_w)) {
+              inside = false;
+              break;
+            }
+            dist[d] = dd;
+          }
+          if (!inside) continue;
+          double wt = 1.0;
+          for (int d = 0; d < D; ++d) wt *= this->weight_1d(dist[d]);
+          acc += wt * in.values[static_cast<std::size_t>(j)];
+          ++local_interp;
+        }
+        out[lin] = acc;
+        this->trace_grid_access(lin, /*write=*/true);
+      }
+      // Single aggregated update below; races avoided via chunk-local count.
+      __atomic_fetch_add(&interpolations, local_interp, __ATOMIC_RELAXED);
+    };
+
+    if (this->options_.threads <= 1) {
+      work(0, total, 0);
+    } else {
+      ThreadPool pool(this->options_.threads);
+      pool.parallel_for(total, work);
+    }
+
+    this->stats_.grid_seconds += timer.seconds();
+    this->stats_.samples_processed += static_cast<std::uint64_t>(m);
+    this->stats_.boundary_checks +=
+        static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(total);
+    this->stats_.interpolations += interpolations;
+    this->stats_.grid_bytes_touched +=
+        static_cast<std::uint64_t>(total) * sizeof(c64);
+  }
+};
+
+}  // namespace jigsaw::core

@@ -1,0 +1,41 @@
+// Non-uniform sample container: M coordinates (normalized torus units) and
+// their complex values.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace jigsaw::core {
+
+template <int D>
+struct SampleSet {
+  std::vector<Coord<D>> coords;  // each component in [-0.5, 0.5)
+  std::vector<c64> values;       // complex sample magnitudes f_j
+
+  SampleSet() = default;
+  SampleSet(std::vector<Coord<D>> c, std::vector<c64> v)
+      : coords(std::move(c)), values(std::move(v)) {
+    JIGSAW_REQUIRE(coords.size() == values.size(),
+                   "coords/values size mismatch: " << coords.size() << " vs "
+                                                   << values.size());
+  }
+
+  std::size_t size() const { return coords.size(); }
+  bool empty() const { return coords.empty(); }
+
+  /// Validate that every coordinate lies in [-0.5, 0.5).
+  void validate() const {
+    for (const auto& c : coords) {
+      for (int d = 0; d < D; ++d) {
+        JIGSAW_REQUIRE(c[static_cast<std::size_t>(d)] >= -0.5 &&
+                           c[static_cast<std::size_t>(d)] < 0.5,
+                       "coordinate component out of [-0.5, 0.5)");
+      }
+    }
+  }
+};
+
+}  // namespace jigsaw::core

@@ -1,0 +1,119 @@
+#include "core/sense.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace jigsaw::core {
+
+CoilMaps make_birdcage_maps(std::int64_t n, int coils, double coil_radius,
+                            double coil_width) {
+  JIGSAW_REQUIRE(n >= 2 && coils >= 1, "need n >= 2 and >= 1 coil");
+  CoilMaps cm;
+  cm.n = n;
+  cm.coils = coils;
+  cm.maps.assign(static_cast<std::size_t>(coils),
+                 std::vector<c64>(static_cast<std::size_t>(n * n)));
+
+  for (int c = 0; c < coils; ++c) {
+    const double ang = 2.0 * std::numbers::pi * c / coils;
+    const double cy = coil_radius * std::sin(ang);
+    const double cx = coil_radius * std::cos(ang);
+    for (std::int64_t iy = 0; iy < n; ++iy) {
+      const double y = (static_cast<double>(iy) - n / 2) /
+                       static_cast<double>(n);
+      for (std::int64_t ix = 0; ix < n; ++ix) {
+        const double x = (static_cast<double>(ix) - n / 2) /
+                         static_cast<double>(n);
+        const double d2 =
+            (x - cx) * (x - cx) + (y - cy) * (y - cy);
+        const double mag = std::exp(-d2 / (2.0 * coil_width * coil_width));
+        // Smooth spatial phase that differs per coil (B1 phase roll).
+        const double phase = ang + std::numbers::pi * (x * cx + y * cy);
+        cm.maps[static_cast<std::size_t>(c)]
+               [static_cast<std::size_t>(iy * n + ix)] =
+            c64(mag * std::cos(phase), mag * std::sin(phase));
+      }
+    }
+  }
+
+  // Normalize voxel-wise sum of squares to ~1 (standard map conditioning).
+  for (std::int64_t p = 0; p < n * n; ++p) {
+    double ss = 0.0;
+    for (int c = 0; c < coils; ++c) {
+      ss += std::norm(cm.maps[static_cast<std::size_t>(c)]
+                             [static_cast<std::size_t>(p)]);
+    }
+    const double inv = 1.0 / std::sqrt(ss + 1e-12);
+    for (int c = 0; c < coils; ++c) {
+      cm.maps[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)] *= inv;
+    }
+  }
+  return cm;
+}
+
+std::vector<std::vector<c64>> simulate_multicoil(NufftPlan<2>& plan,
+                                                 const CoilMaps& maps,
+                                                 const std::vector<c64>& image) {
+  JIGSAW_REQUIRE(maps.n == plan.base_size(), "map/plan size mismatch");
+  JIGSAW_REQUIRE(static_cast<std::int64_t>(image.size()) ==
+                     plan.image_total(),
+                 "image size mismatch");
+  std::vector<std::vector<c64>> y(static_cast<std::size_t>(maps.coils));
+  std::vector<c64> weighted(image.size());
+  for (int c = 0; c < maps.coils; ++c) {
+    const auto& s = maps.map(c);
+    for (std::size_t p = 0; p < image.size(); ++p) weighted[p] = s[p] * image[p];
+    y[static_cast<std::size_t>(c)] = plan.forward(weighted);
+  }
+  return y;
+}
+
+SenseOperator::SenseOperator(NufftPlan<2>& plan, const CoilMaps& maps)
+    : plan_(plan), maps_(maps) {
+  JIGSAW_REQUIRE(maps.n == plan.base_size(), "map/plan size mismatch");
+}
+
+std::vector<c64> SenseOperator::adjoint(
+    const std::vector<std::vector<c64>>& y) const {
+  JIGSAW_REQUIRE(static_cast<int>(y.size()) == maps_.coils,
+                 "coil count mismatch");
+  std::vector<c64> out(static_cast<std::size_t>(plan_.image_total()), c64{});
+  for (int c = 0; c < maps_.coils; ++c) {
+    const auto img = plan_.adjoint(y[static_cast<std::size_t>(c)]);
+    const auto& s = maps_.map(c);
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      out[p] += std::conj(s[p]) * img[p];
+    }
+  }
+  return out;
+}
+
+std::vector<c64> SenseOperator::gram(const std::vector<c64>& x) const {
+  std::vector<c64> out(x.size(), c64{});
+  std::vector<c64> weighted(x.size());
+  for (int c = 0; c < maps_.coils; ++c) {
+    const auto& s = maps_.map(c);
+    for (std::size_t p = 0; p < x.size(); ++p) weighted[p] = s[p] * x[p];
+    const auto back = plan_.adjoint(plan_.forward(weighted));
+    for (std::size_t p = 0; p < x.size(); ++p) {
+      out[p] += std::conj(s[p]) * back[p];
+    }
+  }
+  return out;
+}
+
+std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
+                          const std::vector<std::vector<c64>>& y,
+                          int max_iterations, double tolerance,
+                          CgResult* result) {
+  SenseOperator op(plan, maps);
+  const auto b = op.adjoint(y);
+  std::vector<c64> x(b.size(), c64{});
+  const CgResult cg = conjugate_gradient(
+      [&op](const std::vector<c64>& v) { return op.gram(v); }, b, x,
+      max_iterations, tolerance);
+  if (result != nullptr) *result = cg;
+  return x;
+}
+
+}  // namespace jigsaw::core

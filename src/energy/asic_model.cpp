@@ -1,0 +1,83 @@
+#include "energy/asic_model.hpp"
+
+#include "common/error.hpp"
+
+namespace jigsaw::energy {
+
+int pipeline_depth(bool three_d) { return three_d ? 15 : 12; }
+
+long long gridding_cycles(const AsicConfig& config, long long m,
+                          bool z_binned) {
+  const long long depth = pipeline_depth(config.three_d);
+  if (!config.three_d) return m + depth;
+  const long long replays = z_binned ? config.wz : config.nz;
+  return (m + depth) * replays;
+}
+
+SynthesisEstimate estimate_asic(const AsicConfig& config,
+                                const AsicTech& tech) {
+  JIGSAW_REQUIRE(config.tile >= 1 && config.grid_n >= config.tile,
+                 "grid must be at least one tile");
+  JIGSAW_REQUIRE(config.window >= 1 && config.window <= config.tile,
+                 "window must satisfy 1 <= W <= T");
+  SynthesisEstimate e;
+  const int pipes = config.tile * config.tile;
+
+  // --- Accumulation SRAM: one 64-bit complex entry per uniform grid point,
+  // banked per pipeline (each pipeline owns its dice column).
+  const double grid_points =
+      static_cast<double>(config.grid_n) * static_cast<double>(config.grid_n);
+  e.accum_sram_mb = grid_points * 8.0 / (1024.0 * 1024.0);
+
+  // --- Weight SRAM: 256 x 32-bit complex entries per pipeline (Sec. IV);
+  // the 3D variant needs a third-dimension lookup copy.
+  const double weight_kb_per_pipe = 256.0 * 4.0 / 1024.0;
+  const double weight_mb =
+      pipes * weight_kb_per_pipe * (config.three_d ? 1.5 : 1.0) / 1024.0;
+  e.weight_sram_area_mm2 = weight_mb * tech.sram_mm2_per_mb;
+
+  // --- Logic.
+  const double per_pipe_area = config.three_d
+                                   ? tech.logic_area_mm2_per_pipe_3d
+                                   : tech.logic_area_mm2_per_pipe_2d;
+  e.logic_area_mm2 = pipes * per_pipe_area + e.weight_sram_area_mm2;
+
+  // MAC/accumulate activity: a pipeline's column is hit by a sample with
+  // probability (W/T)^2; in the 3D-Slice variant only samples within Wz of
+  // the current slice reach the interpolate/accumulate stages (~Wz/Nz of the
+  // stream), while select stays active for all M (paper Sec. VI.B).
+  const double w_frac = static_cast<double>(config.window) /
+                        static_cast<double>(config.tile);
+  double activity = w_frac * w_frac;
+  if (config.three_d) {
+    activity *= static_cast<double>(config.wz) / static_cast<double>(config.nz);
+  }
+  e.logic_power_mw = pipes * (tech.logic_static_mw_per_pipe +
+                              tech.logic_dyn_mw_per_pipe * activity) *
+                     config.clock_ghz;
+
+  // --- Accumulation SRAM power/area (reported with and without in Table II).
+  if (config.include_accum_sram) {
+    e.accum_sram_area_mm2 = e.accum_sram_mb * tech.sram_mm2_per_mb;
+    const double accesses_per_s =
+        activity * pipes * config.clock_ghz * 1e9;  // read-modify-write
+    e.accum_sram_power_mw = e.accum_sram_mb * tech.sram_leak_mw_per_mb +
+                            accesses_per_s * tech.sram_dyn_pj_per_access *
+                                1e-12 * 1e3;
+  }
+
+  e.power_mw = e.logic_power_mw + e.accum_sram_power_mw;
+  e.area_mm2 = e.logic_area_mm2 + e.accum_sram_area_mm2;
+  return e;
+}
+
+double gridding_energy_j(const AsicConfig& config, long long m, bool z_binned,
+                         const AsicTech& tech) {
+  const SynthesisEstimate e = estimate_asic(config, tech);
+  const double seconds =
+      static_cast<double>(gridding_cycles(config, m, z_binned)) /
+      (config.clock_ghz * 1e9);
+  return e.power_mw * 1e-3 * seconds;
+}
+
+}  // namespace jigsaw::energy

@@ -1,0 +1,38 @@
+#include "energy/gpu_model.hpp"
+
+namespace jigsaw::energy {
+
+GpuModelParams impatient_gpu() {
+  GpuModelParams p;
+  p.occupancy = 0.47;     // paper Sec. VI.A
+  p.l2_hit_rate = 0.80;   // paper Sec. VI.A
+  p.simd_overlap = 4.0;   // output-driven checks + on-line Kaiser-Bessel
+                          // evaluation run on lanes idle in Slice-and-Dice
+  p.board_power_w = 210.0;  // binning kernels keep the memory system hot
+  return p;
+}
+
+GpuModelParams slice_and_dice_gpu() {
+  GpuModelParams p;
+  p.occupancy = 0.80;
+  p.l2_hit_rate = 0.98;
+  p.board_power_w = 175.0;
+  return p;
+}
+
+double gpu_speedup(const GpuModelParams& p) {
+  const double miss_rate = 1.0 - p.l2_hit_rate;
+  const double mem_eff = 1.0 / (1.0 + miss_rate * p.miss_penalty_factor);
+  return p.base_parallelism * p.occupancy * mem_eff * p.simd_overlap;
+}
+
+double projected_gpu_seconds(const GpuModelParams& p, double cpu_seconds_1t) {
+  return cpu_seconds_1t / gpu_speedup(p);
+}
+
+double projected_gpu_energy_j(const GpuModelParams& p,
+                              double cpu_seconds_1t) {
+  return p.board_power_w * projected_gpu_seconds(p, cpu_seconds_1t);
+}
+
+}  // namespace jigsaw::energy

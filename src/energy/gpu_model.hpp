@@ -1,0 +1,70 @@
+// GPU performance/energy projection model.
+//
+// No GPU exists on this host (see DESIGN.md §1), so the GPU rows of
+// Figs. 6-8 are reproduced with a documented projection: a GPU-class
+// implementation's kernel time is modeled from our measured single-thread
+// CPU time of the *same algorithm* divided by an effective parallel speedup,
+//
+//   speedup = base_parallelism * occupancy * memory_efficiency,
+//   memory_efficiency = 1 / (1 + miss_rate * miss_penalty_factor),
+//
+// where `occupancy` and the L2 hit rate are the quantities the paper reports
+// for each implementation (Impatient: ~47% occupancy / ~80% L2 hits;
+// Slice-and-Dice: ~80% / ~98%) — and the hit rate can alternatively be
+// *measured* with the memsim cache model over each gridder's access trace.
+// Energy is board power x kernel time. Every constant lives here, in one
+// place, and EXPERIMENTS.md reports both raw measured CPU numbers and these
+// projections.
+#pragma once
+
+namespace jigsaw::energy {
+
+/// Estimated slowdown of the paper's double-precision Matlab MIRT baseline
+/// relative to our compiled serial C++ baseline (interpreter + matrix-op
+/// overhead for gather/scatter-heavy code). Derived from the paper's own
+/// numbers: the reported JIGSAW speedups imply MIRT gridding at
+/// ~1.7-2.4 us/sample (e.g. Image5: 1759x over a (2.1M+12) ns runtime),
+/// while our serial C++ baseline measures ~0.13-0.14 us/sample — a
+/// 12-19x gap; 13 is the mid-range.
+inline constexpr double kMatlabBaselineOverhead = 13.0;
+
+/// Speed of the uniform-FFT phase in the accelerated pipelines relative to
+/// our generic row-column FFT: an FFTW-class host library (~3x ours).
+/// Calibrated against Fig. 7's compression — the paper reports *equal*
+/// gridding and FFT time for Slice-and-Dice GPU and gridding at only 25%
+/// of NuFFT time with JIGSAW, which rules out a cuFFT-class (50x) FFT
+/// assumption and pins the FFT phase near host speed.
+inline constexpr double kGpuFftSpeedup = 3.0;
+
+struct GpuModelParams {
+  double base_parallelism = 64.0;  // sustained-throughput ratio, one Titan Xp
+                                   // SM-array vs one Coffee-Lake core, for a
+                                   // bandwidth-bound gridding kernel
+  double occupancy = 0.8;          // achieved occupancy (paper Sec. VI.A)
+  double l2_hit_rate = 0.98;       // L2 hit rate (paper Sec. VI.A)
+  double miss_penalty_factor = 4.0;  // relative cost of an L2 miss
+  double simd_overlap = 1.0;       // fraction of the algorithm's *serial*
+                                   // instruction stream that executes on
+                                   // otherwise-idle SIMD lanes: binning's
+                                   // redundant per-point boundary checks and
+                                   // on-line weight evaluations parallelize
+                                   // across the T/W idle threads the paper
+                                   // describes, so its measured serial time
+                                   // overstates its GPU time
+  double board_power_w = 175.0;    // average board draw during the kernel
+};
+
+/// Paper-calibrated parameter sets.
+GpuModelParams impatient_gpu();
+GpuModelParams slice_and_dice_gpu();
+
+/// Effective parallel speedup over one CPU thread.
+double gpu_speedup(const GpuModelParams& p);
+
+/// Projected kernel time from a measured single-thread CPU time.
+double projected_gpu_seconds(const GpuModelParams& p, double cpu_seconds_1t);
+
+/// Projected kernel energy (joules).
+double projected_gpu_energy_j(const GpuModelParams& p, double cpu_seconds_1t);
+
+}  // namespace jigsaw::energy

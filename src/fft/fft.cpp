@@ -1,0 +1,306 @@
+#include "fft/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace jigsaw::fft {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Bit-reversal permutation table for length n = 2^log2n.
+std::vector<std::uint32_t> make_bitrev(std::size_t n) {
+  std::vector<std::uint32_t> rev(n);
+  std::uint32_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t r = 0;
+    for (std::uint32_t b = 0; b < log2n; ++b) {
+      r |= ((i >> b) & 1u) << (log2n - 1 - b);
+    }
+    rev[i] = r;
+  }
+  return rev;
+}
+
+/// Forward-direction twiddles for every stage, flattened: for stage with
+/// half-size m there are m entries e^{-i*pi*j/m}.
+std::vector<c64> make_twiddles(std::size_t n) {
+  std::vector<c64> tw;
+  for (std::size_t m = 1; m < n; m *= 2) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double ang = -kTwoPi * static_cast<double>(j) /
+                         static_cast<double>(2 * m);
+      tw.emplace_back(std::cos(ang), std::sin(ang));
+    }
+  }
+  return tw;
+}
+
+/// In-place radix-2 over bit-reversed input.
+void radix2_core(c64* a, std::size_t n, const std::vector<std::uint32_t>& rev,
+                 const std::vector<c64>& tw, Direction dir) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = rev[i];
+    if (i < r) std::swap(a[i], a[r]);
+  }
+  std::size_t tw_base = 0;
+  for (std::size_t m = 1; m < n; m *= 2) {
+    for (std::size_t k = 0; k < n; k += 2 * m) {
+      for (std::size_t j = 0; j < m; ++j) {
+        c64 w = tw[tw_base + j];
+        if (dir == Direction::Inverse) w = std::conj(w);
+        const c64 t = w * a[k + j + m];
+        const c64 u = a[k + j];
+        a[k + j] = u + t;
+        a[k + j + m] = u - t;
+      }
+    }
+    tw_base += m;
+  }
+}
+
+}  // namespace
+
+struct Fft1D::Impl {
+  // Radix-2 path (n power of two):
+  std::vector<std::uint32_t> bitrev;
+  std::vector<c64> twiddles;
+
+  // Bluestein path (arbitrary n): convolution length m = next_pow2(2n-1).
+  std::size_t bluestein_m = 0;
+  std::vector<std::uint32_t> m_bitrev;
+  std::vector<c64> m_twiddles;
+  std::vector<c64> chirp;       // b[k] = e^{-i*pi*k^2/n} (forward direction)
+  std::vector<c64> chirp_fft;   // FFT_m of the chirp filter e^{+i*pi*k^2/n}
+  mutable std::vector<c64> work;  // scratch (guarded: execute is logically const
+                                  // but scratch use makes concurrent Bluestein
+                                  // executes on ONE plan unsafe; see note below)
+};
+
+// NOTE: Bluestein plans carry scratch and are therefore not safe for
+// concurrent execute() on the same plan object; power-of-two plans are.
+// All oversampled grid sizes used by the NuFFT (sigma*N with sigma=2 and
+// power-of-two N) hit the radix-2 path; Bluestein exists for odd/irregular
+// sizes (e.g. sigma=1.5).
+
+Fft1D::Fft1D(std::size_t n) : n_(n), impl_(std::make_unique<Impl>()) {
+  JIGSAW_REQUIRE(n >= 1, "FFT length must be >= 1, got " << n);
+  if (is_pow2(n)) {
+    impl_->bitrev = make_bitrev(n);
+    impl_->twiddles = make_twiddles(n);
+    return;
+  }
+  // Bluestein setup.
+  const std::size_t m = next_pow2(2 * n - 1);
+  impl_->bluestein_m = m;
+  impl_->m_bitrev = make_bitrev(m);
+  impl_->m_twiddles = make_twiddles(m);
+  impl_->chirp.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Use k^2 mod 2n to avoid precision loss for large k.
+    const std::uint64_t k2 = (static_cast<std::uint64_t>(k) * k) % (2 * n);
+    const double ang = -std::numbers::pi * static_cast<double>(k2) /
+                       static_cast<double>(n);
+    impl_->chirp[k] = c64(std::cos(ang), std::sin(ang));
+  }
+  impl_->chirp_fft.assign(m, c64{});
+  impl_->chirp_fft[0] = std::conj(impl_->chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    impl_->chirp_fft[k] = std::conj(impl_->chirp[k]);
+    impl_->chirp_fft[m - k] = std::conj(impl_->chirp[k]);
+  }
+  radix2_core(impl_->chirp_fft.data(), m, impl_->m_bitrev, impl_->m_twiddles,
+              Direction::Forward);
+  impl_->work.resize(m);
+}
+
+Fft1D::~Fft1D() = default;
+Fft1D::Fft1D(Fft1D&&) noexcept = default;
+Fft1D& Fft1D::operator=(Fft1D&&) noexcept = default;
+
+void Fft1D::execute(c64* data, Direction dir) const {
+  if (n_ == 1) return;
+  if (impl_->bluestein_m == 0) {
+    radix2_core(data, n_, impl_->bitrev, impl_->twiddles, dir);
+    return;
+  }
+  // Bluestein: X[k] = conj(b[k]) * IFFT( FFT(a.*b) .* FFT(filter) ) with
+  // b[k] = chirp. For the inverse direction conjugate the chirps.
+  const std::size_t m = impl_->bluestein_m;
+  auto& work = impl_->work;
+  std::fill(work.begin(), work.end(), c64{});
+  for (std::size_t k = 0; k < n_; ++k) {
+    const c64 b =
+        dir == Direction::Forward ? impl_->chirp[k] : std::conj(impl_->chirp[k]);
+    work[k] = data[k] * b;
+  }
+  radix2_core(work.data(), m, impl_->m_bitrev, impl_->m_twiddles,
+              Direction::Forward);
+  if (dir == Direction::Forward) {
+    for (std::size_t k = 0; k < m; ++k) work[k] *= impl_->chirp_fft[k];
+  } else {
+    // FFT of the conjugated filter equals conj(chirp_fft) reversed; using
+    // the identity FFT(conj(x))[k] = conj(FFT(x)[(m-k) mod m]).
+    // Multiply pointwise with that sequence.
+    // Save a precomputed array by computing on the fly.
+    std::vector<c64>& tmp = work;  // alias for clarity
+    c64 first = std::conj(impl_->chirp_fft[0]);
+    c64 saved = tmp[0] * first;
+    for (std::size_t k = 1; k <= m / 2; ++k) {
+      const c64 fk = std::conj(impl_->chirp_fft[m - k]);
+      const c64 fmk = std::conj(impl_->chirp_fft[k]);
+      const c64 a = tmp[k] * fk;
+      const c64 b = tmp[m - k] * fmk;
+      tmp[k] = a;
+      tmp[m - k] = b;
+    }
+    tmp[0] = saved;
+  }
+  radix2_core(work.data(), m, impl_->m_bitrev, impl_->m_twiddles,
+              Direction::Inverse);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const c64 b =
+        dir == Direction::Forward ? impl_->chirp[k] : std::conj(impl_->chirp[k]);
+    data[k] = work[k] * inv_m * b;
+  }
+}
+
+void Fft1D::execute_strided(c64* data, std::size_t stride, Direction dir,
+                            c64* scratch) const {
+  if (stride == 1) {
+    execute(data, dir);
+    return;
+  }
+  for (std::size_t i = 0; i < n_; ++i) scratch[i] = data[i * stride];
+  execute(scratch, dir);
+  for (std::size_t i = 0; i < n_; ++i) data[i * stride] = scratch[i];
+}
+
+FftNd::FftNd(std::vector<std::size_t> dims) : dims_(std::move(dims)) {
+  JIGSAW_REQUIRE(!dims_.empty(), "FftNd needs at least one dimension");
+  total_ = 1;
+  for (std::size_t d : dims_) {
+    JIGSAW_REQUIRE(d >= 1, "FFT dimension must be >= 1");
+    total_ *= d;
+  }
+  for (std::size_t d : dims_) {
+    std::shared_ptr<Fft1D> plan;
+    for (std::size_t j = 0; j < plans_.size(); ++j) {
+      if (plans_[j]->size() == d) {
+        plan = plans_[j];
+        break;
+      }
+    }
+    if (!plan) plan = std::make_shared<Fft1D>(d);
+    plans_.push_back(std::move(plan));
+  }
+}
+
+bool FftNd::parallelizable() const {
+  for (std::size_t d : dims_) {
+    if (!is_pow2(d)) return false;
+  }
+  return true;
+}
+
+void FftNd::execute(c64* data, Direction dir, unsigned threads) const {
+  const std::size_t ndim = dims_.size();
+  const bool parallel = threads > 1 && parallelizable();
+  std::vector<c64> scratch;
+  // For each dimension, transform every 1-D line along that dimension.
+  for (std::size_t axis = 0; axis < ndim; ++axis) {
+    const std::size_t n = dims_[axis];
+    if (n == 1) continue;
+    std::size_t stride = 1;
+    for (std::size_t a = axis + 1; a < ndim; ++a) stride *= dims_[a];
+    const std::size_t block = stride * n;  // elements spanned by one line set
+    const std::size_t lines = total_ / n;
+    if (parallel) {
+      ThreadPool pool(threads);
+      pool.parallel_for(
+          static_cast<std::int64_t>(lines),
+          [&](std::int64_t begin, std::int64_t end, unsigned) {
+            std::vector<c64> local(n);
+            for (std::int64_t line = begin; line < end; ++line) {
+              const std::size_t base =
+                  (static_cast<std::size_t>(line) / stride) * block;
+              const std::size_t off =
+                  static_cast<std::size_t>(line) % stride;
+              plans_[axis]->execute_strided(data + base + off, stride, dir,
+                                            local.data());
+            }
+          });
+      continue;
+    }
+    if (scratch.size() < n) scratch.resize(n);
+    for (std::size_t base = 0; base < total_; base += block) {
+      for (std::size_t off = 0; off < stride; ++off) {
+        plans_[axis]->execute_strided(data + base + off, stride, dir,
+                                      scratch.data());
+      }
+    }
+  }
+}
+
+void dft_reference(const c64* in, c64* out, std::size_t n, Direction dir) {
+  const double sign = dir == Direction::Forward ? -1.0 : 1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    c64 acc{};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * kTwoPi * static_cast<double>(j) *
+                         static_cast<double>(k) / static_cast<double>(n);
+      acc += in[j] * c64(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+}
+
+namespace {
+void shift_axis(c64* data, const std::vector<std::size_t>& dims,
+                std::size_t axis, std::size_t amount) {
+  const std::size_t n = dims[axis];
+  if (n == 1 || amount == 0) return;
+  std::size_t stride = 1;
+  for (std::size_t a = axis + 1; a < dims.size(); ++a) stride *= dims[a];
+  std::size_t total = 1;
+  for (std::size_t d : dims) total *= d;
+  const std::size_t block = stride * n;
+  std::vector<c64> line(n);
+  for (std::size_t base = 0; base < total; base += block) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      c64* p = data + base + off;
+      for (std::size_t i = 0; i < n; ++i) line[i] = p[i * stride];
+      for (std::size_t i = 0; i < n; ++i) {
+        p[((i + amount) % n) * stride] = line[i];
+      }
+    }
+  }
+}
+}  // namespace
+
+void fftshift(c64* data, const std::vector<std::size_t>& dims) {
+  for (std::size_t axis = 0; axis < dims.size(); ++axis) {
+    shift_axis(data, dims, axis, dims[axis] / 2);
+  }
+}
+
+void ifftshift(c64* data, const std::vector<std::size_t>& dims) {
+  for (std::size_t axis = 0; axis < dims.size(); ++axis) {
+    shift_axis(data, dims, axis, dims[axis] - dims[axis] / 2);
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace jigsaw::fft

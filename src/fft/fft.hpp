@@ -1,0 +1,91 @@
+// Self-contained complex FFT library (no external dependency).
+//
+// Supports any transform length: power-of-two lengths use an iterative
+// radix-2 Cooley-Tukey kernel with precomputed twiddles; all other lengths
+// fall back to Bluestein's chirp-z algorithm built on a power-of-two FFT.
+//
+// Conventions:
+//   Forward : X[k] = sum_n x[n] e^{-2*pi*i*n*k/N}   (unnormalized)
+//   Inverse : x[n] = sum_k X[k] e^{+2*pi*i*n*k/N}   (unnormalized)
+// A round trip Forward then Inverse multiplies the signal by N.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jigsaw::fft {
+
+enum class Direction { Forward, Inverse };
+
+/// One-dimensional complex-to-complex FFT plan of fixed length.
+/// Plans are immutable after construction and safe to share across threads
+/// for concurrent execute() calls on distinct buffers.
+class Fft1D {
+ public:
+  explicit Fft1D(std::size_t n);
+  ~Fft1D();
+  Fft1D(Fft1D&&) noexcept;
+  Fft1D& operator=(Fft1D&&) noexcept;
+  Fft1D(const Fft1D&) = delete;
+  Fft1D& operator=(const Fft1D&) = delete;
+
+  std::size_t size() const { return n_; }
+
+  /// In-place transform of `data[0..n)`.
+  void execute(c64* data, Direction dir) const;
+
+  /// Strided in-place transform: element i lives at data[i * stride].
+  /// Uses the provided scratch buffer (length >= n).
+  void execute_strided(c64* data, std::size_t stride, Direction dir,
+                       c64* scratch) const;
+
+ private:
+  struct Impl;
+  std::size_t n_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Multi-dimensional complex FFT via the row-column method. Data is row-major
+/// with the last dimension fastest.
+class FftNd {
+ public:
+  explicit FftNd(std::vector<std::size_t> dims);
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  std::size_t total_size() const { return total_; }
+
+  /// In-place transform of `data[0..total_size())`.
+  /// `threads > 1` splits the independent 1-D lines of each axis across a
+  /// thread pool (power-of-two lengths only — Bluestein plans carry
+  /// per-plan scratch and fall back to serial execution). The paper's
+  /// conclusion makes the FFT the post-JIGSAW bottleneck; this is the
+  /// library's corresponding knob.
+  void execute(c64* data, Direction dir, unsigned threads = 1) const;
+
+  /// True when every dimension takes the radix-2 (thread-safe) path.
+  bool parallelizable() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::size_t total_;
+  std::vector<std::shared_ptr<Fft1D>> plans_;  // one per dim (shared when equal)
+};
+
+/// Direct O(N^2) DFT used as a test oracle.
+void dft_reference(const c64* in, c64* out, std::size_t n, Direction dir);
+
+/// Swap halves in every dimension (centers DC). For odd n the split is
+/// ceil/floor as in numpy.fft.fftshift.
+void fftshift(c64* data, const std::vector<std::size_t>& dims);
+void ifftshift(c64* data, const std::vector<std::size_t>& dims);
+
+/// True when n is a power of two (n >= 1).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace jigsaw::fft

@@ -1,0 +1,191 @@
+// Fixed-point arithmetic substrate for the JIGSAW datapath.
+//
+// The paper's accelerator performs all arithmetic in 32-bit fixed point with
+// 16-bit interpolation weights (Sec. IV). This module provides a
+// compile-time-parameterized Q-format scalar (`Fixed<Bits, Frac>`), a complex
+// wrapper, and Knuth's 3-multiplication complex product, which is what the
+// weight-lookup and interpolation units instantiate.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace jigsaw::fixed {
+
+namespace detail {
+template <int Bits>
+struct StorageFor {
+  static_assert(Bits == 16 || Bits == 32 || Bits == 64,
+                "supported fixed-point widths: 16, 32, 64");
+  using type = std::conditional_t<
+      Bits == 16, std::int16_t,
+      std::conditional_t<Bits == 32, std::int32_t, std::int64_t>>;
+  using wide = std::conditional_t<Bits == 16, std::int32_t, std::int64_t>;
+};
+}  // namespace detail
+
+/// Signed two's-complement Q(Bits-Frac-1).Frac fixed-point value.
+/// Conversions from double saturate; arithmetic wraps like hardware
+/// registers unless the saturating helpers are used.
+template <int Bits, int Frac>
+class Fixed {
+ public:
+  static_assert(Frac >= 0 && Frac < Bits, "fraction bits must fit the word");
+  using storage = typename detail::StorageFor<Bits>::type;
+  using wide = typename detail::StorageFor<Bits>::wide;
+
+  static constexpr int bits = Bits;
+  static constexpr int frac = Frac;
+  static constexpr storage max_raw = std::numeric_limits<storage>::max();
+  static constexpr storage min_raw = std::numeric_limits<storage>::min();
+
+  constexpr Fixed() = default;
+
+  /// Reinterpret a raw register value.
+  static constexpr Fixed from_raw(storage raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Round-to-nearest, saturating conversion from double.
+  static Fixed from_double(double v) {
+    const double scaled = v * static_cast<double>(std::int64_t{1} << Frac);
+    const double rounded = std::nearbyint(scaled);
+    if (rounded >= static_cast<double>(max_raw)) return from_raw(max_raw);
+    if (rounded <= static_cast<double>(min_raw)) return from_raw(min_raw);
+    return from_raw(static_cast<storage>(rounded));
+  }
+
+  constexpr storage raw() const { return raw_; }
+
+  double to_double() const {
+    return static_cast<double>(raw_) /
+           static_cast<double>(std::int64_t{1} << Frac);
+  }
+
+  /// Wrapping add/sub — mirrors hardware accumulator registers.
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    using U = std::make_unsigned_t<storage>;
+    return from_raw(static_cast<storage>(static_cast<U>(a.raw_) +
+                                         static_cast<U>(b.raw_)));
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    using U = std::make_unsigned_t<storage>;
+    return from_raw(static_cast<storage>(static_cast<U>(a.raw_) -
+                                         static_cast<U>(b.raw_)));
+  }
+  constexpr Fixed operator-() const {
+    using U = std::make_unsigned_t<storage>;
+    return from_raw(static_cast<storage>(U{0} - static_cast<U>(raw_)));
+  }
+  Fixed& operator+=(Fixed other) { return *this = *this + other; }
+  Fixed& operator-=(Fixed other) { return *this = *this - other; }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) {
+    return a.raw_ == b.raw_;
+  }
+
+  /// Saturating add: clamps instead of wrapping.
+  static Fixed sat_add(Fixed a, Fixed b) {
+    const wide sum = static_cast<wide>(a.raw_) + static_cast<wide>(b.raw_);
+    if (sum > static_cast<wide>(max_raw)) return from_raw(max_raw);
+    if (sum < static_cast<wide>(min_raw)) return from_raw(min_raw);
+    return from_raw(static_cast<storage>(sum));
+  }
+
+ private:
+  storage raw_ = 0;
+};
+
+/// Multiply two fixed values with independent formats, producing a result in
+/// a third format with round-half-up on the discarded fraction bits.
+/// The intermediate product is held in a wide register (as the hardware
+/// multiplier's full-width output port) and then shifted/truncated.
+template <typename Out, typename A, typename B>
+Out fx_mul(A a, B b) {
+  static_assert(A::bits + B::bits <= 64, "product must fit in 64 bits");
+  const std::int64_t prod =
+      static_cast<std::int64_t>(a.raw()) * static_cast<std::int64_t>(b.raw());
+  const int shift = A::frac + B::frac - Out::frac;
+  std::int64_t shifted;
+  if (shift > 0) {
+    const std::int64_t bias = std::int64_t{1} << (shift - 1);
+    shifted = (prod + bias) >> shift;
+  } else {
+    shifted = prod << (-shift);
+  }
+  // Wrap into the output register width (hardware truncation of high bits).
+  using S = typename Out::storage;
+  return Out::from_raw(static_cast<S>(static_cast<std::uint64_t>(shifted)));
+}
+
+/// Complex fixed-point value.
+template <typename F>
+struct Complex {
+  F re{};
+  F im{};
+
+  static Complex from_c64(const c64& v) {
+    return {F::from_double(v.real()), F::from_double(v.imag())};
+  }
+  c64 to_c64() const { return {re.to_double(), im.to_double()}; }
+
+  friend constexpr Complex operator+(Complex a, Complex b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend constexpr Complex operator-(Complex a, Complex b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend constexpr bool operator==(Complex a, Complex b) {
+    return a.re == b.re && a.im == b.im;
+  }
+};
+
+/// Knuth's complex multiplication (TAOCP vol. 1): three real multiplies and
+/// five real add/subs, as used by the weight-lookup and interpolation units:
+///   t1 = ar*(br + bi);  t2 = bi*(ar + ai);  t3 = br*(ai - ar)
+///   re = t1 - t2;       im = t1 + t3
+/// Additions on the inputs are performed at input precision +1 headroom via
+/// the wide intermediate; rounding happens once per output component.
+template <typename Out, typename A, typename B>
+Complex<Out> knuth_cmul(const Complex<A>& a, const Complex<B>& b) {
+  // Wide-register arithmetic at combined fraction (A::frac + B::frac).
+  const std::int64_t ar = a.re.raw(), ai = a.im.raw();
+  const std::int64_t br = b.re.raw(), bi = b.im.raw();
+  const std::int64_t t1 = ar * (br + bi);
+  const std::int64_t t2 = bi * (ar + ai);
+  const std::int64_t t3 = br * (ai - ar);
+  const int shift = A::frac + B::frac - Out::frac;
+  auto narrow = [&](std::int64_t v) {
+    std::int64_t shifted;
+    if (shift > 0) {
+      const std::int64_t bias = std::int64_t{1} << (shift - 1);
+      shifted = (v + bias) >> shift;
+    } else {
+      shifted = v << (-shift);
+    }
+    using S = typename Out::storage;
+    return Out::from_raw(static_cast<S>(static_cast<std::uint64_t>(shifted)));
+  };
+  return {narrow(t1 - t2), narrow(t1 + t3)};
+}
+
+// --- JIGSAW datapath formats (paper Table I) ---------------------------------
+
+/// 16-bit interpolation weight, Q1.15 — kernel values lie in [0, 1].
+using Weight16 = Fixed<16, 15>;
+/// 32-bit sample / accumulator component, Q7.24 — 128x headroom over a
+/// unit-normalized input stream.
+using Data32 = Fixed<32, 24>;
+/// 64-bit wide accumulator used by the verification ("ideal") datapath.
+using Data64 = Fixed<64, 48>;
+
+using CWeight16 = Complex<Weight16>;
+using CData32 = Complex<Data32>;
+
+}  // namespace jigsaw::fixed

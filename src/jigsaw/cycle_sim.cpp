@@ -1,0 +1,328 @@
+#include "jigsaw/cycle_sim.hpp"
+
+#include <cmath>
+
+#include "core/window.hpp"
+
+namespace jigsaw::sim {
+
+namespace dp = core::datapath;
+
+CycleSim::CycleSim(std::int64_t base_n, const core::GridderOptions& options,
+                   bool three_d, HardwareLimits limits)
+    : n_(base_n), options_(options), three_d_(three_d) {
+  const double gd = options.sigma * static_cast<double>(base_n);
+  g_ = static_cast<std::int64_t>(std::llround(gd));
+  JIGSAW_REQUIRE(std::fabs(gd - static_cast<double>(g_)) < 1e-9,
+                 "sigma * N must be an integer");
+  JIGSAW_REQUIRE(g_ <= limits.max_grid_n,
+                 "target grid " << g_ << " exceeds the accumulation SRAM ("
+                                << limits.max_grid_n << "^2 points)");
+  JIGSAW_REQUIRE(options.width >= 1 && options.width <= limits.max_width,
+                 "interpolation window width out of hardware range");
+  JIGSAW_REQUIRE(options.tile >= 1 && options.tile <= limits.max_tile,
+                 "virtual tile dimension out of hardware range");
+  JIGSAW_REQUIRE((options.tile & (options.tile - 1)) == 0,
+                 "tile dimension must be a power of two");
+  JIGSAW_REQUIRE(options.width <= options.tile,
+                 "window must fit in a virtual tile");
+  JIGSAW_REQUIRE(g_ % options.tile == 0, "tile must divide the target grid");
+  JIGSAW_REQUIRE(
+      options.table_oversampling >= 1 &&
+          options.table_oversampling <= limits.max_table_oversampling &&
+          (options.table_oversampling & (options.table_oversampling - 1)) == 0,
+      "table oversampling factor out of hardware range");
+
+  kernel_ = kernels::make_kernel(options.kernel, options.width, options.sigma);
+  lut_ = std::make_unique<kernels::KernelLut>(*kernel_,
+                                              options.table_oversampling);
+  JIGSAW_REQUIRE(static_cast<std::int32_t>(lut_->entries()) <=
+                     limits.max_weight_entries,
+                 "weight LUT (" << lut_->entries()
+                                << " entries) exceeds the weight SRAM");
+  ntiles_ = g_ / options.tile;
+  int log2_l = 0;
+  while ((1 << log2_l) < options.table_oversampling) ++log2_l;
+  select_cfg_ = dp::SelectConfig{
+      options.width, options.tile, ntiles_, log2_l,
+      static_cast<std::int32_t>(lut_->entries()) - 1};
+  stats_.pipeline_depth = three_d ? 15 : 12;
+  stats_.clock_ghz = 1.0;  // synthesized clock (paper Sec. V)
+}
+
+double CycleSim::required_bandwidth_bytes_per_s() const {
+  return 16.0 * stats_.clock_ghz * 1e9;  // 128-bit beat per cycle
+}
+
+void CycleSim::broadcast_2d(std::int64_t usx_q, std::int64_t usy_q,
+                            fixed::CData32 value,
+                            const fixed::CWeight16* z_weight) {
+  const std::int64_t t = options_.tile;
+  const std::int64_t tile_count = ntiles_ * ntiles_;
+  // All T^2 pipelines perform a select on every broadcast sample.
+  stats_.selects += t * t;
+  for (std::int64_t cy = 0; cy < t; ++cy) {
+    const dp::ColumnSelect sy = dp::select_column(usy_q, cy, select_cfg_);
+    for (std::int64_t cx = 0; cx < t; ++cx) {
+      const dp::ColumnSelect sx = dp::select_column(usx_q, cx, select_cfg_);
+      if (!sy.affected || !sx.affected) continue;
+      // Weight lookup: one read per dimension through the dual-ported SRAM.
+      const fixed::CWeight16 wy{lut_->entry_fixed(sy.lut_index),
+                                fixed::Weight16{}};
+      const fixed::CWeight16 wx{lut_->entry_fixed(sx.lut_index),
+                                fixed::Weight16{}};
+      stats_.lut_reads += 2;
+      dp::CWeight32 wt;
+      if (z_weight != nullptr) {
+        // 3D Slice: combine (z, y) first, then x — the same order as
+        // core::JigsawGridder<3>.
+        wt = dp::combine_weights(dp::combine_weights(*z_weight, wy), wx);
+        stats_.weight_combines += 2;
+      } else {
+        wt = dp::combine_weights(wy, wx);
+        stats_.weight_combines += 1;
+      }
+      const fixed::CData32 contrib = dp::interpolate(wt, value);
+      stats_.macs += 1;
+      const std::int64_t col = cy * t + cx;
+      const std::int64_t tile_addr = sy.tile * ntiles_ + sx.tile;
+      stats_.saturations +=
+          dp::accumulate(dice_[static_cast<std::size_t>(col * tile_count +
+                                                        tile_addr)],
+                         contrib);
+      stats_.accum_writes += 1;
+    }
+  }
+}
+
+void CycleSim::run_2d(const core::SampleSet<2>& in, core::Grid<2>& out) {
+  JIGSAW_REQUIRE(!three_d_, "run_2d on a 3D-variant simulator");
+  JIGSAW_REQUIRE(out.size() == g_, "output grid size mismatch");
+  const int w = options_.width;
+  const std::int64_t t = options_.tile;
+  const std::int64_t tile_count = ntiles_ * ntiles_;
+  dice_.assign(static_cast<std::size_t>(t * t * tile_count), fixed::CData32{});
+  stats_ = SimStats{};
+  stats_.pipeline_depth = 12;
+
+  scale_log2_ = options_.fixed_scale_log2 != INT_MIN
+                    ? options_.fixed_scale_log2
+                    : dp::auto_scale_log2(in.values);
+  const double scale = std::ldexp(1.0, scale_log2_);
+
+  const auto m = static_cast<std::int64_t>(in.size());
+  const std::int64_t half_shift =
+      static_cast<std::int64_t>(w) << (dp::kCoordFracBits - 1);
+  for (std::int64_t j = 0; j < m; ++j) {
+    // One 128-bit bus beat: coordinates + complex value.
+    ++stats_.samples_streamed;
+    const double uy =
+        core::grid_coord(in.coords[static_cast<std::size_t>(j)][0], g_);
+    const double ux =
+        core::grid_coord(in.coords[static_cast<std::size_t>(j)][1], g_);
+    const std::int64_t usy_q = dp::quantize_coord(uy) + half_shift;
+    const std::int64_t usx_q = dp::quantize_coord(ux) + half_shift;
+    const fixed::CData32 value = fixed::CData32::from_c64(
+        in.values[static_cast<std::size_t>(j)] * scale);
+    broadcast_2d(usx_q, usy_q, value, nullptr);
+  }
+
+  // Stall-free streaming: exactly M + depth cycles.
+  stats_.gridding_cycles = (m == 0) ? 0 : m + stats_.pipeline_depth;
+  stats_.readout_cycles = (g_ * g_ + 1) / 2;  // two 64-bit points per cycle
+
+  // Read the dice out, tile by tile, into the row-major grid.
+  const double descale = 1.0 / scale;
+  for (std::int64_t y = 0; y < g_; ++y) {
+    for (std::int64_t x = 0; x < g_; ++x) {
+      const std::int64_t col = (y % t) * t + (x % t);
+      const std::int64_t tile_addr = (y / t) * ntiles_ + (x / t);
+      out[y * g_ + x] =
+          dice_[static_cast<std::size_t>(col * tile_count + tile_addr)]
+              .to_c64() *
+          descale;
+    }
+  }
+}
+
+void CycleSim::run_2d_forward(const core::Grid<2>& in,
+                              core::SampleSet<2>& out) {
+  JIGSAW_REQUIRE(!three_d_, "run_2d_forward on a 3D-variant simulator");
+  JIGSAW_REQUIRE(in.size() == g_, "input grid size mismatch");
+  JIGSAW_REQUIRE(out.coords.size() == out.values.size(),
+                 "sample set coords/values mismatch");
+  const int w = options_.width;
+  const std::int64_t t = options_.tile;
+  const std::int64_t tile_count = ntiles_ * ntiles_;
+  stats_ = SimStats{};
+  stats_.pipeline_depth = 12;
+
+  // Stream the grid into the per-pipeline accumulation SRAMs (two 64-bit
+  // points per 128-bit beat), quantizing on ingest.
+  std::vector<c64> grid_vals(in.data(), in.data() + in.total());
+  scale_log2_ = options_.fixed_scale_log2 != INT_MIN
+                    ? options_.fixed_scale_log2
+                    : dp::auto_scale_log2(grid_vals);
+  const double scale = std::ldexp(1.0, scale_log2_);
+  dice_.assign(static_cast<std::size_t>(t * t * tile_count),
+               fixed::CData32{});
+  for (std::int64_t y = 0; y < g_; ++y) {
+    for (std::int64_t x = 0; x < g_; ++x) {
+      const std::int64_t col = (y % t) * t + (x % t);
+      const std::int64_t tile_addr = (y / t) * ntiles_ + (x / t);
+      dice_[static_cast<std::size_t>(col * tile_count + tile_addr)] =
+          fixed::CData32::from_c64(in[y * g_ + x] * scale);
+    }
+  }
+  stats_.readout_cycles += (g_ * g_ + 1) / 2;  // stream-in beats
+
+  const auto m = static_cast<std::int64_t>(out.size());
+  const std::int64_t half_shift =
+      static_cast<std::int64_t>(w) << (dp::kCoordFracBits - 1);
+  const double descale = 1.0 / scale;
+  std::int64_t streamed = 0;
+  for (std::int64_t j = 0; j < m; ++j) {
+    ++streamed;
+    const double uy =
+        core::grid_coord(out.coords[static_cast<std::size_t>(j)][0], g_);
+    const double ux =
+        core::grid_coord(out.coords[static_cast<std::size_t>(j)][1], g_);
+    const std::int64_t usy_q = dp::quantize_coord(uy) + half_shift;
+    const std::int64_t usx_q = dp::quantize_coord(ux) + half_shift;
+
+    stats_.selects += t * t;
+    fixed::CData32 acc{};
+    for (std::int64_t cy = 0; cy < t; ++cy) {
+      const dp::ColumnSelect sy = dp::select_column(usy_q, cy, select_cfg_);
+      for (std::int64_t cx = 0; cx < t; ++cx) {
+        const dp::ColumnSelect sx = dp::select_column(usx_q, cx, select_cfg_);
+        if (!sy.affected || !sx.affected) continue;
+        const fixed::CWeight16 wy{lut_->entry_fixed(sy.lut_index),
+                                  fixed::Weight16{}};
+        const fixed::CWeight16 wx{lut_->entry_fixed(sx.lut_index),
+                                  fixed::Weight16{}};
+        stats_.lut_reads += 2;
+        const dp::CWeight32 wt = dp::combine_weights(wy, wx);
+        stats_.weight_combines += 1;
+        const std::int64_t col = cy * t + cx;
+        const std::int64_t tile_addr = sy.tile * ntiles_ + sx.tile;
+        stats_.saturations += dp::accumulate(
+            acc, dp::interpolate(
+                     wt, dice_[static_cast<std::size_t>(col * tile_count +
+                                                        tile_addr)]));
+        stats_.macs += 1;
+        stats_.accum_writes += 1;
+      }
+    }
+    out.values[static_cast<std::size_t>(j)] = acc.to_c64() * descale;
+  }
+  stats_.samples_streamed = streamed;
+  stats_.gridding_cycles =
+      (streamed == 0) ? 0 : streamed + stats_.pipeline_depth;
+}
+
+void CycleSim::run_3d(const core::SampleSet<3>& in, core::Grid<3>& out,
+                      bool z_binned) {
+  JIGSAW_REQUIRE(three_d_, "run_3d on a 2D-variant simulator");
+  JIGSAW_REQUIRE(out.size() == g_, "output grid size mismatch");
+  const int w = options_.width;
+  const std::int64_t t = options_.tile;
+  const std::int64_t tile_count = ntiles_ * ntiles_;
+  stats_ = SimStats{};
+  stats_.pipeline_depth = 15;
+
+  scale_log2_ = options_.fixed_scale_log2 != INT_MIN
+                    ? options_.fixed_scale_log2
+                    : dp::auto_scale_log2(in.values);
+  const double scale = std::ldexp(1.0, scale_log2_);
+  const double descale = 1.0 / scale;
+
+  const auto m = static_cast<std::int64_t>(in.size());
+  const std::int64_t half_shift =
+      static_cast<std::int64_t>(w) << (dp::kCoordFracBits - 1);
+
+  // Precompute per-sample quantized coordinates and values (host-side DMA
+  // buffer contents).
+  std::vector<std::int64_t> usz(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> usy(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> usx(static_cast<std::size_t>(m));
+  std::vector<fixed::CData32> val(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    const auto& cj = in.coords[static_cast<std::size_t>(j)];
+    usz[static_cast<std::size_t>(j)] =
+        dp::quantize_coord(core::grid_coord(cj[0], g_)) + half_shift;
+    usy[static_cast<std::size_t>(j)] =
+        dp::quantize_coord(core::grid_coord(cj[1], g_)) + half_shift;
+    usx[static_cast<std::size_t>(j)] =
+        dp::quantize_coord(core::grid_coord(cj[2], g_)) + half_shift;
+    val[static_cast<std::size_t>(j)] = fixed::CData32::from_c64(
+        in.values[static_cast<std::size_t>(j)] * scale);
+  }
+
+  // The z dimension is selected against the absolute slice index: a select
+  // configuration with one grid-spanning tile reproduces the distance /
+  // LUT-address arithmetic bit-for-bit (T=G, ntiles=1).
+  dp::SelectConfig zcfg = select_cfg_;
+  zcfg.tile = g_;
+  zcfg.ntiles = 1;
+
+  // Optional host-side z-binning: sample indices per slice.
+  std::vector<std::vector<std::int32_t>> zbins;
+  if (z_binned) {
+    zbins.assign(static_cast<std::size_t>(g_), {});
+    for (std::int64_t j = 0; j < m; ++j) {
+      for (std::int64_t z = 0; z < g_; ++z) {
+        const dp::ColumnSelect sz =
+            dp::select_column(usz[static_cast<std::size_t>(j)], z, zcfg);
+        if (sz.affected) {
+          zbins[static_cast<std::size_t>(z)].push_back(
+              static_cast<std::int32_t>(j));
+        }
+      }
+    }
+  }
+
+  for (std::int64_t z = 0; z < g_; ++z) {
+    dice_.assign(static_cast<std::size_t>(t * t * tile_count),
+                 fixed::CData32{});
+    std::int64_t streamed = 0;
+    auto process = [&](std::int64_t j) {
+      ++streamed;
+      const dp::ColumnSelect sz =
+          dp::select_column(usz[static_cast<std::size_t>(j)], z, zcfg);
+      if (!sz.affected) return;
+      const fixed::CWeight16 wz{lut_->entry_fixed(sz.lut_index),
+                                fixed::Weight16{}};
+      ++stats_.lut_reads;
+      broadcast_2d(usx[static_cast<std::size_t>(j)],
+                   usy[static_cast<std::size_t>(j)],
+                   val[static_cast<std::size_t>(j)], &wz);
+    };
+    if (z_binned) {
+      for (const std::int32_t j : zbins[static_cast<std::size_t>(z)]) {
+        process(j);
+      }
+    } else {
+      for (std::int64_t j = 0; j < m; ++j) process(j);
+    }
+    stats_.samples_streamed += streamed;
+    if (streamed > 0) {
+      stats_.gridding_cycles += streamed + stats_.pipeline_depth;
+    }
+
+    // Slice readout into the 3D grid.
+    for (std::int64_t y = 0; y < g_; ++y) {
+      for (std::int64_t x = 0; x < g_; ++x) {
+        const std::int64_t col = (y % t) * t + (x % t);
+        const std::int64_t tile_addr = (y / t) * ntiles_ + (x / t);
+        out[(z * g_ + y) * g_ + x] =
+            dice_[static_cast<std::size_t>(col * tile_count + tile_addr)]
+                .to_c64() *
+            descale;
+      }
+    }
+    stats_.readout_cycles += (g_ * g_ + 1) / 2;
+  }
+}
+
+}  // namespace jigsaw::sim

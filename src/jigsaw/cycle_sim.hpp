@@ -1,0 +1,123 @@
+// Cycle-level simulator of the JIGSAW streaming accelerator (paper Sec. IV).
+//
+// Models the microarchitecture of Fig. 5: T^2 identical 32-bit fixed-point
+// pipelines logically arranged as a 2D grid, each owning one column of the
+// dice. Non-uniform samples arrive over a 128-bit bus, one per cycle, and
+// are broadcast to all pipelines; each pipeline runs the four-stage
+// select / weight-lookup / interpolate / accumulate datapath of
+// core/jigsaw_datapath.hpp. The design is stall-free by construction, so
+// gridding an M-sample stream takes exactly M + depth cycles (depth 12 for
+// 2D, 15 for 3D Slice); after the stream completes, the grid is read out at
+// two 64-bit points per cycle.
+//
+// Two variants, as in the paper:
+//   * 2D        — grids a full 2D target in one pass.
+//   * 3D Slice  — iterates over Nz 2D slices; the full unsorted stream is
+//     replayed per slice ((M+15)*Nz cycles), or, when the host pre-bins
+//     samples by slice, each sample is streamed only to the Wz slices its
+//     window touches ((M+15)*Wz cycles).
+//
+// The arithmetic is the shared datapath, so results are bit-exact with
+// core::JigsawGridder (asserted in tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/gridder.hpp"
+#include "core/jigsaw_datapath.hpp"
+#include "core/sample_set.hpp"
+#include "kernels/lut.hpp"
+
+namespace jigsaw::sim {
+
+/// Hardware resource limits (paper Table I / Sec. IV).
+struct HardwareLimits {
+  std::int64_t max_grid_n = 1024;      // accumulation SRAM holds 1024^2 points
+  std::int32_t max_weight_entries = 256;  // per-pipeline weight SRAM
+  int max_width = 8;
+  int max_table_oversampling = 64;
+  int max_tile = 8;
+};
+
+/// Activity counters and timing of one simulated run.
+struct SimStats {
+  long long samples_streamed = 0;   // bus beats carrying samples
+  long long gridding_cycles = 0;    // M + depth (per slice, summed)
+  long long readout_cycles = 0;     // grid_points / 2 (128-bit bus)
+  long long stall_cycles = 0;       // always 0 — asserted, not assumed
+  long long selects = 0;            // per-pipeline select operations
+  long long lut_reads = 0;
+  long long weight_combines = 0;
+  long long macs = 0;               // interpolation multiplies
+  long long accum_writes = 0;
+  long long saturations = 0;
+  int pipeline_depth = 0;
+  double clock_ghz = 1.0;
+
+  double gridding_seconds() const {
+    return static_cast<double>(gridding_cycles) / (clock_ghz * 1e9);
+  }
+  double total_seconds() const {
+    return static_cast<double>(gridding_cycles + readout_cycles) /
+           (clock_ghz * 1e9);
+  }
+};
+
+class CycleSim {
+ public:
+  /// Same construction parameters as the core gridders: base grid size N and
+  /// a GridderOptions (kind is ignored). `three_d` selects the 3D Slice
+  /// variant. Enforces the hardware limits of Table I.
+  CycleSim(std::int64_t base_n, const core::GridderOptions& options,
+           bool three_d, HardwareLimits limits = HardwareLimits{});
+
+  std::int64_t grid_size() const { return g_; }
+  const SimStats& stats() const { return stats_; }
+  int scale_log2() const { return scale_log2_; }
+
+  /// 2D gridding run: stream `in` once, then read the grid out into `out`
+  /// (side G). Requires a 2D-variant simulator.
+  void run_2d(const core::SampleSet<2>& in, core::Grid<2>& out);
+
+  /// 3D Slice gridding run. When `z_binned` is set, the host pre-sorts the
+  /// samples by slice and streams each sample only to the slices its
+  /// Wz-window touches. Requires a 3D-variant simulator.
+  void run_3d(const core::SampleSet<3>& in, core::Grid<3>& out, bool z_binned);
+
+  /// Forward (re-gridding) run for the forward NuFFT: the grid is streamed
+  /// into the accumulation SRAM, then one sample is produced per cycle by
+  /// gathering its W^2 windowed contributions through the same select /
+  /// weight-lookup / interpolate datapath. Bit-exact with
+  /// core::JigsawGridder::forward (tested). Timing: grid stream-in
+  /// (grid_points/2 beats) + M + depth cycles.
+  void run_2d_forward(const core::Grid<2>& in, core::SampleSet<2>& out);
+
+  /// Raw fixed-point dice contents after run_2d (bit-exactness tests).
+  const std::vector<fixed::CData32>& dice() const { return dice_; }
+
+  /// Required host-to-device bandwidth (bytes/s) to sustain one sample per
+  /// cycle: 128 bits per beat at the configured clock (~16 GB/s at 1 GHz,
+  /// within the paper's quoted DDR4-class ~20 GB/s).
+  double required_bandwidth_bytes_per_s() const;
+
+ private:
+  /// Broadcast one (possibly z-weighted) sample to all pipelines.
+  void broadcast_2d(std::int64_t usx_q, std::int64_t usy_q,
+                    fixed::CData32 value, const fixed::CWeight16* z_weight);
+
+  std::int64_t n_;
+  std::int64_t g_;
+  core::GridderOptions options_;
+  bool three_d_;
+  std::unique_ptr<kernels::Kernel> kernel_;
+  std::unique_ptr<kernels::KernelLut> lut_;
+  core::datapath::SelectConfig select_cfg_;
+  std::int64_t ntiles_;
+  std::vector<fixed::CData32> dice_;  // per-pipeline accumulation SRAM
+  SimStats stats_;
+  int scale_log2_ = 0;
+};
+
+}  // namespace jigsaw::sim

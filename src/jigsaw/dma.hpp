@@ -1,0 +1,81 @@
+// Host <-> JIGSAW DMA stream model (paper Sec. IV "System Integration").
+//
+// Input data is transmitted over a DMA stream, one 128-bit non-uniform
+// sample record per accelerator cycle; at the synthesized 1.0 GHz clock
+// this requires 16 GB/s — within DDR4-class (~20 GB/s) bandwidth, so the
+// pipelines never starve. This model quantifies that claim: given a link
+// bandwidth it computes the sustainable sample rate, the stall cycles the
+// pipelines would suffer below the break-even bandwidth, and the
+// end-to-end latency of the full offload (stream-in, gridding drain,
+// stream-out) including the zero-gap turnaround the paper highlights.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace jigsaw::sim {
+
+struct DmaConfig {
+  double link_bandwidth_bytes_per_s = 20e9;  // DDR4-class
+  double clock_ghz = 1.0;
+  int sample_record_bytes = 16;   // 128-bit: coordinates + complex value
+  int grid_point_bytes = 8;       // 64-bit complex grid point
+  int grid_points_per_beat = 2;   // two points per 128-bit beat
+  double turnaround_cycles = 0.0; // gap between in-stream end and out-stream
+                                  // start (0 for JIGSAW: fully provisioned)
+};
+
+struct DmaTimeline {
+  double stream_in_seconds = 0.0;
+  double compute_drain_seconds = 0.0;  // pipeline depth after last sample
+  double stream_out_seconds = 0.0;
+  long long stall_cycles = 0;          // pipeline idle cycles waiting on data
+
+  double total_seconds() const {
+    return stream_in_seconds + compute_drain_seconds + stream_out_seconds;
+  }
+};
+
+/// Bandwidth needed to sustain one sample per cycle.
+inline double break_even_bandwidth(const DmaConfig& cfg) {
+  return static_cast<double>(cfg.sample_record_bytes) * cfg.clock_ghz * 1e9;
+}
+
+/// True when the link keeps the pipelines stall-free.
+inline bool stall_free(const DmaConfig& cfg) {
+  return cfg.link_bandwidth_bytes_per_s >= break_even_bandwidth(cfg);
+}
+
+/// End-to-end offload timeline for gridding M samples onto a G^2 grid.
+inline DmaTimeline offload_timeline(const DmaConfig& cfg, long long m,
+                                    long long grid_points,
+                                    int pipeline_depth) {
+  JIGSAW_REQUIRE(m >= 0 && grid_points >= 0, "negative workload");
+  JIGSAW_REQUIRE(cfg.link_bandwidth_bytes_per_s > 0, "bandwidth must be > 0");
+  DmaTimeline t;
+  const double cycle_s = 1.0 / (cfg.clock_ghz * 1e9);
+
+  // Stream-in: limited by the slower of the link and the 1-sample/cycle
+  // ingest port.
+  const double link_in =
+      static_cast<double>(m) * cfg.sample_record_bytes /
+      cfg.link_bandwidth_bytes_per_s;
+  const double port_in = static_cast<double>(m) * cycle_s;
+  t.stream_in_seconds = link_in > port_in ? link_in : port_in;
+  t.stall_cycles = static_cast<long long>(
+      (t.stream_in_seconds - port_in) / cycle_s + 0.5);
+
+  t.compute_drain_seconds =
+      (static_cast<double>(pipeline_depth) + cfg.turnaround_cycles) * cycle_s;
+
+  const double link_out =
+      static_cast<double>(grid_points) * cfg.grid_point_bytes /
+      cfg.link_bandwidth_bytes_per_s;
+  const double port_out = static_cast<double>(grid_points) /
+                          cfg.grid_points_per_beat * cycle_s;
+  t.stream_out_seconds = link_out > port_out ? link_out : port_out;
+  return t;
+}
+
+}  // namespace jigsaw::sim

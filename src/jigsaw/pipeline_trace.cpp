@@ -1,0 +1,82 @@
+#include "jigsaw/pipeline_trace.hpp"
+
+namespace jigsaw::sim {
+
+PipelineTraceResult trace_pipeline(long long m, const StageDepths& depths,
+                                   long long stall_every,
+                                   bool keep_snapshots) {
+  JIGSAW_REQUIRE(m >= 0, "negative sample count");
+  JIGSAW_REQUIRE(depths.select >= 1 && depths.weight_lookup >= 1 &&
+                     depths.interpolate >= 1 && depths.accumulate >= 1,
+                 "every stage needs >= 1 register");
+
+  // One flat shift register: position p holds the sample whose age is p
+  // cycles; stage boundaries partition the positions.
+  const int depth = depths.total();
+  std::vector<long long> regs(static_cast<std::size_t>(depth), -1);
+
+  PipelineTraceResult result;
+  long long issued = 0;
+  long long since_stall = 0;
+
+  auto occupied = [&] {
+    for (long long v : regs) {
+      if (v >= 0) return true;
+    }
+    return false;
+  };
+
+  long long cycle = 0;
+  while (issued < m || occupied()) {
+    // Shift: the last register retires.
+    const long long retiring = regs[static_cast<std::size_t>(depth - 1)];
+    for (int p = depth - 1; p > 0; --p) {
+      regs[static_cast<std::size_t>(p)] = regs[static_cast<std::size_t>(p - 1)];
+    }
+    // Issue (or bubble) into select stage.
+    long long entering = -1;
+    if (issued < m) {
+      const bool stall =
+          stall_every > 0 && since_stall == stall_every;
+      if (stall) {
+        since_stall = 0;  // DMA bubble: nothing enters this cycle
+      } else {
+        entering = issued++;
+        ++since_stall;
+      }
+    }
+    regs[0] = entering;
+
+    ++cycle;
+    if (retiring >= 0) {
+      ++result.retired;
+      if (result.first_retire_cycle < 0) result.first_retire_cycle = cycle;
+    } else if (result.first_retire_cycle >= 0 &&
+               (issued < m || occupied())) {
+      ++result.bubbles;
+    }
+
+    if (keep_snapshots) {
+      CycleSnapshot snap;
+      snap.cycle = cycle;
+      auto slice = [&](int begin, int count) {
+        return std::vector<long long>(
+            regs.begin() + begin, regs.begin() + begin + count);
+      };
+      int off = 0;
+      snap.select = slice(off, depths.select);
+      off += depths.select;
+      snap.weight_lookup = slice(off, depths.weight_lookup);
+      off += depths.weight_lookup;
+      snap.interpolate = slice(off, depths.interpolate);
+      off += depths.interpolate;
+      snap.accumulate = slice(off, depths.accumulate);
+      snap.retired = retiring;
+      result.cycles.push_back(std::move(snap));
+    }
+  }
+  result.total_cycles = cycle;
+  return result;
+}
+
+}  // namespace jigsaw::sim

@@ -1,0 +1,69 @@
+#include "kernels/bessel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace jigsaw::kernels {
+
+double bessel_i0(double x) {
+  const double ax = std::fabs(x);
+  if (ax < 20.0) {
+    // I0(x) = sum_{k>=0} (x^2/4)^k / (k!)^2
+    const double q = ax * ax / 4.0;
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k < 80; ++k) {
+      term *= q / (static_cast<double>(k) * static_cast<double>(k));
+      sum += term;
+      if (term < sum * 1e-17) break;
+    }
+    return sum;
+  }
+  // Asymptotic: I0(x) ~ e^x / sqrt(2 pi x) * (1 + 1/(8x) + 9/(128 x^2) + ...)
+  const double inv = 1.0 / ax;
+  const double series =
+      1.0 + inv * (0.125 + inv * (0.0703125 + inv * 0.0732421875));
+  return std::exp(ax) / std::sqrt(2.0 * std::numbers::pi * ax) * series;
+}
+
+double bessel_j1(double x) {
+  // Abramowitz & Stegun 9.4.4 / 9.4.6 style rational fits (as popularized by
+  // Numerical Recipes). Odd function: J1(-x) = -J1(x).
+  const double ax = std::fabs(x);
+  double result;
+  if (ax < 8.0) {
+    const double y = x * x;
+    const double p1 =
+        x *
+        (72362614232.0 +
+         y * (-7895059235.0 +
+              y * (242396853.1 + y * (-2972611.439 +
+                                      y * (15704.48260 + y * -30.16036606)))));
+    const double p2 =
+        144725228442.0 +
+        y * (2300535178.0 +
+             y * (18583304.74 + y * (99447.43394 + y * (376.9991397 + y))));
+    return p1 / p2;
+  }
+  const double z = 8.0 / ax;
+  const double y = z * z;
+  const double xx = ax - 2.356194491;  // 3*pi/4
+  const double p1 = 1.0 + y * (0.183105e-2 +
+                               y * (-0.3516396496e-4 +
+                                    y * (0.2457520174e-5 + y * -0.240337019e-6)));
+  const double p2 =
+      0.04687499995 +
+      y * (-0.2002690873e-3 +
+           y * (0.8449199096e-5 + y * (-0.88228987e-6 + y * 0.105787412e-6)));
+  result = std::sqrt(0.636619772 / ax) *
+           (std::cos(xx) * p1 - z * std::sin(xx) * p2);
+  return x < 0.0 ? -result : result;
+}
+
+double jinc(double x) {
+  const double ax = std::fabs(x);
+  if (ax < 1e-8) return std::numbers::pi / 4.0;
+  return bessel_j1(std::numbers::pi * ax) / (2.0 * ax);
+}
+
+}  // namespace jigsaw::kernels

@@ -1,0 +1,23 @@
+// Bessel function implementations needed by the interpolation kernels and
+// the analytic Shepp-Logan phantom:
+//   I0 — modified Bessel, first kind, order 0 (Kaiser-Bessel window)
+//   J1 — Bessel, first kind, order 1 (Fourier transform of an ellipse)
+#pragma once
+
+namespace jigsaw::kernels {
+
+/// Modified Bessel function of the first kind, order zero.
+/// Power series for |x| < 20 (double precision exact to ~1e-16 there),
+/// asymptotic expansion beyond.
+double bessel_i0(double x);
+
+/// Bessel function of the first kind, order one.
+/// Abramowitz & Stegun rational approximations (abs error < 1e-7) — ample
+/// for phantom k-space synthesis.
+double bessel_j1(double x);
+
+/// jinc(x) = J1(pi*x) / (2*x), the radial Fourier profile of a unit disc;
+/// jinc(0) = pi/4. Used by the analytic phantom.
+double jinc(double x);
+
+}  // namespace jigsaw::kernels

@@ -1,0 +1,60 @@
+// Interpolation (gridding) window functions.
+//
+// A kernel is a real, even function supported on [-W/2, W/2]. Gridding
+// convolves the non-uniform samples with the kernel on the oversampled grid;
+// de-apodization divides the image by the kernel's continuous Fourier
+// transform (Sec. II-B of the paper). The choice of windowing function is
+// application specific (paper lists Kaiser-Bessel, Gaussian, B-spline, ...).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace jigsaw::kernels {
+
+enum class KernelType {
+  KaiserBessel,  // the standard MRI gridding kernel [1]
+  Gaussian,      // truncated Gaussian (Dutt-Rokhlin style)
+  BSpline,       // cubic B-spline rescaled to width W
+  Triangle,      // linear interpolation window
+  Sinc,          // Hann-windowed sinc (older gridding literature)
+};
+
+std::string to_string(KernelType t);
+
+/// Shape parameter selection for Kaiser-Bessel following Beatty et al. [1]:
+///   beta = pi * sqrt((W/sigma)^2 * (sigma - 0.5)^2 - 0.8)
+/// valid for any oversampling factor sigma in (1, 2].
+double beatty_beta(int width, double sigma);
+
+/// Abstract interpolation window.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Window width W in grid units (support is |t| <= W/2).
+  int width() const { return width_; }
+
+  /// Kernel value at signed distance t (grid units). Zero outside support.
+  virtual double evaluate(double t) const = 0;
+
+  /// Continuous Fourier transform A(nu) = Int ker(t) e^{2 pi i nu t} dt.
+  /// Real because the kernel is real and even. `nu` is in cycles per grid
+  /// unit; de-apodization evaluates this at k / (sigma * N).
+  virtual double fourier(double nu) const = 0;
+
+  /// Numerical-quadrature Fourier transform — test oracle for fourier().
+  double fourier_numeric(double nu, int steps = 20000) const;
+
+  virtual KernelType type() const = 0;
+
+ protected:
+  explicit Kernel(int width) : width_(width) {}
+  int width_;
+};
+
+/// Factory. `sigma` feeds the Beatty beta for Kaiser-Bessel and the width
+/// scaling of the Gaussian; other kernels ignore it.
+std::unique_ptr<Kernel> make_kernel(KernelType type, int width, double sigma);
+
+}  // namespace jigsaw::kernels

@@ -1,0 +1,40 @@
+#include "kernels/lut.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jigsaw::kernels {
+
+KernelLut::KernelLut(const Kernel& kernel, int L)
+    : width_(kernel.width()), L_(L) {
+  JIGSAW_REQUIRE(L >= 1, "table oversampling factor must be >= 1");
+  JIGSAW_REQUIRE((L & (L - 1)) == 0,
+                 "table oversampling factor must be a power of two, got " << L);
+  const std::size_t n = static_cast<std::size_t>(width_) *
+                        static_cast<std::size_t>(L) / 2;
+  JIGSAW_REQUIRE(n >= 1, "LUT would be empty (W*L/2 == 0)");
+  table_.resize(n);
+  fixed_table_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(L);
+    table_[i] = kernel.evaluate(t);
+    fixed_table_[i] = fixed::Weight16::from_double(table_[i]);
+  }
+}
+
+double KernelLut::max_quantization_error(const Kernel& kernel,
+                                         int probe_per_entry) const {
+  double worst = 0.0;
+  const double half = width_ / 2.0;
+  const int probes = static_cast<int>(table_.size()) * probe_per_entry;
+  for (int i = 0; i < probes; ++i) {
+    const double d = half * (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(probes);
+    const double err = std::fabs(weight(d) - kernel.evaluate(d));
+    if (err > worst) worst = err;
+  }
+  return worst;
+}
+
+}  // namespace jigsaw::kernels

@@ -1,0 +1,60 @@
+#include "memsim/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace jigsaw::memsim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  JIGSAW_REQUIRE(config.line_bytes >= 1 &&
+                     (config.line_bytes & (config.line_bytes - 1)) == 0,
+                 "cache line size must be a power of two");
+  JIGSAW_REQUIRE(config.ways >= 1, "cache must have >= 1 way");
+  const std::uint64_t lines_total = config.size_bytes / config.line_bytes;
+  JIGSAW_REQUIRE(lines_total >= config.ways,
+                 "cache too small for its associativity");
+  num_sets_ = static_cast<std::uint32_t>(lines_total / config.ways);
+  JIGSAW_REQUIRE(num_sets_ >= 1, "cache needs >= 1 set");
+  lines_.resize(static_cast<std::size_t>(num_sets_) * config.ways);
+}
+
+void Cache::access(std::uint64_t addr, std::uint32_t bytes, bool write) {
+  // Split the access across cache lines it spans.
+  const std::uint64_t first = addr / config_.line_bytes;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) /
+                             config_.line_bytes;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    touch_line(line, write);
+  }
+}
+
+void Cache::touch_line(std::uint64_t line_addr, bool write) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(line_addr % num_sets_);
+  const std::uint64_t tag = line_addr / num_sets_;
+  Line* base = lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      ++stats_.hits;
+      l.lru = tick_;
+      if (write) l.dirty = true;
+      return;
+    }
+    if (!l.valid) {
+      victim = &l;
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+  ++stats_.misses;
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->dirty = write;
+  victim->tag = tag;
+  victim->lru = tick_;
+}
+
+}  // namespace jigsaw::memsim

@@ -1,0 +1,101 @@
+#include "trajectory/phantom.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "kernels/bessel.hpp"
+
+namespace jigsaw::trajectory {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+// The classical phantom is defined on [-1, 1]^2; scale into our [-0.5, 0.5)
+// FOV with a small margin.
+constexpr double kScale = 0.48;
+}  // namespace
+
+std::vector<Ellipse> shepp_logan() {
+  // Modified (Toft) contrast values for visibility; geometry per Shepp-Logan.
+  // Columns: intensity, a, b, x0, y0, theta(deg).
+  const double deg = kPi / 180.0;
+  std::vector<Ellipse> e = {
+      {1.00, 0.6900, 0.9200, 0.00, 0.0000, 0.0},
+      {-0.80, 0.6624, 0.8740, 0.00, -0.0184, 0.0},
+      {-0.20, 0.1100, 0.3100, 0.22, 0.0000, -18.0 * deg},
+      {-0.20, 0.1600, 0.4100, -0.22, 0.0000, 18.0 * deg},
+      {0.10, 0.2100, 0.2500, 0.00, 0.3500, 0.0},
+      {0.10, 0.0460, 0.0460, 0.00, 0.1000, 0.0},
+      {0.10, 0.0460, 0.0460, 0.00, -0.1000, 0.0},
+      {0.10, 0.0460, 0.0230, -0.08, -0.6050, 0.0},
+      {0.10, 0.0230, 0.0230, 0.00, -0.6060, 0.0},
+      {0.10, 0.0230, 0.0460, 0.06, -0.6050, 0.0},
+  };
+  for (auto& el : e) {
+    el.a *= kScale;
+    el.b *= kScale;
+    el.x0 *= kScale;
+    el.y0 *= kScale;
+  }
+  // Convert theta from "deg" placeholder: already scaled above via deg.
+  return e;
+}
+
+std::vector<double> rasterize(const std::vector<Ellipse>& ellipses, int n) {
+  JIGSAW_REQUIRE(n >= 1, "raster size must be >= 1");
+  std::vector<double> img(static_cast<std::size_t>(n) * n, 0.0);
+  for (int iy = 0; iy < n; ++iy) {
+    const double y = (static_cast<double>(iy) - n / 2) / static_cast<double>(n);
+    for (int ix = 0; ix < n; ++ix) {
+      const double x =
+          (static_cast<double>(ix) - n / 2) / static_cast<double>(n);
+      double v = 0.0;
+      for (const auto& e : ellipses) {
+        const double ct = std::cos(e.theta), st = std::sin(e.theta);
+        const double dx = x - e.x0, dy = y - e.y0;
+        const double xr = ct * dx + st * dy;
+        const double yr = -st * dx + ct * dy;
+        const double q = (xr / e.a) * (xr / e.a) + (yr / e.b) * (yr / e.b);
+        if (q <= 1.0) v += e.intensity;
+      }
+      img[static_cast<std::size_t>(iy) * n + ix] = v;
+    }
+  }
+  return img;
+}
+
+c64 kspace_sample(const std::vector<Ellipse>& ellipses, double kx, double ky) {
+  c64 acc{};
+  for (const auto& e : ellipses) {
+    const double ct = std::cos(e.theta), st = std::sin(e.theta);
+    // Rotate k into the ellipse frame, then scale by the semi-axes.
+    const double kxr = ct * kx + st * ky;
+    const double kyr = -st * kx + ct * ky;
+    const double s =
+        std::sqrt(e.a * kxr * e.a * kxr + e.b * kyr * e.b * kyr);
+    double shape;
+    if (s < 1e-10) {
+      shape = kPi;  // lim J1(2 pi s)/s = pi
+    } else {
+      shape = kernels::bessel_j1(2.0 * kPi * s) / s;
+    }
+    const double mag = e.intensity * e.a * e.b * shape;
+    const double phase = -2.0 * kPi * (kx * e.x0 + ky * e.y0);
+    acc += c64(mag * std::cos(phase), mag * std::sin(phase));
+  }
+  return acc;
+}
+
+std::vector<c64> kspace_samples(const std::vector<Ellipse>& ellipses,
+                                const std::vector<Coord<2>>& coords, int n) {
+  // Coordinate convention: component 0 is the row (y) dimension of the
+  // reconstructed image (slowest-varying in the row-major layout),
+  // component 1 the column (x) dimension.
+  std::vector<c64> out(coords.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    out[i] = kspace_sample(ellipses, coords[i][1] * n, coords[i][0] * n);
+  }
+  return out;
+}
+
+}  // namespace jigsaw::trajectory

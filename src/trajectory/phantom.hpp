@@ -1,0 +1,44 @@
+// Analytic Shepp-Logan phantom.
+//
+// Substitute for the liver MRI dataset of Otazo et al. [25] used in the
+// paper (see DESIGN.md §1): every ellipse has a closed-form 2D Fourier
+// transform (a scaled jinc), so non-uniform k-space data can be synthesized
+// *exactly* at arbitrary trajectory coordinates and reconstructions can be
+// scored against exact ground truth — no data files required.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jigsaw::trajectory {
+
+/// One phantom ellipse. Geometry in FOV units (image support is the unit
+/// square [-0.5, 0.5)^2).
+struct Ellipse {
+  double intensity;  // additive intensity rho
+  double a, b;       // semi-axes
+  double x0, y0;     // center
+  double theta;      // rotation (radians, CCW)
+};
+
+/// The standard (modified-contrast) Shepp-Logan ellipse set, rescaled to fit
+/// the [-0.5, 0.5)^2 FOV.
+std::vector<Ellipse> shepp_logan();
+
+/// Rasterize the phantom on an n x n pixel grid (row-major, y fastest last
+/// dim = x). Pixel (ix, iy) is sampled at ((ix - n/2) / n, (iy - n/2) / n).
+std::vector<double> rasterize(const std::vector<Ellipse>& ellipses, int n);
+
+/// Exact continuous Fourier transform of the phantom at k-space location
+/// (kx, ky) in cycles/FOV:
+///   F(k) = sum_e rho a b * J1(2 pi s)/s * exp(-2 pi i (kx x0 + ky y0))
+/// with s = |diag(a,b) * R(-theta) k|.
+c64 kspace_sample(const std::vector<Ellipse>& ellipses, double kx, double ky);
+
+/// Evaluate k-space at every coordinate of a trajectory (coords in
+/// normalized torus units, scaled by n to cycles/FOV).
+std::vector<c64> kspace_samples(const std::vector<Ellipse>& ellipses,
+                                const std::vector<Coord<2>>& coords, int n);
+
+}  // namespace jigsaw::trajectory

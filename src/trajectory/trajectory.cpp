@@ -1,0 +1,190 @@
+#include "trajectory/trajectory.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace jigsaw::trajectory {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+/// Fold a coordinate into [-0.5, 0.5).
+double fold(double v) {
+  v -= std::floor(v + 0.5);
+  // Guard against -0.5 landing exactly on the upper edge after rounding.
+  if (v >= 0.5) v -= 1.0;
+  if (v < -0.5) v += 1.0;
+  return v;
+}
+}  // namespace
+
+std::string to_string(TrajectoryType t) {
+  switch (t) {
+    case TrajectoryType::Radial: return "radial";
+    case TrajectoryType::Spiral: return "spiral";
+    case TrajectoryType::Rosette: return "rosette";
+    case TrajectoryType::Random: return "random";
+    case TrajectoryType::Cartesian: return "cartesian";
+  }
+  return "unknown";
+}
+
+std::vector<Coord<2>> radial_2d(int spokes, int samples_per_spoke,
+                                bool golden_angle) {
+  JIGSAW_REQUIRE(spokes >= 1 && samples_per_spoke >= 2,
+                 "radial trajectory needs >=1 spoke, >=2 samples each");
+  std::vector<Coord<2>> out;
+  out.reserve(static_cast<std::size_t>(spokes) * samples_per_spoke);
+  const double golden = kPi * (3.0 - std::sqrt(5.0));
+  for (int s = 0; s < spokes; ++s) {
+    const double theta = golden_angle
+                             ? static_cast<double>(s) * golden
+                             : kPi * static_cast<double>(s) /
+                                   static_cast<double>(spokes);
+    const double cx = std::cos(theta), cy = std::sin(theta);
+    for (int i = 0; i < samples_per_spoke; ++i) {
+      // radius in [-0.5, 0.5), excluding the exact +0.5 edge
+      const double r = -0.5 + static_cast<double>(i) /
+                                  static_cast<double>(samples_per_spoke);
+      out.push_back({fold(r * cx), fold(r * cy)});
+    }
+  }
+  return out;
+}
+
+std::vector<Coord<2>> spiral_2d(int interleaves, int samples_per_interleave,
+                                double turns) {
+  JIGSAW_REQUIRE(interleaves >= 1 && samples_per_interleave >= 2,
+                 "spiral trajectory needs >=1 interleaf, >=2 samples");
+  std::vector<Coord<2>> out;
+  out.reserve(static_cast<std::size_t>(interleaves) * samples_per_interleave);
+  for (int il = 0; il < interleaves; ++il) {
+    const double rot = 2.0 * kPi * static_cast<double>(il) /
+                       static_cast<double>(interleaves);
+    for (int i = 0; i < samples_per_interleave; ++i) {
+      const double t = static_cast<double>(i) /
+                       static_cast<double>(samples_per_interleave);
+      const double r = 0.5 * t * (1.0 - 1e-9);
+      const double ang = 2.0 * kPi * turns * t + rot;
+      out.push_back({fold(r * std::cos(ang)), fold(r * std::sin(ang))});
+    }
+  }
+  return out;
+}
+
+std::vector<Coord<2>> rosette_2d(int samples, double w1, double w2) {
+  JIGSAW_REQUIRE(samples >= 2, "rosette needs >= 2 samples");
+  std::vector<Coord<2>> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double t = 2.0 * kPi * static_cast<double>(i) /
+                     static_cast<double>(samples);
+    const double r = 0.4999 * std::fabs(std::sin(w1 * t));
+    const double ang = w2 * t;
+    out.push_back({fold(r * std::cos(ang)), fold(r * std::sin(ang))});
+  }
+  return out;
+}
+
+std::vector<Coord<2>> random_2d(std::int64_t m, std::uint64_t seed) {
+  JIGSAW_REQUIRE(m >= 1, "need at least one sample");
+  Rng rng(seed);
+  std::vector<Coord<2>> out(static_cast<std::size_t>(m));
+  for (auto& c : out) {
+    c = {rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)};
+  }
+  return out;
+}
+
+std::vector<Coord<3>> random_3d(std::int64_t m, std::uint64_t seed) {
+  JIGSAW_REQUIRE(m >= 1, "need at least one sample");
+  Rng rng(seed ^ 0x33445566ULL);
+  std::vector<Coord<3>> out(static_cast<std::size_t>(m));
+  for (auto& c : out) {
+    c = {rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+         rng.uniform(-0.5, 0.5)};
+  }
+  return out;
+}
+
+std::vector<Coord<2>> cartesian_2d(int n, double jitter, std::uint64_t seed) {
+  JIGSAW_REQUIRE(n >= 1, "grid side must be >= 1");
+  Rng rng(seed ^ 0xabcdef12ULL);
+  std::vector<Coord<2>> out;
+  out.reserve(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      double cx = (static_cast<double>(x) - n / 2) / static_cast<double>(n);
+      double cy = (static_cast<double>(y) - n / 2) / static_cast<double>(n);
+      if (jitter > 0.0) {
+        cx += rng.uniform(-jitter, jitter) / static_cast<double>(n);
+        cy += rng.uniform(-jitter, jitter) / static_cast<double>(n);
+      }
+      out.push_back({fold(cx), fold(cy)});
+    }
+  }
+  return out;
+}
+
+std::vector<Coord<3>> stack_of_stars_3d(int spokes, int samples_per_spoke,
+                                        int nz) {
+  JIGSAW_REQUIRE(nz >= 1, "need >= 1 kz partition");
+  const auto star = radial_2d(spokes, samples_per_spoke);
+  std::vector<Coord<3>> out;
+  out.reserve(star.size() * static_cast<std::size_t>(nz));
+  for (int z = 0; z < nz; ++z) {
+    const double kz =
+        (static_cast<double>(z) - nz / 2) / static_cast<double>(nz);
+    for (const auto& s : star) out.push_back({s[0], s[1], fold(kz)});
+  }
+  return out;
+}
+
+std::vector<Coord<2>> make_2d(TrajectoryType type, std::int64_t m,
+                              std::uint64_t seed) {
+  JIGSAW_REQUIRE(m >= 4, "need at least 4 samples");
+  switch (type) {
+    case TrajectoryType::Radial: {
+      // Choose spokes ~ samples_per_spoke for a square-ish trajectory.
+      const int per = static_cast<int>(std::sqrt(static_cast<double>(m)));
+      const int spokes = static_cast<int>((m + per - 1) / per);
+      return radial_2d(spokes, per, /*golden_angle=*/false);
+    }
+    case TrajectoryType::Spiral: {
+      const int per = static_cast<int>(std::sqrt(static_cast<double>(m) * 8));
+      const int il = static_cast<int>((m + per - 1) / per);
+      return spiral_2d(il, per);
+    }
+    case TrajectoryType::Rosette:
+      return rosette_2d(static_cast<int>(m));
+    case TrajectoryType::Random:
+      return random_2d(m, seed);
+    case TrajectoryType::Cartesian: {
+      const int n = static_cast<int>(std::sqrt(static_cast<double>(m)));
+      return cartesian_2d(n, 0.0, seed);
+    }
+  }
+  throw std::invalid_argument("jigsaw: unknown trajectory type");
+}
+
+std::vector<double> radial_density_weights(
+    const std::vector<Coord<2>>& coords) {
+  // Ramp filter |k| with the small-|k| plateau: w = max(|k|, 1/(2*pi*M_r))
+  // where M_r approximates the ring count. Normalized to mean 1.
+  std::vector<double> w(coords.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const double r = std::sqrt(coords[i][0] * coords[i][0] +
+                               coords[i][1] * coords[i][1]);
+    w[i] = std::max(r, 1e-4);
+    sum += w[i];
+  }
+  const double scale = static_cast<double>(coords.size()) / sum;
+  for (auto& v : w) v *= scale;
+  return w;
+}
+
+}  // namespace jigsaw::trajectory

@@ -1,0 +1,64 @@
+// Non-uniform k-space sampling trajectory generators.
+//
+// Coordinates are produced in normalized torus units: each component lies in
+// [-0.5, 0.5), where +/-0.5 is the Nyquist edge of an N-point grid (multiply
+// by N to get cycles/FOV). All generators are deterministic for a given
+// parameter set / seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jigsaw::trajectory {
+
+enum class TrajectoryType {
+  Radial,      // equally angulated spokes through k-space center
+  Spiral,      // Archimedean interleaved spiral
+  Rosette,     // rosette petals (oscillating radius)
+  Random,      // i.i.d. uniform on the torus
+  Cartesian,   // on-grid points, optionally jittered
+};
+
+std::string to_string(TrajectoryType t);
+
+/// 2D radial: `spokes` diameters, `samples_per_spoke` points each, golden- or
+/// uniform-angle increments. Radius spans [-0.5, 0.5).
+std::vector<Coord<2>> radial_2d(int spokes, int samples_per_spoke,
+                                bool golden_angle = false);
+
+/// 2D Archimedean spiral with `interleaves` rotated copies.
+std::vector<Coord<2>> spiral_2d(int interleaves, int samples_per_interleave,
+                                double turns = 16.0);
+
+/// 2D rosette: r(t) = 0.5 |sin(w1 t)|, angle w2 t.
+std::vector<Coord<2>> rosette_2d(int samples, double w1 = 3.0,
+                                 double w2 = 5.0);
+
+/// i.i.d. uniform samples on the d-torus.
+std::vector<Coord<2>> random_2d(std::int64_t m, std::uint64_t seed);
+std::vector<Coord<3>> random_3d(std::int64_t m, std::uint64_t seed);
+
+/// On-grid Cartesian points of an n x n grid, optionally jittered by
+/// `jitter` grid cells (jitter = 0 gives exactly uniform sampling; useful
+/// for validating gridding against plain FFT results).
+std::vector<Coord<2>> cartesian_2d(int n, double jitter, std::uint64_t seed);
+
+/// 3D stack-of-stars: radial in (x, y) replicated across `nz` evenly spaced
+/// kz partitions.
+std::vector<Coord<3>> stack_of_stars_3d(int spokes, int samples_per_spoke,
+                                        int nz);
+
+/// Dispatch by enum; m is the requested total sample count (generators round
+/// to their natural granularity, e.g. whole spokes).
+std::vector<Coord<2>> make_2d(TrajectoryType type, std::int64_t m,
+                              std::uint64_t seed = 42);
+
+/// Analytic density-compensation weights for a radial trajectory (ramp |k|,
+/// with the standard center-sample correction). `coords` must come from
+/// radial_2d with the same geometry.
+std::vector<double> radial_density_weights(const std::vector<Coord<2>>& coords);
+
+}  // namespace jigsaw::trajectory

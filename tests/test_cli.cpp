@@ -1,0 +1,108 @@
+// CLI flag parser and PGM writer tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "common/pgm.hpp"
+#include "common/types.hpp"
+
+namespace jigsaw {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv,
+              std::vector<std::string> flags) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(v.size()), v.data(), flags);
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  const auto a = parse({"--n", "128", "--engine", "slice-dice"},
+                       {"n", "engine"});
+  EXPECT_EQ(a.get_int("n", 0), 128);
+  EXPECT_EQ(a.get("engine"), "slice-dice");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const auto a = parse({"--sigma=1.5", "--n=64"}, {"sigma", "n"});
+  EXPECT_DOUBLE_EQ(a.get_double("sigma", 0), 1.5);
+  EXPECT_EQ(a.get_int("n", 0), 64);
+}
+
+TEST(Cli, BooleanFlags) {
+  const auto a = parse({"--3d", "--n", "32"}, {"3d", "n"});
+  EXPECT_TRUE(a.has("3d"));
+  EXPECT_FALSE(a.has("z-binned"));
+  EXPECT_EQ(a.get_int("n", 0), 32);
+}
+
+TEST(Cli, BooleanFlagFollowedByFlag) {
+  const auto a = parse({"--exact-weights", "--n", "16"},
+                       {"exact-weights", "n"});
+  EXPECT_TRUE(a.has("exact-weights"));
+  EXPECT_EQ(a.get("exact-weights"), "");
+  EXPECT_EQ(a.get_int("n", 0), 16);
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto a = parse({"recon", "--n", "8", "extra"}, {"n"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "recon");
+  EXPECT_EQ(a.positional()[1], "extra");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto a = parse({}, {"n"});
+  EXPECT_EQ(a.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(a.get_double("n", 1.5), 1.5);
+  EXPECT_EQ(a.get("n", "x"), "x");
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"n"}), std::invalid_argument);
+}
+
+TEST(Pgm, WritesValidHeaderAndPayload) {
+  std::vector<double> img = {0.0, 0.5, 1.0, 0.25};
+  const std::string path = "test_pgm_out.pgm";
+  ASSERT_TRUE(write_pgm(path, img, 2, 2));
+  std::ifstream f(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxval;
+  f >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 2);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  f.get();  // single whitespace after header
+  unsigned char px[4];
+  f.read(reinterpret_cast<char*>(px), 4);
+  EXPECT_EQ(px[0], 0);    // min -> 0
+  EXPECT_EQ(px[2], 255);  // max -> 255
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ComplexOverloadUsesMagnitude) {
+  std::vector<c64> img = {{3, 4}, {0, 0}};
+  const std::string path = "test_pgm_c.pgm";
+  ASSERT_TRUE(write_pgm(path, img, 2, 1));
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ConstantImageDoesNotDivideByZero) {
+  std::vector<double> img(9, 0.7);
+  const std::string path = "test_pgm_const.pgm";
+  ASSERT_TRUE(write_pgm(path, img, 3, 3));
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, RejectsGeometryMismatch) {
+  std::vector<double> img(5, 0.0);
+  EXPECT_FALSE(write_pgm("x.pgm", img, 2, 2));
+  EXPECT_FALSE(write_pgm("x.pgm", img, 0, 5));
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,82 @@
+// DMA stream model tests (paper Sec. IV "System Integration").
+#include <gtest/gtest.h>
+
+#include "jigsaw/dma.hpp"
+
+namespace jigsaw::sim {
+namespace {
+
+TEST(Dma, BreakEvenBandwidthIs16GBsAt1GHz) {
+  DmaConfig cfg;
+  EXPECT_NEAR(break_even_bandwidth(cfg), 16e9, 1.0);
+  EXPECT_TRUE(stall_free(cfg));  // DDR4-class 20 GB/s > 16 GB/s
+}
+
+TEST(Dma, StallFreeAtPaperBandwidth) {
+  DmaConfig cfg;  // 20 GB/s
+  const auto t = offload_timeline(cfg, 1000000, 1024 * 1024, 12);
+  EXPECT_EQ(t.stall_cycles, 0);
+  // Port-limited: exactly one sample per nanosecond.
+  EXPECT_NEAR(t.stream_in_seconds, 1e-3, 1e-9);
+}
+
+TEST(Dma, StallsAppearBelowBreakEven) {
+  DmaConfig cfg;
+  cfg.link_bandwidth_bytes_per_s = 8e9;  // half the required rate
+  EXPECT_FALSE(stall_free(cfg));
+  const long long m = 1000000;
+  const auto t = offload_timeline(cfg, m, 0, 12);
+  // 16 B/sample over 8 GB/s = 2 ns/sample: one stall cycle per sample.
+  EXPECT_NEAR(static_cast<double>(t.stall_cycles), static_cast<double>(m),
+              static_cast<double>(m) * 0.01);
+}
+
+TEST(Dma, DrainIsPipelineDepth) {
+  DmaConfig cfg;
+  const auto t2 = offload_timeline(cfg, 100, 0, 12);
+  EXPECT_NEAR(t2.compute_drain_seconds, 12e-9, 1e-15);
+  const auto t3 = offload_timeline(cfg, 100, 0, 15);
+  EXPECT_NEAR(t3.compute_drain_seconds, 15e-9, 1e-15);
+}
+
+TEST(Dma, ReadoutPortLimitedAtTwoPointsPerCycle) {
+  DmaConfig cfg;  // 20 GB/s link can carry 2.5 points/ns; port caps at 2
+  const auto t = offload_timeline(cfg, 0, 1024 * 1024, 12);
+  EXPECT_NEAR(t.stream_out_seconds, 1024.0 * 1024.0 / 2.0 * 1e-9, 1e-12);
+}
+
+TEST(Dma, ReadoutLinkLimitedOnSlowBus) {
+  DmaConfig cfg;
+  cfg.link_bandwidth_bytes_per_s = 4e9;  // 0.5 points/ns
+  const long long pts = 1 << 20;
+  const auto t = offload_timeline(cfg, 0, pts, 12);
+  EXPECT_NEAR(t.stream_out_seconds,
+              static_cast<double>(pts) * 8.0 / 4e9, 1e-12);
+}
+
+TEST(Dma, TotalIsSumOfPhases) {
+  DmaConfig cfg;
+  const auto t = offload_timeline(cfg, 5000, 4096, 12);
+  EXPECT_NEAR(t.total_seconds(),
+              t.stream_in_seconds + t.compute_drain_seconds +
+                  t.stream_out_seconds,
+              1e-18);
+}
+
+TEST(Dma, TurnaroundAddsToDrain) {
+  DmaConfig cfg;
+  cfg.turnaround_cycles = 100;
+  const auto t = offload_timeline(cfg, 10, 0, 12);
+  EXPECT_NEAR(t.compute_drain_seconds, 112e-9, 1e-15);
+}
+
+TEST(Dma, RejectsBadInputs) {
+  DmaConfig cfg;
+  cfg.link_bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(offload_timeline(cfg, 10, 10, 12), std::invalid_argument);
+  DmaConfig ok;
+  EXPECT_THROW(offload_timeline(ok, -1, 10, 12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jigsaw::sim

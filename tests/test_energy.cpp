@@ -1,0 +1,185 @@
+// Energy/area model tests: the calibrated 16 nm model must reproduce all
+// four rows of the paper's Table II, and the GPU projection model must
+// preserve the orderings the paper reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/asic_model.hpp"
+#include "energy/gpu_model.hpp"
+
+namespace jigsaw::energy {
+namespace {
+
+AsicConfig config_2d() {
+  AsicConfig c;
+  c.grid_n = 1024;
+  c.tile = 8;
+  c.window = 6;
+  c.three_d = false;
+  return c;
+}
+
+AsicConfig config_3d() {
+  AsicConfig c = config_2d();
+  c.three_d = true;
+  c.nz = 1024;
+  c.wz = 6;
+  return c;
+}
+
+void expect_within(double value, double target, double rel) {
+  EXPECT_NEAR(value, target, rel * target) << "target " << target;
+}
+
+TEST(AsicModel, TableII_2DWithSram) {
+  // Paper: 216.86 mW, 12.20 mm^2.
+  const auto e = estimate_asic(config_2d());
+  expect_within(e.power_mw, 216.86, 0.02);
+  expect_within(e.area_mm2, 12.20, 0.02);
+  EXPECT_NEAR(e.accum_sram_mb, 8.0, 0.01);
+}
+
+TEST(AsicModel, TableII_2DNoAccumSram) {
+  // Paper: 94.22 mW, 0.42 mm^2.
+  auto c = config_2d();
+  c.include_accum_sram = false;
+  const auto e = estimate_asic(c);
+  expect_within(e.power_mw, 94.22, 0.02);
+  expect_within(e.area_mm2, 0.42, 0.02);
+}
+
+TEST(AsicModel, TableII_3DSliceWithSram) {
+  // Paper: 104.36 mW, 12.42 mm^2.
+  const auto e = estimate_asic(config_3d());
+  expect_within(e.power_mw, 104.36, 0.02);
+  expect_within(e.area_mm2, 12.42, 0.02);
+}
+
+TEST(AsicModel, TableII_3DSliceNoAccumSram) {
+  // Paper: 63.62 mW, 0.64 mm^2.
+  auto c = config_3d();
+  c.include_accum_sram = false;
+  const auto e = estimate_asic(c);
+  expect_within(e.power_mw, 63.62, 0.02);
+  expect_within(e.area_mm2, 0.64, 0.02);
+}
+
+TEST(AsicModel, SramDominatesAreaAndPower) {
+  // Paper Sec. VI-B: ~95% of area and >56% of power is the target-grid SRAM.
+  const auto e = estimate_asic(config_2d());
+  EXPECT_GT(e.accum_sram_area_mm2 / e.area_mm2, 0.90);
+  EXPECT_GT(e.accum_sram_power_mw / e.power_mw, 0.50);
+}
+
+TEST(AsicModel, ThreeDSliceDrawsLessPowerDueToLowActivity) {
+  // Paper Sec. VI-B: lower switching activity in the 3D Slice variant.
+  const auto p2 = estimate_asic(config_2d()).power_mw;
+  const auto p3 = estimate_asic(config_3d()).power_mw;
+  EXPECT_LT(p3, p2);
+}
+
+TEST(AsicModel, AreaScalesWithGridSize) {
+  auto small = config_2d();
+  small.grid_n = 256;
+  const auto es = estimate_asic(small);
+  const auto el = estimate_asic(config_2d());
+  // 16x fewer grid points -> ~16x less accumulation SRAM.
+  EXPECT_NEAR(el.accum_sram_area_mm2 / es.accum_sram_area_mm2, 16.0, 0.1);
+}
+
+TEST(AsicModel, PipelineDepths) {
+  EXPECT_EQ(pipeline_depth(false), 12);
+  EXPECT_EQ(pipeline_depth(true), 15);
+}
+
+TEST(AsicModel, CycleFormulas) {
+  auto c2 = config_2d();
+  EXPECT_EQ(gridding_cycles(c2, 1000000), 1000012);
+  auto c3 = config_3d();
+  c3.nz = 64;
+  c3.wz = 6;
+  EXPECT_EQ(gridding_cycles(c3, 1000), (1000 + 15) * 64);
+  EXPECT_EQ(gridding_cycles(c3, 1000, /*z_binned=*/true), (1000 + 15) * 6);
+}
+
+TEST(AsicModel, EnergyMatchesPowerTimesTime) {
+  const auto c = config_2d();
+  const long long m = 1000000;
+  const double e = gridding_energy_j(c, m);
+  const auto est = estimate_asic(c);
+  const double t = static_cast<double>(m + 12) * 1e-9;
+  EXPECT_NEAR(e, est.power_mw * 1e-3 * t, 1e-12);
+  // Order of magnitude: ~217 uJ for a 1M-sample gridding, in the paper's
+  // "tens to hundreds of microjoules" regime (avg 83.89 uJ across images).
+  EXPECT_GT(e, 1e-6);
+  EXPECT_LT(e, 1e-3);
+}
+
+TEST(AsicModel, RejectsInvalidGeometry) {
+  auto c = config_2d();
+  c.window = 9;
+  c.tile = 8;
+  EXPECT_THROW(estimate_asic(c), std::invalid_argument);
+  auto c2 = config_2d();
+  c2.grid_n = 4;
+  c2.tile = 8;
+  EXPECT_THROW(estimate_asic(c2), std::invalid_argument);
+}
+
+TEST(GpuModel, PaperCalibratedParameterSets) {
+  const auto imp = impatient_gpu();
+  EXPECT_NEAR(imp.occupancy, 0.47, 1e-9);
+  EXPECT_NEAR(imp.l2_hit_rate, 0.80, 1e-9);
+  const auto sd = slice_and_dice_gpu();
+  EXPECT_NEAR(sd.occupancy, 0.80, 1e-9);
+  EXPECT_NEAR(sd.l2_hit_rate, 0.98, 1e-9);
+}
+
+TEST(GpuModel, SliceAndDiceProjectsFasterThanImpatient) {
+  // The projections are applied to the measured serial time of each
+  // implementation's own algorithm. Binning's serial time is far larger
+  // (redundant checks + on-line weights — our fig6 harness measures
+  // roughly 20-60x the slice-and-dice serial time); even after its
+  // simd_overlap credit, the projected Impatient kernel stays well behind.
+  const double snd_cpu_s = 1.0;
+  const double binning_cpu_s = 25.0;  // representative measured ratio
+  const double sd = projected_gpu_seconds(slice_and_dice_gpu(), snd_cpu_s);
+  const double imp = projected_gpu_seconds(impatient_gpu(), binning_cpu_s);
+  EXPECT_LT(sd, imp);
+  // Paper: Slice-and-Dice ~16x over Impatient at gridding.
+  EXPECT_GT(imp / sd, 4.0);
+  EXPECT_LT(imp / sd, 60.0);
+}
+
+TEST(GpuModel, SimdOverlapOnlyCreditsImpatient) {
+  EXPECT_GT(impatient_gpu().simd_overlap, 1.0);
+  EXPECT_DOUBLE_EQ(slice_and_dice_gpu().simd_overlap, 1.0);
+}
+
+TEST(GpuModel, BaselineOverheadDerivedFromPaperNumbers) {
+  // MIRT ~1.7-2.4 us/sample (implied by the paper's JIGSAW speedups) over
+  // our measured ~0.13-0.14 us/sample serial C++ baseline.
+  EXPECT_GE(kMatlabBaselineOverhead, 10.0);
+  EXPECT_LE(kMatlabBaselineOverhead, 20.0);
+}
+
+TEST(GpuModel, SpeedupMonotoneInOccupancyAndHitRate) {
+  GpuModelParams p = slice_and_dice_gpu();
+  const double base = gpu_speedup(p);
+  p.occupancy *= 0.5;
+  EXPECT_LT(gpu_speedup(p), base);
+  p = slice_and_dice_gpu();
+  p.l2_hit_rate = 0.5;
+  EXPECT_LT(gpu_speedup(p), base);
+}
+
+TEST(GpuModel, EnergyIsPowerTimesProjectedTime) {
+  const auto p = slice_and_dice_gpu();
+  const double cpu_s = 2.0;
+  EXPECT_NEAR(projected_gpu_energy_j(p, cpu_s),
+              p.board_power_w * projected_gpu_seconds(p, cpu_s), 1e-12);
+}
+
+}  // namespace
+}  // namespace jigsaw::energy

@@ -1,0 +1,160 @@
+// Fixed-point arithmetic tests: Q-format conversions, saturation, wrapping,
+// rounding multiplies, and Knuth's 3-multiplication complex product.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.hpp"
+#include "fixed/fixed.hpp"
+
+namespace jigsaw::fixed {
+namespace {
+
+using Q15 = Fixed<16, 15>;
+using Q24 = Fixed<32, 24>;
+
+TEST(Fixed, ZeroIsZero) {
+  EXPECT_EQ(Q15{}.raw(), 0);
+  EXPECT_EQ(Q15::from_double(0.0).to_double(), 0.0);
+}
+
+TEST(Fixed, RoundTripWithinHalfLsb) {
+  Rng rng(5);
+  const double lsb15 = std::ldexp(1.0, -15);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-0.999, 0.999);
+    EXPECT_NEAR(Q15::from_double(v).to_double(), v, 0.5 * lsb15 + 1e-12);
+  }
+  const double lsb24 = std::ldexp(1.0, -24);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-100.0, 100.0);
+    EXPECT_NEAR(Q24::from_double(v).to_double(), v, 0.5 * lsb24 + 1e-12);
+  }
+}
+
+TEST(Fixed, ConversionSaturates) {
+  EXPECT_EQ(Q15::from_double(2.0).raw(), Q15::max_raw);
+  EXPECT_EQ(Q15::from_double(-2.0).raw(), Q15::min_raw);
+  EXPECT_EQ(Q24::from_double(1e9).raw(), Q24::max_raw);
+  EXPECT_EQ(Q24::from_double(-1e9).raw(), Q24::min_raw);
+}
+
+TEST(Fixed, OneIsSaturatedInQ15) {
+  // Q1.15 cannot represent exactly 1.0 — clamps to 32767/32768.
+  EXPECT_EQ(Q15::from_double(1.0).raw(), 32767);
+}
+
+TEST(Fixed, AdditionIsExactWhenInRange) {
+  const auto a = Q24::from_double(1.25);
+  const auto b = Q24::from_double(-0.75);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+}
+
+TEST(Fixed, WrappingAddWrapsLikeHardware) {
+  const auto big = Q24::from_raw(Q24::max_raw);
+  const auto one = Q24::from_raw(1);
+  EXPECT_EQ((big + one).raw(), Q24::min_raw);  // two's-complement wrap
+}
+
+TEST(Fixed, SaturatingAddClamps) {
+  const auto big = Q24::from_raw(Q24::max_raw);
+  const auto one = Q24::from_raw(1);
+  EXPECT_EQ(Q24::sat_add(big, one).raw(), Q24::max_raw);
+  const auto small = Q24::from_raw(Q24::min_raw);
+  EXPECT_EQ(Q24::sat_add(small, -one).raw(), Q24::min_raw);
+  EXPECT_EQ(Q24::sat_add(one, one).raw(), 2);
+}
+
+TEST(Fixed, MultiplyMatchesDoubleWithinLsb) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform(-0.99, 0.99);
+    const double b = rng.uniform(-0.99, 0.99);
+    const auto fa = Q15::from_double(a);
+    const auto fb = Q15::from_double(b);
+    const auto prod = fx_mul<Q24>(fa, fb);
+    EXPECT_NEAR(prod.to_double(), fa.to_double() * fb.to_double(),
+                std::ldexp(1.0, -24));
+  }
+}
+
+TEST(Fixed, MultiplyByOneHalfShifts) {
+  const auto half = Q15::from_double(0.5);
+  const auto v = Q24::from_double(3.0);
+  EXPECT_NEAR(fx_mul<Q24>(half, v).to_double(), 1.5, std::ldexp(1.0, -23));
+}
+
+TEST(Fixed, MultiplyRoundsToNearest) {
+  // 1 LSB * 1 LSB in Q15*Q15 -> Q15: value 2^-30, rounds to 0.
+  const auto eps = Q15::from_raw(1);
+  EXPECT_EQ(fx_mul<Q15>(eps, eps).raw(), 0);
+  // 0.5 * 1 LSB = 2^-16 -> rounds to 1 raw in Q15 (half-up).
+  const auto half = Q15::from_double(0.5);
+  EXPECT_EQ(fx_mul<Q15>(half, eps).raw(), 1);
+}
+
+TEST(ComplexFixed, RoundTrip) {
+  const c64 v(0.25, -0.5);
+  const auto f = Complex<Q15>::from_c64(v);
+  EXPECT_NEAR(f.to_c64().real(), 0.25, 1e-4);
+  EXPECT_NEAR(f.to_c64().imag(), -0.5, 1e-4);
+}
+
+TEST(ComplexFixed, AddSub) {
+  const auto a = Complex<Q24>::from_c64({1.0, 2.0});
+  const auto b = Complex<Q24>::from_c64({0.5, -1.0});
+  EXPECT_NEAR((a + b).to_c64().real(), 1.5, 1e-6);
+  EXPECT_NEAR((a + b).to_c64().imag(), 1.0, 1e-6);
+  EXPECT_NEAR((a - b).to_c64().real(), 0.5, 1e-6);
+  EXPECT_NEAR((a - b).to_c64().imag(), 3.0, 1e-6);
+}
+
+TEST(KnuthCmul, MatchesComplexMultiply) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const c64 a(rng.uniform(-0.9, 0.9), rng.uniform(-0.9, 0.9));
+    const c64 b(rng.uniform(-0.9, 0.9), rng.uniform(-0.9, 0.9));
+    const auto fa = Complex<Q15>::from_c64(a);
+    const auto fb = Complex<Q15>::from_c64(b);
+    const auto prod = knuth_cmul<Q24>(fa, fb);
+    const c64 expect = fa.to_c64() * fb.to_c64();
+    EXPECT_NEAR(prod.to_c64().real(), expect.real(), std::ldexp(1.0, -23));
+    EXPECT_NEAR(prod.to_c64().imag(), expect.imag(), std::ldexp(1.0, -23));
+  }
+}
+
+TEST(KnuthCmul, RealWeightTimesComplexValue) {
+  // The gridding datapath multiplies a real (imag=0) weight with a complex
+  // sample; check the imaginary weight path contributes nothing.
+  const auto w = Complex<Q15>{Q15::from_double(0.75), Q15{}};
+  const auto v = Complex<Q24>::from_c64({0.5, -0.25});
+  const auto prod = knuth_cmul<Q24>(w, v);
+  EXPECT_NEAR(prod.to_c64().real(), 0.375, 1e-4);
+  EXPECT_NEAR(prod.to_c64().imag(), -0.1875, 1e-4);
+}
+
+TEST(KnuthCmul, MixedWidths) {
+  // 32-bit x 16-bit products (3D weight combine) stay within 64-bit.
+  using Q30 = Fixed<32, 30>;
+  const auto a = Complex<Q30>::from_c64({0.6, 0.2});
+  const auto b = Complex<Q15>::from_c64({0.5, -0.5});
+  const auto prod = knuth_cmul<Q30>(a, b);
+  const c64 expect = a.to_c64() * b.to_c64();
+  EXPECT_NEAR(prod.to_c64().real(), expect.real(), 1e-6);
+  EXPECT_NEAR(prod.to_c64().imag(), expect.imag(), 1e-6);
+}
+
+TEST(KnuthCmul, UnitImaginaryRotation) {
+  // (0 + i) * (x + iy) = -y + ix
+  const auto i_unit = Complex<Q15>{Q15{}, Q15::from_double(0.99996)};
+  const auto v = Complex<Q24>::from_c64({0.5, 0.25});
+  const auto prod = knuth_cmul<Q24>(i_unit, v);
+  EXPECT_NEAR(prod.to_c64().real(), -0.25, 1e-4);
+  EXPECT_NEAR(prod.to_c64().imag(), 0.5, 1e-4);
+}
+
+}  // namespace
+}  // namespace jigsaw::fixed

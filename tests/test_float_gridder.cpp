@@ -1,0 +1,120 @@
+// Single-precision gridder tests (the paper's GPU numeric configuration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/float_gridder.hpp"
+#include "core/metrics.hpp"
+#include "core/serial_gridder.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+template <int D>
+SampleSet<D> random_samples(std::int64_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  SampleSet<D> s;
+  s.coords.resize(static_cast<std::size_t>(m));
+  s.values.resize(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (int d = 0; d < D; ++d) {
+      s.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+          rng.uniform(-0.5, 0.5);
+    }
+    s.values[static_cast<std::size_t>(j)] =
+        c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  return s;
+}
+
+GridderOptions base_options() {
+  GridderOptions opt;
+  opt.width = 6;
+  opt.tile = 8;
+  return opt;
+}
+
+TEST(FloatGridder, AdjointWithinSinglePrecisionOfDouble) {
+  const auto opt = base_options();
+  const std::int64_t n = 16;
+  const auto in = random_samples<2>(500, 1);
+
+  SerialGridder<2> ref(n, opt);
+  Grid<2> gref(ref.grid_size());
+  ref.adjoint(in, gref);
+
+  FloatGridder<2> f32(n, opt);
+  Grid<2> gf(f32.grid_size());
+  f32.adjoint(in, gf);
+
+  const std::vector<c64> a(gf.data(), gf.data() + gf.total());
+  const std::vector<c64> b(gref.data(), gref.data() + gref.total());
+  const double e = nrmsd(a, b);
+  EXPECT_GT(e, 0.0);      // it IS single precision
+  EXPECT_LT(e, 5e-6);     // but within float32 roundoff of the reference
+}
+
+TEST(FloatGridder, ErrorGrowsWithAccumulationDepth) {
+  // More samples hitting the same grid points -> more float roundoff
+  // (the mechanism behind the paper's 0.047% float figure on large data).
+  const auto opt = base_options();
+  const std::int64_t n = 16;
+  auto run = [&](std::int64_t m) {
+    const auto in = random_samples<2>(m, 2);
+    SerialGridder<2> ref(n, opt);
+    Grid<2> gref(ref.grid_size());
+    ref.adjoint(in, gref);
+    FloatGridder<2> f32(n, opt);
+    Grid<2> gf(f32.grid_size());
+    f32.adjoint(in, gf);
+    return nrmsd(std::vector<c64>(gf.data(), gf.data() + gf.total()),
+                 std::vector<c64>(gref.data(), gref.data() + gref.total()));
+  };
+  EXPECT_LT(run(100), run(20000) * 3.0);  // not strictly monotone, but the
+  EXPECT_GT(run(20000), 0.0);             // deep accumulation isn't free
+}
+
+TEST(FloatGridder, ForwardWithinSinglePrecision) {
+  const auto opt = base_options();
+  const std::int64_t n = 16;
+  auto in = random_samples<2>(200, 3);
+  SerialGridder<2> ref(n, opt);
+  Grid<2> grid(ref.grid_size());
+  ref.adjoint(in, grid);
+
+  SampleSet<2> out_ref = in;
+  ref.forward(grid, out_ref);
+  SampleSet<2> out_f32 = in;
+  FloatGridder<2> f32(n, opt);
+  f32.forward(grid, out_f32);
+
+  EXPECT_LT(nrmsd(out_f32.values, out_ref.values), 5e-6);
+}
+
+TEST(FloatGridder, FactoryAndName) {
+  GridderOptions opt = base_options();
+  opt.kind = GridderKind::FloatSerial;
+  auto g = make_gridder<2>(16, opt);
+  EXPECT_EQ(g->kind(), GridderKind::FloatSerial);
+  EXPECT_EQ(to_string(GridderKind::FloatSerial), "serial-f32");
+}
+
+TEST(FloatGridder, ThreeDWorks) {
+  GridderOptions opt = base_options();
+  opt.width = 4;
+  const std::int64_t n = 8;
+  const auto in = random_samples<3>(150, 4);
+  SerialGridder<3> ref(n, opt);
+  Grid<3> gref(ref.grid_size());
+  ref.adjoint(in, gref);
+  FloatGridder<3> f32(n, opt);
+  Grid<3> gf(f32.grid_size());
+  f32.adjoint(in, gf);
+  EXPECT_LT(nrmsd(std::vector<c64>(gf.data(), gf.data() + gf.total()),
+                  std::vector<c64>(gref.data(), gref.data() + gref.total())),
+            5e-6);
+}
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -1,0 +1,219 @@
+// Work-counter semantics tests — these counters substantiate the paper's
+// Sec. II-III analysis (boundary-check counts, duplicate sample processing,
+// presort overhead), so their definitions are pinned down here.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/binning_gridder.hpp"
+#include "core/output_driven_gridder.hpp"
+#include "core/serial_gridder.hpp"
+#include "core/slice_dice_gridder.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+template <int D>
+SampleSet<D> random_samples(std::int64_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  SampleSet<D> s;
+  s.coords.resize(static_cast<std::size_t>(m));
+  s.values.resize(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (int d = 0; d < D; ++d) {
+      s.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+          rng.uniform(-0.5, 0.5);
+    }
+    s.values[static_cast<std::size_t>(j)] = c64(rng.uniform(-1, 1), 0.0);
+  }
+  return s;
+}
+
+GridderOptions base_options() {
+  GridderOptions opt;
+  opt.width = 6;
+  opt.tile = 8;
+  return opt;
+}
+
+TEST(Stats, SerialCountsExactWork) {
+  auto opt = base_options();
+  SerialGridder<2> g(16, opt);
+  const auto in = random_samples<2>(100, 1);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  const auto& s = g.stats();
+  EXPECT_EQ(s.samples_processed, 100u);
+  EXPECT_EQ(s.interpolations, 100u * 36u);   // W^2 per sample
+  EXPECT_EQ(s.lut_lookups, 100u * 2u * 6u);  // D*W per sample
+  EXPECT_EQ(s.boundary_checks, 0u);          // input-driven: none
+  EXPECT_EQ(s.presort_seconds, 0.0);
+  EXPECT_GT(s.grid_seconds, 0.0);
+}
+
+TEST(Stats, OutputDrivenChecksAreMTimesGridPoints) {
+  // The Sec. II-C strawman: M boundary checks per uniform grid point.
+  auto opt = base_options();
+  opt.kind = GridderKind::OutputDriven;
+  OutputDrivenGridder<2> g(16, opt);  // G = 32
+  const auto in = random_samples<2>(50, 2);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  EXPECT_EQ(g.stats().boundary_checks, 50u * 32u * 32u);
+  // Every sample still lands on exactly W^2 points.
+  EXPECT_EQ(g.stats().interpolations, 50u * 36u);
+}
+
+TEST(Stats, SliceDiceModelFaithfulChecksAreMTimesColumns) {
+  // Slice-and-Dice reduces checks to M * T^d (paper Sec. III).
+  auto opt = base_options();
+  opt.model_faithful_checks = true;
+  SliceDiceGridder<2> g(16, opt);
+  const auto in = random_samples<2>(75, 3);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  EXPECT_EQ(g.stats().boundary_checks, 75u * 64u);  // T^2 = 64
+  EXPECT_EQ(g.stats().interpolations, 75u * 36u);
+}
+
+TEST(Stats, SliceDiceDirectTouchesOnlyAffectedColumns) {
+  auto opt = base_options();
+  SliceDiceGridder<2> g(16, opt);
+  const auto in = random_samples<2>(75, 3);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  EXPECT_EQ(g.stats().boundary_checks, 75u * 36u);
+  EXPECT_EQ(g.stats().samples_processed, 75u);
+}
+
+TEST(Stats, CheckReductionRatioIsGridOverTile) {
+  // Paper Sec. III: complexity reduction of N^d/T^d versus naive parallel.
+  auto opt = base_options();
+  const std::int64_t n = 16;
+  const auto in = random_samples<2>(40, 4);
+
+  opt.kind = GridderKind::OutputDriven;
+  OutputDrivenGridder<2> naive(n, opt);
+  Grid<2> grid(naive.grid_size());
+  naive.adjoint(in, grid);
+
+  opt.model_faithful_checks = true;
+  SliceDiceGridder<2> sd(n, opt);
+  sd.adjoint(in, grid);
+
+  const double ratio =
+      static_cast<double>(naive.stats().boundary_checks) /
+      static_cast<double>(sd.stats().boundary_checks);
+  const double g = 32, t = 8;
+  EXPECT_DOUBLE_EQ(ratio, (g / t) * (g / t));
+}
+
+TEST(Stats, BinningDuplicatesSamplesAcrossBins) {
+  // Samples within W/2 of tile edges land in multiple bins (paper Fig. 3a).
+  auto opt = base_options();
+  opt.kind = GridderKind::Binning;
+  BinningGridder<2> g(16, opt);
+  const auto in = random_samples<2>(200, 5);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  // With T=8, W=6 the window spans 6 cells: most samples straddle a tile
+  // boundary in at least one dimension.
+  EXPECT_GT(g.stats().samples_processed, 200u);
+  EXPECT_GT(g.stats().presort_seconds, 0.0);
+}
+
+TEST(Stats, BinningChecksEqualTilePointsTimesBinSizes) {
+  auto opt = base_options();
+  opt.kind = GridderKind::Binning;
+  BinningGridder<2> g(16, opt);
+  const auto in = random_samples<2>(100, 6);
+  const auto bins = g.presort(in);
+  std::uint64_t expect = 0;
+  for (const auto& bin : bins) expect += bin.size() * 64u;  // B^2 = 64
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  EXPECT_EQ(g.stats().boundary_checks, expect);
+}
+
+TEST(Stats, BinningPresortCoversEverySample) {
+  auto opt = base_options();
+  opt.kind = GridderKind::Binning;
+  BinningGridder<2> g(16, opt);
+  const auto in = random_samples<2>(50, 7);
+  const auto bins = g.presort(in);
+  std::vector<int> seen(50, 0);
+  for (const auto& bin : bins) {
+    for (auto j : bin) seen[static_cast<std::size_t>(j)]++;
+  }
+  for (int c : seen) {
+    EXPECT_GE(c, 1);  // every sample is in at least one bin
+    EXPECT_LE(c, 4);  // and at most 2^d bins in 2D
+  }
+}
+
+TEST(Stats, BinningCornerSampleLandsInFourBins) {
+  // A sample whose window straddles a tile corner is placed in 4 bins
+  // (samples d and f in paper Fig. 3a).
+  auto opt = base_options();
+  opt.kind = GridderKind::Binning;
+  BinningGridder<2> g(16, opt);  // G=32, tiles 4x4 of 8x8
+  SampleSet<2> in;
+  // Grid coordinate (8.0, 8.0) sits exactly on a tile corner:
+  // tau = 8/32 - 0.5 = -0.25.
+  in.coords = {{-0.25, -0.25}};
+  in.values = {c64(1.0, 0.0)};
+  const auto bins = g.presort(in);
+  int placements = 0;
+  for (const auto& bin : bins) placements += static_cast<int>(bin.size());
+  EXPECT_EQ(placements, 4);
+}
+
+TEST(Stats, CenterOfTileSampleLandsInOneBin) {
+  auto opt = base_options();
+  opt.kind = GridderKind::Binning;
+  BinningGridder<2> g(16, opt);
+  SampleSet<2> in;
+  // Grid coordinate (4.0, 4.0): window [1.x, 7] inside tile 0 (cells 0..7).
+  in.coords = {{4.0 / 32.0 - 0.5, 4.0 / 32.0 - 0.5}};
+  in.values = {c64(1.0, 0.0)};
+  const auto bins = g.presort(in);
+  int placements = 0;
+  for (const auto& bin : bins) placements += static_cast<int>(bin.size());
+  EXPECT_EQ(placements, 1);
+}
+
+TEST(Stats, ExactWeightsCountKernelEvals) {
+  auto opt = base_options();
+  opt.exact_weights = true;
+  SerialGridder<2> g(16, opt);
+  const auto in = random_samples<2>(30, 8);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  EXPECT_EQ(g.stats().kernel_evals, 30u * 2u * 6u);
+  EXPECT_EQ(g.stats().lut_lookups, 0u);
+}
+
+TEST(Stats, ResetClearsCounters) {
+  auto opt = base_options();
+  SerialGridder<2> g(16, opt);
+  const auto in = random_samples<2>(10, 9);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  EXPECT_GT(g.stats().interpolations, 0u);
+  g.reset_stats();
+  EXPECT_EQ(g.stats().interpolations, 0u);
+  EXPECT_EQ(g.stats().grid_seconds, 0.0);
+}
+
+TEST(Stats, StatsAccumulateAcrossCalls) {
+  auto opt = base_options();
+  SerialGridder<2> g(16, opt);
+  const auto in = random_samples<2>(10, 10);
+  Grid<2> grid(g.grid_size());
+  g.adjoint(in, grid);
+  const auto first = g.stats().interpolations;
+  g.adjoint(in, grid);
+  EXPECT_EQ(g.stats().interpolations, 2 * first);
+}
+
+}  // namespace
+}  // namespace jigsaw::core

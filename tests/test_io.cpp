@@ -1,0 +1,82 @@
+// Sample-set CSV I/O tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "core/io.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+SampleSet<2> random_samples(std::int64_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  SampleSet<2> s;
+  for (std::int64_t j = 0; j < m; ++j) {
+    s.coords.push_back({rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5)});
+    s.values.emplace_back(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  return s;
+}
+
+TEST(SampleIo, RoundTripsExactly) {
+  const auto orig = random_samples(200, 1);
+  const std::string path = "test_io_roundtrip.csv";
+  ASSERT_TRUE(save_samples_csv(path, orig));
+  const auto back = load_samples_csv(path);
+  ASSERT_EQ(back.size(), orig.size());
+  for (std::size_t j = 0; j < orig.size(); ++j) {
+    // precision(17) round-trips doubles exactly.
+    EXPECT_EQ(back.coords[j], orig.coords[j]);
+    EXPECT_EQ(back.values[j], orig.values[j]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SampleIo, SkipsCommentsAndBlankLines) {
+  const std::string path = "test_io_comments.csv";
+  {
+    std::ofstream f(path);
+    f << "# header\n\n0.1,0.2,1.0,-1.0\n# trailing comment\n";
+  }
+  const auto s = load_samples_csv(path);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.coords[0][0], 0.1);
+  EXPECT_DOUBLE_EQ(s.values[0].imag(), -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(SampleIo, RejectsMalformedRows) {
+  const std::string path = "test_io_bad.csv";
+  {
+    std::ofstream f(path);
+    f << "0.1,0.2,1.0\n";  // missing imag column
+  }
+  EXPECT_THROW(load_samples_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(SampleIo, RejectsOutOfRangeCoordinates) {
+  const std::string path = "test_io_range.csv";
+  {
+    std::ofstream f(path);
+    f << "0.7,0.0,1.0,0.0\n";
+  }
+  EXPECT_THROW(load_samples_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(SampleIo, MissingFileThrows) {
+  EXPECT_THROW(load_samples_csv("no_such_file_zzz.csv"), std::runtime_error);
+}
+
+TEST(SampleIo, EmptyFileThrows) {
+  const std::string path = "test_io_empty.csv";
+  { std::ofstream f(path); }
+  EXPECT_THROW(load_samples_csv(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -1,0 +1,125 @@
+// Cache simulator tests.
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hpp"
+
+namespace jigsaw::memsim {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 1024;  // 16 lines
+  c.line_bytes = 64;
+  c.ways = 2;           // 8 sets
+  return c;
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(small_cache());
+  c.access(0, 8, false);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_EQ(c.stats().hits, 0u);
+  c.access(0, 8, false);
+  c.access(32, 8, false);  // same line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SequentialStreamHitsWithinLines) {
+  Cache c(small_cache());
+  for (std::uint64_t a = 0; a < 1024; a += 8) c.access(a, 8, false);
+  // 16 lines touched, 8 accesses each: 16 misses, 112 hits.
+  EXPECT_EQ(c.stats().misses, 16u);
+  EXPECT_EQ(c.stats().hits, 112u);
+}
+
+TEST(Cache, CapacityEviction) {
+  Cache c(small_cache());
+  // Touch 32 distinct lines (2x capacity), then re-touch the first: evicted.
+  for (std::uint64_t line = 0; line < 32; ++line) {
+    c.access(line * 64, 8, false);
+  }
+  c.reset_stats();
+  c.access(0, 8, false);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruKeepsRecentlyUsed) {
+  CacheConfig cfg = small_cache();
+  cfg.ways = 2;
+  Cache c(cfg);
+  const std::uint64_t set_stride = 64 * 8;  // same set every stride
+  // Fill both ways of set 0, touch A again, then C evicts B (LRU).
+  c.access(0 * set_stride, 8, false);        // A
+  c.access(1 * set_stride, 8, false);        // B
+  c.access(0 * set_stride, 8, false);        // A hit, refresh
+  c.access(2 * set_stride, 8, false);        // C -> evicts B
+  c.reset_stats();
+  c.access(0 * set_stride, 8, false);        // A still resident
+  EXPECT_EQ(c.stats().hits, 1u);
+  c.access(1 * set_stride, 8, false);        // B was evicted
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  CacheConfig cfg = small_cache();
+  cfg.ways = 1;
+  Cache c(cfg);
+  const std::uint64_t set_stride = 64 * 16;  // direct-mapped, 16 sets
+  c.access(0, 8, true);                      // dirty
+  c.access(set_stride, 8, false);            // evicts dirty line
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  c.access(2 * set_stride, 8, false);        // evicts clean line
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, AccessSpanningTwoLines) {
+  Cache c(small_cache());
+  c.access(60, 8, false);  // crosses the 64-byte boundary
+  EXPECT_EQ(c.stats().accesses, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, HitRateComputation) {
+  Cache c(small_cache());
+  EXPECT_EQ(c.stats().hit_rate(), 0.0);
+  c.access(0, 8, false);
+  c.access(0, 8, false);
+  c.access(0, 8, false);
+  c.access(0, 8, false);
+  EXPECT_NEAR(c.stats().hit_rate(), 0.75, 1e-12);
+}
+
+TEST(Cache, RejectsBadConfig) {
+  CacheConfig bad;
+  bad.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(Cache{bad}, std::invalid_argument);
+  CacheConfig tiny;
+  tiny.size_bytes = 64;
+  tiny.line_bytes = 64;
+  tiny.ways = 4;  // fewer lines than ways
+  EXPECT_THROW(Cache{tiny}, std::invalid_argument);
+}
+
+TEST(Cache, LargeWorkingSetThrashes) {
+  // Working set 8x the cache: hit rate collapses for a random-ish stream.
+  Cache c(small_cache());
+  std::uint64_t addr = 0;
+  for (int i = 0; i < 10000; ++i) {
+    addr = (addr * 2654435761u + 12345) % (8 * 1024);
+    c.access(addr, 8, false);
+  }
+  EXPECT_LT(c.stats().hit_rate(), 0.35);
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  Cache c(small_cache());
+  c.access(128, 8, false);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  c.access(128, 8, false);
+  EXPECT_EQ(c.stats().hits, 1u);  // line survived the stats reset
+}
+
+}  // namespace
+}  // namespace jigsaw::memsim

@@ -1,0 +1,118 @@
+// Metric function tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+TEST(Nrmsd, ZeroForIdenticalVectors) {
+  const std::vector<c64> a = {{1, 2}, {3, -4}, {0, 0.5}};
+  EXPECT_EQ(nrmsd(a, a), 0.0);
+}
+
+TEST(Nrmsd, KnownValue) {
+  const std::vector<c64> ref = {{3, 0}, {4, 0}};   // ||ref|| = 5
+  const std::vector<c64> a = {{3, 1}, {4, 0}};     // ||a-ref|| = 1
+  EXPECT_NEAR(nrmsd(a, ref), 0.2, 1e-12);
+}
+
+TEST(Nrmsd, ScaleInvarianceOfReference) {
+  std::vector<c64> ref = {{1, 0}, {0, 2}, {-1, 1}};
+  std::vector<c64> a = {{1.1, 0}, {0, 1.9}, {-1, 1.05}};
+  const double e1 = nrmsd(a, ref);
+  for (auto& v : ref) v *= 10.0;
+  for (auto& v : a) v *= 10.0;
+  EXPECT_NEAR(nrmsd(a, ref), e1, 1e-12);
+}
+
+TEST(Nrmsd, RealOverload) {
+  const std::vector<double> ref = {3, 4};
+  const std::vector<double> a = {3, 5};
+  EXPECT_NEAR(nrmsd(a, ref), 0.2, 1e-12);
+}
+
+TEST(Nrmsd, ZeroReferenceEdgeCases) {
+  const std::vector<c64> zero = {{0, 0}};
+  EXPECT_EQ(nrmsd(zero, zero), 0.0);
+  const std::vector<c64> a = {{1, 0}};
+  EXPECT_TRUE(std::isinf(nrmsd(a, zero)));
+}
+
+TEST(Nrmsd, SizeMismatchThrows) {
+  const std::vector<c64> a = {{1, 0}};
+  const std::vector<c64> b = {{1, 0}, {2, 0}};
+  EXPECT_THROW(nrmsd(a, b), std::invalid_argument);
+}
+
+TEST(MaxAbsDiff, PicksWorstElement) {
+  const std::vector<c64> a = {{1, 0}, {2, 0}, {3, 0}};
+  const std::vector<c64> b = {{1, 0}, {2, 0.5}, {2.9, 0}};
+  EXPECT_NEAR(max_abs_diff(a, b), 0.5, 1e-12);
+}
+
+TEST(Psnr, InfiniteForIdentical) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  EXPECT_TRUE(std::isinf(psnr_db(a, a)));
+}
+
+TEST(Psnr, KnownValue) {
+  // peak=1, mse=0.01 -> 20 dB.
+  const std::vector<double> ref = {1.0, 0.0};
+  const std::vector<double> a = {1.1, -0.1};
+  EXPECT_NEAR(psnr_db(a, ref), 20.0, 1e-9);
+}
+
+TEST(Ssim, OneForIdenticalImages) {
+  std::vector<double> img(16 * 16);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<double>(i % 7) + 0.1 * static_cast<double>(i % 3);
+  }
+  EXPECT_NEAR(ssim(img, img, 16), 1.0, 1e-12);
+}
+
+TEST(Ssim, DropsWithNoise) {
+  std::vector<double> img(32 * 32), noisy(32 * 32), noisier(32 * 32);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = std::sin(0.3 * static_cast<double>(i % 32)) +
+             std::cos(0.2 * static_cast<double>(i / 32));
+    const double n1 = 0.05 * static_cast<double>((i * 2654435761u) % 100) / 100.0;
+    noisy[i] = img[i] + n1;
+    noisier[i] = img[i] + 8.0 * n1;
+  }
+  const double s1 = ssim(noisy, img, 32);
+  const double s2 = ssim(noisier, img, 32);
+  EXPECT_LT(s2, s1);
+  EXPECT_LT(s1, 1.0);
+  EXPECT_GT(s1, 0.8);
+}
+
+TEST(Ssim, InvariantToCommonScale) {
+  std::vector<double> img(16 * 16), b(16 * 16);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<double>((i * 37) % 11);
+    b[i] = img[i] + 0.3;
+  }
+  const double s = ssim(b, img, 16);
+  for (auto& v : img) v *= 5.0;
+  for (auto& v : b) v *= 5.0;
+  EXPECT_NEAR(ssim(b, img, 16), s, 1e-9);
+}
+
+TEST(Ssim, RejectsBadGeometry) {
+  std::vector<double> img(16 * 16, 0.0);
+  EXPECT_THROW(ssim(img, img, 15), std::invalid_argument);
+  EXPECT_THROW(ssim(img, img, 16, 1), std::invalid_argument);
+  EXPECT_THROW(ssim(img, img, 16, 17), std::invalid_argument);
+}
+
+TEST(Norm2, MatchesHandComputation) {
+  const std::vector<c64> a = {{3, 4}, {0, 0}};
+  EXPECT_NEAR(norm2(a), 5.0, 1e-12);
+  EXPECT_EQ(norm2({}), 0.0);
+}
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -1,0 +1,178 @@
+// Analytic Shepp-Logan phantom tests: rasterization, closed-form k-space,
+// and consistency between the two (the phantom substitutes for the paper's
+// liver dataset, so its correctness underpins the image-quality results).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/types.hpp"
+#include "trajectory/phantom.hpp"
+
+namespace jigsaw::trajectory {
+namespace {
+
+TEST(Phantom, HasTenEllipses) {
+  EXPECT_EQ(shepp_logan().size(), 10u);
+}
+
+TEST(Phantom, GeometryFitsFov) {
+  for (const auto& e : shepp_logan()) {
+    EXPECT_LE(std::fabs(e.x0) + e.a, 0.5);
+    EXPECT_LE(std::fabs(e.y0) + e.b, 0.5);
+    EXPECT_GT(e.a, 0.0);
+    EXPECT_GT(e.b, 0.0);
+  }
+}
+
+TEST(Phantom, RasterValuesInExpectedRange) {
+  const auto img = rasterize(shepp_logan(), 64);
+  ASSERT_EQ(img.size(), 64u * 64u);
+  double lo = 1e9, hi = -1e9;
+  for (double v : img) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, -1e-12);   // modified contrast never goes negative
+  EXPECT_LE(hi, 1.0 + 1e-12);
+  EXPECT_GT(hi, 0.5);      // skull shell present
+}
+
+TEST(Phantom, CenterOfImageIsBrainTissue) {
+  const int n = 128;
+  const auto img = rasterize(shepp_logan(), n);
+  const double center = img[static_cast<std::size_t>(n / 2) * n + n / 2];
+  // Skull (1.0) + brain (-0.8) + small features.
+  EXPECT_NEAR(center, 0.2, 0.15);
+}
+
+TEST(Phantom, CornersAreEmpty) {
+  const int n = 64;
+  const auto img = rasterize(shepp_logan(), n);
+  EXPECT_EQ(img[0], 0.0);
+  EXPECT_EQ(img[static_cast<std::size_t>(n) * n - 1], 0.0);
+}
+
+TEST(Phantom, DcEqualsTotalMass) {
+  // F(0,0) = sum_e rho * pi * a * b == integral of the image.
+  const auto ellipses = shepp_logan();
+  const c64 dc = kspace_sample(ellipses, 0.0, 0.0);
+  double expect = 0.0;
+  for (const auto& e : ellipses) {
+    expect += e.intensity * std::numbers::pi * e.a * e.b;
+  }
+  EXPECT_NEAR(dc.real(), expect, 1e-12);
+  EXPECT_NEAR(dc.imag(), 0.0, 1e-12);
+
+  // The rasterized mass converges to the same value.
+  const int n = 256;
+  const auto img = rasterize(ellipses, n);
+  double mass = 0.0;
+  for (double v : img) mass += v;
+  mass /= static_cast<double>(n) * n;  // pixel area = 1/n^2, FOV = 1
+  EXPECT_NEAR(mass, expect, 0.01 * std::fabs(expect) + 1e-4);
+}
+
+TEST(Phantom, HermitianSymmetryForRealImage) {
+  // Real image -> F(-k) = conj(F(k)).
+  const auto ellipses = shepp_logan();
+  for (double kx : {0.5, 3.0, 10.0}) {
+    for (double ky : {-2.0, 0.0, 7.5}) {
+      const c64 a = kspace_sample(ellipses, kx, ky);
+      const c64 b = kspace_sample(ellipses, -kx, -ky);
+      EXPECT_NEAR(a.real(), b.real(), 1e-12);
+      EXPECT_NEAR(a.imag(), -b.imag(), 1e-12);
+    }
+  }
+}
+
+TEST(Phantom, KspaceDecaysWithFrequency) {
+  const auto ellipses = shepp_logan();
+  const double low = std::abs(kspace_sample(ellipses, 1.0, 0.0));
+  const double high = std::abs(kspace_sample(ellipses, 200.0, 0.0));
+  EXPECT_GT(low, high * 3.0);
+}
+
+TEST(Phantom, SingleDiscMatchesJincExactly) {
+  // One centered circular disc: F(k) = rho a^2 J1(2 pi a |k|)/(a |k|).
+  std::vector<Ellipse> disc = {{1.0, 0.2, 0.2, 0.0, 0.0, 0.0}};
+  const double k = 4.0;
+  const c64 f = kspace_sample(disc, k, 0.0);
+  // kspace_sample computes rho*a*b*J1(2 pi s)/s with s = a*k.
+  const double s = 0.2 * k;
+  const double expect =
+      0.2 * 0.2 * (std::cyl_bessel_j(1, 2 * std::numbers::pi * s) / s);
+  EXPECT_NEAR(f.real(), expect, 1e-6);
+  EXPECT_NEAR(f.imag(), 0.0, 1e-12);
+}
+
+TEST(Phantom, OffCenterDiscPhaseRamp) {
+  std::vector<Ellipse> disc = {{1.0, 0.1, 0.1, 0.25, 0.0, 0.0}};
+  std::vector<Ellipse> centered = {{1.0, 0.1, 0.1, 0.0, 0.0, 0.0}};
+  const double kx = 3.0;
+  const c64 f = kspace_sample(disc, kx, 0.0);
+  const c64 f0 = kspace_sample(centered, kx, 0.0);
+  const double phase = -2.0 * std::numbers::pi * kx * 0.25;
+  EXPECT_NEAR(f.real(), (f0 * c64(std::cos(phase), std::sin(phase))).real(),
+              1e-10);
+  EXPECT_NEAR(f.imag(), (f0 * c64(std::cos(phase), std::sin(phase))).imag(),
+              1e-10);
+}
+
+TEST(Phantom, RotationInvariantForCircles) {
+  std::vector<Ellipse> a = {{1.0, 0.15, 0.15, 0.0, 0.0, 0.0}};
+  std::vector<Ellipse> b = {{1.0, 0.15, 0.15, 0.0, 0.0, 0.7}};
+  for (double k = 0.5; k < 20.0; k *= 2) {
+    EXPECT_NEAR(std::abs(kspace_sample(a, k, k)),
+                std::abs(kspace_sample(b, k, k)), 1e-12);
+  }
+}
+
+TEST(Phantom, EllipseRotationRotatesSpectrum) {
+  // A 90-degree rotation swaps the spectrum's axes.
+  std::vector<Ellipse> e0 = {{1.0, 0.3, 0.1, 0.0, 0.0, 0.0}};
+  std::vector<Ellipse> e90 = {
+      {1.0, 0.3, 0.1, 0.0, 0.0, std::numbers::pi / 2.0}};
+  EXPECT_NEAR(std::abs(kspace_sample(e0, 5.0, 0.0)),
+              std::abs(kspace_sample(e90, 0.0, 5.0)), 1e-10);
+}
+
+TEST(Phantom, KspaceSamplesMatchesPointwiseCalls) {
+  const auto ellipses = shepp_logan();
+  std::vector<Coord<2>> coords = {{0.1, -0.2}, {0.0, 0.0}, {-0.45, 0.3}};
+  const auto vals = kspace_samples(ellipses, coords, 64);
+  ASSERT_EQ(vals.size(), 3u);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    // Component 0 is the row (y) dimension, component 1 the column (x).
+    const c64 direct =
+        kspace_sample(ellipses, coords[i][1] * 64, coords[i][0] * 64);
+    EXPECT_NEAR(std::abs(vals[i] - direct), 0.0, 1e-12);
+  }
+}
+
+TEST(Phantom, RasterizationConsistentWithKspaceViaRiemannSum) {
+  // Low-frequency check: F(k) ~ sum_pixels img * e^{-2 pi i k.x} / n^2.
+  const auto ellipses = shepp_logan();
+  const int n = 256;
+  const auto img = rasterize(ellipses, n);
+  for (const auto& k : {std::pair{1.0, 0.0}, {0.0, 2.0}, {3.0, -1.0}}) {
+    c64 riemann{};
+    for (int iy = 0; iy < n; ++iy) {
+      const double y = (iy - n / 2) / static_cast<double>(n);
+      for (int ix = 0; ix < n; ++ix) {
+        const double x = (ix - n / 2) / static_cast<double>(n);
+        const double ang =
+            -2.0 * std::numbers::pi * (k.first * x + k.second * y);
+        riemann += img[static_cast<std::size_t>(iy) * n + ix] *
+                   c64(std::cos(ang), std::sin(ang));
+      }
+    }
+    riemann /= static_cast<double>(n) * n;
+    const c64 analytic = kspace_sample(ellipses, k.first, k.second);
+    EXPECT_NEAR(std::abs(riemann - analytic), 0.0,
+                0.02 * std::abs(kspace_sample(ellipses, 0, 0)));
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw::trajectory

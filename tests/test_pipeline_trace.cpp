@@ -1,0 +1,105 @@
+// Stage-accurate pipeline trace tests: the M+depth closed form must follow
+// from the register-level behaviour, with no structural hazards.
+#include <gtest/gtest.h>
+
+#include "jigsaw/pipeline_trace.hpp"
+
+namespace jigsaw::sim {
+namespace {
+
+TEST(StageDepths, MatchPaperTotals) {
+  EXPECT_EQ(StageDepths::for_2d().total(), 12);        // paper Sec. VI-A
+  EXPECT_EQ(StageDepths::for_3d_slice().total(), 15);  // paper Sec. VI-A
+}
+
+TEST(PipelineTrace, TotalCyclesIsMPlusDepth) {
+  for (long long m : {1, 5, 100, 999}) {
+    const auto r = trace_pipeline(m, StageDepths::for_2d(), 0, false);
+    EXPECT_EQ(r.total_cycles, m + 12) << "m=" << m;
+    EXPECT_EQ(r.retired, m);
+  }
+  const auto r3 = trace_pipeline(50, StageDepths::for_3d_slice(), 0, false);
+  EXPECT_EQ(r3.total_cycles, 50 + 15);
+}
+
+TEST(PipelineTrace, FirstResultAfterExactlyDepthCycles) {
+  const auto r = trace_pipeline(100, StageDepths::for_2d());
+  EXPECT_EQ(r.first_retire_cycle, 13);  // enters cycle 1, retires cycle 13
+}
+
+TEST(PipelineTrace, SteadyStateRetiresOnePerCycle) {
+  const auto r = trace_pipeline(200, StageDepths::for_2d());
+  EXPECT_EQ(r.bubbles, 0);  // stall-free by construction
+  // After fill, every cycle retires consecutive sample ids.
+  long long expect = 0;
+  for (const auto& snap : r.cycles) {
+    if (snap.retired >= 0) {
+      EXPECT_EQ(snap.retired, expect);
+      ++expect;
+    }
+  }
+  EXPECT_EQ(expect, 200);
+}
+
+TEST(PipelineTrace, EverySampleVisitsEveryStageOnce) {
+  const long long m = 30;
+  const auto r = trace_pipeline(m, StageDepths::for_2d());
+  // Sample 7 must appear in select for 4 cycles, lookup 3, interp 3,
+  // accumulate 2 — consecutively.
+  int in_select = 0, in_lookup = 0, in_interp = 0, in_accum = 0;
+  for (const auto& snap : r.cycles) {
+    for (long long v : snap.select) in_select += (v == 7);
+    for (long long v : snap.weight_lookup) in_lookup += (v == 7);
+    for (long long v : snap.interpolate) in_interp += (v == 7);
+    for (long long v : snap.accumulate) in_accum += (v == 7);
+  }
+  EXPECT_EQ(in_select, 4);
+  EXPECT_EQ(in_lookup, 3);
+  EXPECT_EQ(in_interp, 3);
+  EXPECT_EQ(in_accum, 2);
+}
+
+TEST(PipelineTrace, NoStructuralHazards) {
+  // A sample id never occupies two stage registers at once.
+  const auto r = trace_pipeline(40, StageDepths::for_2d());
+  for (const auto& snap : r.cycles) {
+    std::vector<long long> all;
+    for (auto* stage : {&snap.select, &snap.weight_lookup, &snap.interpolate,
+                        &snap.accumulate}) {
+      for (long long v : *stage) {
+        if (v >= 0) all.push_back(v);
+      }
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  }
+}
+
+TEST(PipelineTrace, UnderprovisionedDmaInsertsBubbles) {
+  // A stall after every 2nd sample (8 GB/s-class link) stretches the run
+  // and produces accumulate bubbles — quantifying why the paper provisions
+  // the bus at >= 16 GB/s.
+  const long long m = 100;
+  const auto r = trace_pipeline(m, StageDepths::for_2d(), 2, false);
+  EXPECT_EQ(r.retired, m);
+  EXPECT_GT(r.total_cycles, m + 12);
+  EXPECT_GT(r.bubbles, 0);
+}
+
+TEST(PipelineTrace, EmptyStream) {
+  const auto r = trace_pipeline(0, StageDepths::for_2d());
+  EXPECT_EQ(r.total_cycles, 0);
+  EXPECT_EQ(r.retired, 0);
+  EXPECT_EQ(r.first_retire_cycle, -1);
+}
+
+TEST(PipelineTrace, RejectsBadConfig) {
+  StageDepths bad;
+  bad.select = 0;
+  EXPECT_THROW(trace_pipeline(10, bad), std::invalid_argument);
+  EXPECT_THROW(trace_pipeline(-1, StageDepths::for_2d()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jigsaw::sim

@@ -1,0 +1,230 @@
+// Randomized differential testing across the whole engine matrix.
+//
+// Each fuzz case draws a random-but-valid configuration (dimension, width,
+// sigma, kernel, table, trajectory shape) and asserts the core invariants:
+//   * all double-precision engines produce the same grid,
+//   * forward/adjoint remain a conjugate-transpose pair,
+//   * the fixed-point engine stays within its quantization envelope,
+//   * the cycle simulator timing formula holds.
+// Seeds are fixed, so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/gridder.hpp"
+#include "core/metrics.hpp"
+#include "core/nufft.hpp"
+#include "jigsaw/cycle_sim.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+struct FuzzConfig {
+  std::int64_t n;
+  int width;
+  double sigma;
+  kernels::KernelType kernel;
+  int table;
+  std::int64_t m;
+  bool exact_weights;
+};
+
+FuzzConfig draw_config(Rng& rng) {
+  FuzzConfig cfg;
+  const std::int64_t ns[] = {8, 12, 16, 20, 32};
+  cfg.n = ns[rng.below(5)];
+  cfg.width = 2 + static_cast<int>(rng.below(7));  // 2..8
+  const double sigmas[] = {1.5, 2.0, 2.5};
+  cfg.sigma = sigmas[rng.below(3)];
+  // Keep G = sigma*N integral and divisible by T=8.
+  const auto g = static_cast<std::int64_t>(cfg.sigma * cfg.n + 0.5);
+  if (std::fabs(cfg.sigma * cfg.n - g) > 1e-9 || g % 8 != 0 || g < cfg.width) {
+    cfg.sigma = 2.0;
+  }
+  const kernels::KernelType kernels_list[] = {
+      kernels::KernelType::KaiserBessel, kernels::KernelType::Gaussian,
+      kernels::KernelType::BSpline};
+  cfg.kernel = kernels_list[rng.below(3)];
+  const int tables[] = {8, 32, 128};
+  cfg.table = tables[rng.below(3)];
+  cfg.m = 20 + static_cast<std::int64_t>(rng.below(200));
+  cfg.exact_weights = rng.below(2) == 0;
+  return cfg;
+}
+
+SampleSet<2> draw_samples(Rng& rng, std::int64_t m) {
+  SampleSet<2> s;
+  s.coords.resize(static_cast<std::size_t>(m));
+  s.values.resize(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    // Mix uniform coordinates with deliberately edge-hugging ones.
+    const bool edge = rng.below(8) == 0;
+    for (int d = 0; d < 2; ++d) {
+      double v = rng.uniform(-0.5, 0.5);
+      if (edge) v = rng.below(2) ? -0.5 : 0.4999;
+      s.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] = v;
+    }
+    s.values[static_cast<std::size_t>(j)] =
+        c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  return s;
+}
+
+class GridderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridderFuzz, EngineMatrixInvariants) {
+  Rng rng(GetParam());
+  const FuzzConfig cfg = draw_config(rng);
+  const auto in = draw_samples(rng, cfg.m);
+
+  GridderOptions opt;
+  opt.width = cfg.width;
+  opt.sigma = cfg.sigma;
+  opt.kernel = cfg.kernel;
+  opt.table_oversampling = cfg.table;
+  opt.exact_weights = cfg.exact_weights;
+  opt.tile = 8;
+  if (opt.width > opt.tile) opt.width = opt.tile;
+
+  SCOPED_TRACE(::testing::Message()
+               << "n=" << cfg.n << " W=" << opt.width << " sigma="
+               << cfg.sigma << " kernel=" << kernels::to_string(cfg.kernel)
+               << " L=" << cfg.table << " m=" << cfg.m
+               << " exact=" << cfg.exact_weights);
+
+  // Reference engine.
+  opt.kind = GridderKind::Serial;
+  auto serial = make_gridder<2>(cfg.n, opt);
+  Grid<2> ref(serial->grid_size());
+  serial->adjoint(in, ref);
+  const std::vector<c64> ref_v(ref.data(), ref.data() + ref.total());
+  const double scale = norm2(ref_v);
+
+  // All other double engines must agree.
+  for (auto kind : {GridderKind::OutputDriven, GridderKind::Binning,
+                    GridderKind::SliceDice, GridderKind::Sparse}) {
+    opt.kind = kind;
+    auto g = make_gridder<2>(cfg.n, opt);
+    Grid<2> out(g->grid_size());
+    g->adjoint(in, out);
+    const std::vector<c64> out_v(out.data(), out.data() + out.total());
+    EXPECT_LT(max_abs_diff(out_v, ref_v), 1e-9 * scale + 1e-12)
+        << to_string(kind);
+  }
+
+  // Model-faithful slice-and-dice too.
+  opt.kind = GridderKind::SliceDice;
+  opt.model_faithful_checks = true;
+  {
+    auto g = make_gridder<2>(cfg.n, opt);
+    Grid<2> out(g->grid_size());
+    g->adjoint(in, out);
+    const std::vector<c64> out_v(out.data(), out.data() + out.total());
+    EXPECT_LT(max_abs_diff(out_v, ref_v), 1e-9 * scale + 1e-12);
+  }
+  opt.model_faithful_checks = false;
+
+  // Adjointness dot test through the fast engine.
+  {
+    auto g = make_gridder<2>(cfg.n, opt);
+    Grid<2> gy(g->grid_size());
+    g->adjoint(in, gy);
+    Grid<2> x(g->grid_size());
+    for (std::int64_t i = 0; i < x.total(); ++i) {
+      x[i] = c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+    SampleSet<2> ax;
+    ax.coords = in.coords;
+    ax.values.assign(in.size(), c64{});
+    g->forward(x, ax);
+    c64 lhs{}, rhs{};
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      lhs += std::conj(ax.values[j]) * in.values[j];
+    }
+    for (std::int64_t i = 0; i < x.total(); ++i) {
+      rhs += std::conj(x[i]) * gy[i];
+    }
+    EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * std::abs(lhs) + 1e-9);
+  }
+
+  // Fixed-point engine stays within the quantization envelope, and the
+  // cycle simulator obeys its timing formula.
+  if (cfg.table <= 64 && opt.width * cfg.table / 2 >= 1 &&
+      opt.width * cfg.table / 2 <= 256) {
+    // The hardware always reads the LUT, so compare against a LUT-based
+    // double reference (isolates the fixed-point error from table error).
+    GridderOptions lopt = opt;
+    lopt.kind = GridderKind::Serial;
+    lopt.exact_weights = false;
+    auto lut_ref = make_gridder<2>(cfg.n, lopt);
+    Grid<2> lref(lut_ref->grid_size());
+    lut_ref->adjoint(in, lref);
+    const std::vector<c64> lref_v(lref.data(), lref.data() + lref.total());
+
+    opt.kind = GridderKind::Jigsaw;
+    auto jig = make_gridder<2>(cfg.n, opt);
+    Grid<2> out(jig->grid_size());
+    jig->adjoint(in, out);
+    const std::vector<c64> out_v(out.data(), out.data() + out.total());
+    EXPECT_LT(nrmsd(out_v, lref_v), 5e-2);
+
+    opt.kind = GridderKind::SliceDice;
+    sim::CycleSim simulator(cfg.n, opt, false);
+    Grid<2> gs(simulator.grid_size());
+    simulator.run_2d(in, gs);
+    EXPECT_EQ(simulator.stats().gridding_cycles, cfg.m + 12);
+    EXPECT_EQ(simulator.stats().stall_cycles, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridderFuzz,
+                         ::testing::Range<std::uint64_t>(1000, 1040));
+
+class GridderFuzz3D : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridderFuzz3D, EnginesAgreeInThreeDimensions) {
+  Rng rng(GetParam());
+  GridderOptions opt;
+  opt.width = 2 + static_cast<int>(rng.below(4));  // 2..5
+  opt.tile = 8;
+  const std::int64_t n = 8;
+  const std::int64_t m = 30 + static_cast<std::int64_t>(rng.below(100));
+
+  SampleSet<3> in;
+  in.coords.resize(static_cast<std::size_t>(m));
+  in.values.resize(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (int d = 0; d < 3; ++d) {
+      in.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+          rng.uniform(-0.5, 0.5);
+    }
+    in.values[static_cast<std::size_t>(j)] =
+        c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+
+  opt.kind = GridderKind::Serial;
+  auto serial = make_gridder<3>(n, opt);
+  Grid<3> ref(serial->grid_size());
+  serial->adjoint(in, ref);
+  const std::vector<c64> ref_v(ref.data(), ref.data() + ref.total());
+  const double scale = norm2(ref_v);
+
+  for (auto kind : {GridderKind::Binning, GridderKind::SliceDice,
+                    GridderKind::Sparse, GridderKind::FloatSerial}) {
+    opt.kind = kind;
+    auto g = make_gridder<3>(n, opt);
+    Grid<3> out(g->grid_size());
+    g->adjoint(in, out);
+    const std::vector<c64> out_v(out.data(), out.data() + out.total());
+    const double tol =
+        kind == GridderKind::FloatSerial ? 1e-5 * scale : 1e-9 * scale;
+    EXPECT_LT(max_abs_diff(out_v, ref_v), tol + 1e-12) << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridderFuzz3D,
+                         ::testing::Range<std::uint64_t>(2000, 2012));
+
+}  // namespace
+}  // namespace jigsaw::core
