@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_3d_slice.dir/ablation_3d_slice.cpp.o"
+  "CMakeFiles/ablation_3d_slice.dir/ablation_3d_slice.cpp.o.d"
+  "ablation_3d_slice"
+  "ablation_3d_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_3d_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

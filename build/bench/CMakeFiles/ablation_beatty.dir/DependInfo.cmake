@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_beatty.cpp" "bench/CMakeFiles/ablation_beatty.dir/ablation_beatty.cpp.o" "gcc" "bench/CMakeFiles/ablation_beatty.dir/ablation_beatty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jigsaw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jigsaw/CMakeFiles/jigsaw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/jigsaw_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/jigsaw_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/jigsaw_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/jigsaw_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/jigsaw_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jigsaw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

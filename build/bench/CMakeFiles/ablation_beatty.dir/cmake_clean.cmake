@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_beatty.dir/ablation_beatty.cpp.o"
+  "CMakeFiles/ablation_beatty.dir/ablation_beatty.cpp.o.d"
+  "ablation_beatty"
+  "ablation_beatty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_beatty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boundary_checks.dir/ablation_boundary_checks.cpp.o"
+  "CMakeFiles/ablation_boundary_checks.dir/ablation_boundary_checks.cpp.o.d"
+  "ablation_boundary_checks"
+  "ablation_boundary_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boundary_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_time_breakdown.dir/ablation_time_breakdown.cpp.o"
+  "CMakeFiles/ablation_time_breakdown.dir/ablation_time_breakdown.cpp.o.d"
+  "ablation_time_breakdown"
+  "ablation_time_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

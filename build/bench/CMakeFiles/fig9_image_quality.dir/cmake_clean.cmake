@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_image_quality.dir/fig9_image_quality.cpp.o"
+  "CMakeFiles/fig9_image_quality.dir/fig9_image_quality.cpp.o.d"
+  "fig9_image_quality"
+  "fig9_image_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_image_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

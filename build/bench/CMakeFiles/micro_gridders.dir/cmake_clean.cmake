@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gridders.dir/micro_gridders.cpp.o"
+  "CMakeFiles/micro_gridders.dir/micro_gridders.cpp.o.d"
+  "micro_gridders"
+  "micro_gridders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gridders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_parameter_space.dir/table1_parameter_space.cpp.o"
+  "CMakeFiles/table1_parameter_space.dir/table1_parameter_space.cpp.o.d"
+  "table1_parameter_space"
+  "table1_parameter_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_parameter_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_synthesis.dir/table2_synthesis.cpp.o"
+  "CMakeFiles/table2_synthesis.dir/table2_synthesis.cpp.o.d"
+  "table2_synthesis"
+  "table2_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_sense.dir/cg_sense.cpp.o"
+  "CMakeFiles/cg_sense.dir/cg_sense.cpp.o.d"
+  "cg_sense"
+  "cg_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_recon.dir/iterative_recon.cpp.o"
+  "CMakeFiles/iterative_recon.dir/iterative_recon.cpp.o.d"
+  "iterative_recon"
+  "iterative_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_asic_demo.dir/jigsaw_asic_demo.cpp.o"
+  "CMakeFiles/jigsaw_asic_demo.dir/jigsaw_asic_demo.cpp.o.d"
+  "jigsaw_asic_demo"
+  "jigsaw_asic_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_asic_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_radial_recon.dir/mri_radial_recon.cpp.o"
+  "CMakeFiles/mri_radial_recon.dir/mri_radial_recon.cpp.o.d"
+  "mri_radial_recon"
+  "mri_radial_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_radial_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

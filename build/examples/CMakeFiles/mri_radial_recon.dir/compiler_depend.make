@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mri_radial_recon.
+# This may be replaced when dependencies are built.

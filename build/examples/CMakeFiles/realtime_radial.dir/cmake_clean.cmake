@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_radial.dir/realtime_radial.cpp.o"
+  "CMakeFiles/realtime_radial.dir/realtime_radial.cpp.o.d"
+  "realtime_radial"
+  "realtime_radial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_radial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_gallery.dir/trajectory_gallery.cpp.o"
+  "CMakeFiles/trajectory_gallery.dir/trajectory_gallery.cpp.o.d"
+  "trajectory_gallery"
+  "trajectory_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_3d.dir/volume_3d.cpp.o"
+  "CMakeFiles/volume_3d.dir/volume_3d.cpp.o.d"
+  "volume_3d"
+  "volume_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

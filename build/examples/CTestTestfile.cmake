@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mri_radial_recon "/root/repo/build/examples/mri_radial_recon")
+set_tests_properties(example_mri_radial_recon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_iterative_recon "/root/repo/build/examples/iterative_recon")
+set_tests_properties(example_iterative_recon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_jigsaw_asic_demo "/root/repo/build/examples/jigsaw_asic_demo")
+set_tests_properties(example_jigsaw_asic_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trajectory_gallery "/root/repo/build/examples/trajectory_gallery")
+set_tests_properties(example_trajectory_gallery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cg_sense "/root/repo/build/examples/cg_sense")
+set_tests_properties(example_cg_sense PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_realtime_radial "/root/repo/build/examples/realtime_radial")
+set_tests_properties(example_realtime_radial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;17;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_volume_3d "/root/repo/build/examples/volume_3d")
+set_tests_properties(example_volume_3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;18;jigsaw_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_common.dir/cli.cpp.o"
+  "CMakeFiles/jigsaw_common.dir/cli.cpp.o.d"
+  "CMakeFiles/jigsaw_common.dir/pgm.cpp.o"
+  "CMakeFiles/jigsaw_common.dir/pgm.cpp.o.d"
+  "CMakeFiles/jigsaw_common.dir/table.cpp.o"
+  "CMakeFiles/jigsaw_common.dir/table.cpp.o.d"
+  "CMakeFiles/jigsaw_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/jigsaw_common.dir/thread_pool.cpp.o.d"
+  "libjigsaw_common.a"
+  "libjigsaw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

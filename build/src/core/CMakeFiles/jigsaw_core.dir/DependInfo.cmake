@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/jigsaw_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/density.cpp.o.d"
+  "/root/repo/src/core/gridder_base.cpp" "src/core/CMakeFiles/jigsaw_core.dir/gridder_base.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/gridder_base.cpp.o.d"
+  "/root/repo/src/core/gridder_factory.cpp" "src/core/CMakeFiles/jigsaw_core.dir/gridder_factory.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/gridder_factory.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/jigsaw_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/jigsaw_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/nudft.cpp" "src/core/CMakeFiles/jigsaw_core.dir/nudft.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/nudft.cpp.o.d"
+  "/root/repo/src/core/nufft.cpp" "src/core/CMakeFiles/jigsaw_core.dir/nufft.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/nufft.cpp.o.d"
+  "/root/repo/src/core/recon.cpp" "src/core/CMakeFiles/jigsaw_core.dir/recon.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/recon.cpp.o.d"
+  "/root/repo/src/core/sense.cpp" "src/core/CMakeFiles/jigsaw_core.dir/sense.cpp.o" "gcc" "src/core/CMakeFiles/jigsaw_core.dir/sense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jigsaw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/jigsaw_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/jigsaw_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/jigsaw_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_core.dir/density.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/density.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/gridder_base.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/gridder_base.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/gridder_factory.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/gridder_factory.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/io.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/io.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/metrics.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/nudft.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/nudft.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/nufft.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/nufft.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/recon.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/recon.cpp.o.d"
+  "CMakeFiles/jigsaw_core.dir/sense.cpp.o"
+  "CMakeFiles/jigsaw_core.dir/sense.cpp.o.d"
+  "libjigsaw_core.a"
+  "libjigsaw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjigsaw_core.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/asic_model.cpp" "src/energy/CMakeFiles/jigsaw_energy.dir/asic_model.cpp.o" "gcc" "src/energy/CMakeFiles/jigsaw_energy.dir/asic_model.cpp.o.d"
+  "/root/repo/src/energy/gpu_model.cpp" "src/energy/CMakeFiles/jigsaw_energy.dir/gpu_model.cpp.o" "gcc" "src/energy/CMakeFiles/jigsaw_energy.dir/gpu_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jigsaw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_energy.dir/asic_model.cpp.o"
+  "CMakeFiles/jigsaw_energy.dir/asic_model.cpp.o.d"
+  "CMakeFiles/jigsaw_energy.dir/gpu_model.cpp.o"
+  "CMakeFiles/jigsaw_energy.dir/gpu_model.cpp.o.d"
+  "libjigsaw_energy.a"
+  "libjigsaw_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/energy/CMakeFiles/jigsaw_energy.dir/gpu_model.cpp.o: \
+ /root/repo/src/energy/gpu_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/energy/gpu_model.hpp

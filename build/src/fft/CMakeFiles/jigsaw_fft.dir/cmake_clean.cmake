@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_fft.dir/fft.cpp.o"
+  "CMakeFiles/jigsaw_fft.dir/fft.cpp.o.d"
+  "libjigsaw_fft.a"
+  "libjigsaw_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

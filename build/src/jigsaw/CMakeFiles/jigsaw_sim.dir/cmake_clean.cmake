@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_sim.dir/cycle_sim.cpp.o"
+  "CMakeFiles/jigsaw_sim.dir/cycle_sim.cpp.o.d"
+  "CMakeFiles/jigsaw_sim.dir/pipeline_trace.cpp.o"
+  "CMakeFiles/jigsaw_sim.dir/pipeline_trace.cpp.o.d"
+  "libjigsaw_sim.a"
+  "libjigsaw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_kernels.dir/bessel.cpp.o"
+  "CMakeFiles/jigsaw_kernels.dir/bessel.cpp.o.d"
+  "CMakeFiles/jigsaw_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/jigsaw_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/jigsaw_kernels.dir/lut.cpp.o"
+  "CMakeFiles/jigsaw_kernels.dir/lut.cpp.o.d"
+  "libjigsaw_kernels.a"
+  "libjigsaw_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

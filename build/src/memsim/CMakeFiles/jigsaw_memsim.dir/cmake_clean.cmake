@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_memsim.dir/cache.cpp.o"
+  "CMakeFiles/jigsaw_memsim.dir/cache.cpp.o.d"
+  "libjigsaw_memsim.a"
+  "libjigsaw_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trajectory/phantom.cpp" "src/trajectory/CMakeFiles/jigsaw_trajectory.dir/phantom.cpp.o" "gcc" "src/trajectory/CMakeFiles/jigsaw_trajectory.dir/phantom.cpp.o.d"
+  "/root/repo/src/trajectory/trajectory.cpp" "src/trajectory/CMakeFiles/jigsaw_trajectory.dir/trajectory.cpp.o" "gcc" "src/trajectory/CMakeFiles/jigsaw_trajectory.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jigsaw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/jigsaw_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

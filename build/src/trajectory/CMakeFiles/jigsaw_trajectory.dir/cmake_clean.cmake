@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_trajectory.dir/phantom.cpp.o"
+  "CMakeFiles/jigsaw_trajectory.dir/phantom.cpp.o.d"
+  "CMakeFiles/jigsaw_trajectory.dir/trajectory.cpp.o"
+  "CMakeFiles/jigsaw_trajectory.dir/trajectory.cpp.o.d"
+  "libjigsaw_trajectory.a"
+  "libjigsaw_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

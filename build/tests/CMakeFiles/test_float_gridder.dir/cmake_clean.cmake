@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_gridder.dir/test_float_gridder.cpp.o"
+  "CMakeFiles/test_float_gridder.dir/test_float_gridder.cpp.o.d"
+  "test_float_gridder"
+  "test_float_gridder.pdb"
+  "test_float_gridder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_gridder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridder_stats.dir/test_gridder_stats.cpp.o"
+  "CMakeFiles/test_gridder_stats.dir/test_gridder_stats.cpp.o.d"
+  "test_gridder_stats"
+  "test_gridder_stats.pdb"
+  "test_gridder_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridder_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridders.dir/test_gridders.cpp.o"
+  "CMakeFiles/test_gridders.dir/test_gridders.cpp.o.d"
+  "test_gridders"
+  "test_gridders.pdb"
+  "test_gridders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

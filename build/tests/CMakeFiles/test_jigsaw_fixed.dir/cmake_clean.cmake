@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jigsaw_fixed.dir/test_jigsaw_fixed.cpp.o"
+  "CMakeFiles/test_jigsaw_fixed.dir/test_jigsaw_fixed.cpp.o.d"
+  "test_jigsaw_fixed"
+  "test_jigsaw_fixed.pdb"
+  "test_jigsaw_fixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jigsaw_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

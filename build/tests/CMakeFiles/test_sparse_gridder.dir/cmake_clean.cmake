@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_gridder.dir/test_sparse_gridder.cpp.o"
+  "CMakeFiles/test_sparse_gridder.dir/test_sparse_gridder.cpp.o.d"
+  "test_sparse_gridder"
+  "test_sparse_gridder.pdb"
+  "test_sparse_gridder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_gridder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracer_integration.dir/test_tracer_integration.cpp.o"
+  "CMakeFiles/test_tracer_integration.dir/test_tracer_integration.cpp.o.d"
+  "test_tracer_integration"
+  "test_tracer_integration.pdb"
+  "test_tracer_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracer_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_trajectory[1]_include.cmake")
+include("/root/repo/build/tests/test_phantom[1]_include.cmake")
+include("/root/repo/build/tests/test_memsim[1]_include.cmake")
+include("/root/repo/build/tests/test_gridders[1]_include.cmake")
+include("/root/repo/build/tests/test_gridder_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_jigsaw_fixed[1]_include.cmake")
+include("/root/repo/build/tests/test_cycle_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_nufft[1]_include.cmake")
+include("/root/repo/build/tests/test_recon[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_gridder[1]_include.cmake")
+include("/root/repo/build/tests/test_sense[1]_include.cmake")
+include("/root/repo/build/tests/test_dma[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_float_gridder[1]_include.cmake")
+include("/root/repo/build/tests/test_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_tracer_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")

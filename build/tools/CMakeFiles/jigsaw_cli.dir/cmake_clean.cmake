@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jigsaw_cli.dir/jigsaw_cli.cpp.o"
+  "CMakeFiles/jigsaw_cli.dir/jigsaw_cli.cpp.o.d"
+  "jigsaw_cli"
+  "jigsaw_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jigsaw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

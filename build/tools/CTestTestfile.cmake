@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/jigsaw_cli" "info")
+set_tests_properties(cli_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_recon "/root/repo/build/tools/jigsaw_cli" "recon" "--n" "64" "--samples" "8000" "--out" "cli_recon_test.pgm")
+set_tests_properties(cli_recon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_grid "/root/repo/build/tools/jigsaw_cli" "grid" "--n" "64" "--samples" "8000" "--engine" "slice-dice")
+set_tests_properties(cli_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/jigsaw_cli" "simulate" "--n" "64" "--samples" "8000")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/tools/jigsaw_cli" "recon" "--bogus" "1")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
