@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build and run the full test suite twice — once plain, once
+# under AddressSanitizer + UBSan (JIGSAW_SANITIZE=ON). Both configurations
+# must pass for a change to land.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "=== plain build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+echo "=== ASan+UBSan build + ctest ==="
+cmake -B build-asan -S . -DJIGSAW_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j"${JOBS}"
+
+echo "=== CI green: both configurations pass ==="

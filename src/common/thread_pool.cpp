@@ -76,7 +76,16 @@ void ThreadPool::parallel_for(
     }
   }
   cv_task_.notify_all();
-  fn(0, std::min<std::int64_t>(n, step), 0);
+  // The caller's chunk gets the same treatment as worker chunks: catch,
+  // record the first error, and — crucially — keep waiting for the inflight
+  // chunks. Letting the exception escape here would unwind `fn` while
+  // workers still hold a pointer to it.
+  try {
+    fn(0, std::min<std::int64_t>(n, step), 0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [this] { return inflight_ == 0; });

@@ -30,6 +30,11 @@ class ThreadPool {
 
   /// Invoke fn(begin, end, worker_id) over [0, n) split into roughly equal
   /// chunks, one per thread (worker_id in [0, thread_count())).
+  ///
+  /// Error semantics are first-error-wins: if any chunk throws (including
+  /// the chunk run on the calling thread), parallel_for waits for every
+  /// inflight chunk to finish, then rethrows the first recorded exception
+  /// on the calling thread. The pool remains usable afterwards.
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t, std::int64_t,
                                              unsigned)>& fn);

@@ -33,7 +33,7 @@ class FloatGridder final : public Gridder<D> {
 
   GridderKind kind() const override { return GridderKind::FloatSerial; }
 
-  void adjoint(const SampleSet<D>& in, Grid<D>& out) override {
+  void do_adjoint(const SampleSet<D>& in, Grid<D>& out) override {
     JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
     const int w = this->options_.width;
     const std::int64_t g = this->g_;
@@ -103,7 +103,7 @@ class FloatGridder final : public Gridder<D> {
                                 static_cast<std::uint64_t>(w);
   }
 
-  void forward(const Grid<D>& in, SampleSet<D>& out) override {
+  void do_forward(const Grid<D>& in, SampleSet<D>& out) override {
     JIGSAW_REQUIRE(in.size() == this->g_, "grid size mismatch in forward()");
     const int w = this->options_.width;
     const std::int64_t g = this->g_;

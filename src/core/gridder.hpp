@@ -34,6 +34,8 @@
 #include "kernels/kernel.hpp"
 #include "kernels/lut.hpp"
 #include "memsim/cache.hpp"
+#include "robustness/sanitize.hpp"
+#include "robustness/soft_error.hpp"
 
 namespace jigsaw::core {
 
@@ -67,6 +69,12 @@ struct GridderOptions {
                                        // walking only the W^d affected columns
   int fixed_scale_log2 = INT_MIN;  // Jigsaw: input scaling exponent;
                                    // INT_MIN = choose automatically
+  robustness::SanitizePolicy sanitize = robustness::SanitizePolicy::None;
+                                   // degraded-input policy applied by
+                                   // Gridder::adjoint/forward before the
+                                   // engine runs (None = zero overhead)
+  robustness::SoftErrorConfig soft_error;  // Jigsaw/CycleSim accumulation
+                                           // SRAM bit-flip campaign hook
 };
 
 /// Work/traffic counters. The prose claims of Secs. II-III (boundary-check
@@ -80,6 +88,7 @@ struct GriddingStats {
   std::uint64_t kernel_evals = 0;      // on-line kernel evaluations
   std::uint64_t grid_bytes_touched = 0;
   std::uint64_t saturation_events = 0; // Jigsaw fixed-point accumulator clips
+  std::uint64_t soft_error_flips = 0;  // injected accumulator bit flips
   double presort_seconds = 0.0;
   double grid_seconds = 0.0;
 
@@ -105,12 +114,23 @@ class Gridder {
 
   /// Adjoint interpolation (gridding): accumulate every sample's windowed
   /// contribution onto `out` (cleared first). `out` must have side G.
-  virtual void adjoint(const SampleSet<D>& in, Grid<D>& out) = 0;
+  /// Applies the configured sanitize policy first (see GridderOptions):
+  /// with SanitizePolicy::None the input reaches the engine untouched; a
+  /// clean input is never copied under any policy, so sanitization is a
+  /// bit-exact no-op on valid data.
+  void adjoint(const SampleSet<D>& in, Grid<D>& out);
 
   /// Forward interpolation (re-gridding): evaluate the windowed sum of grid
-  /// values at each sample coordinate. Default implementation is
-  /// input-parallel; engines may override.
-  virtual void forward(const Grid<D>& in, SampleSet<D>& out);
+  /// values at each sample coordinate. Under a non-None sanitize policy the
+  /// coordinates are clamped onto the torus (samples are output slots here,
+  /// so nothing is ever dropped).
+  void forward(const Grid<D>& in, SampleSet<D>& out);
+
+  /// Report of the sanitization pass performed by the last adjoint() /
+  /// forward() call (empty when the policy is None).
+  const robustness::SanitizeReport& last_sanitize_report() const {
+    return sanitize_report_;
+  }
 
   GriddingStats& stats() { return stats_; }
   const GriddingStats& stats() const { return stats_; }
@@ -120,6 +140,13 @@ class Gridder {
   void set_tracer(memsim::MemTracer* tracer) { tracer_ = tracer; }
 
  protected:
+  /// Engine hooks behind the sanitizing entry points above. Engines see
+  /// only defect-free (or policy-repaired) samples.
+  virtual void do_adjoint(const SampleSet<D>& in, Grid<D>& out) = 0;
+
+  /// Default forward implementation is input-parallel; engines may override.
+  virtual void do_forward(const Grid<D>& in, SampleSet<D>& out);
+
   /// One-dimensional interpolation weight at signed distance `dist`,
   /// honoring the exact_weights option. Counter updates are the caller's
   /// responsibility (hot loops batch them).
@@ -143,6 +170,7 @@ class Gridder {
   std::unique_ptr<kernels::Kernel> kernel_;
   std::unique_ptr<kernels::KernelLut> lut_;
   GriddingStats stats_;
+  robustness::SanitizeReport sanitize_report_;
   memsim::MemTracer* tracer_ = nullptr;
 };
 

@@ -40,7 +40,62 @@ Gridder<D>::Gridder(std::int64_t n, const GridderOptions& options)
 }
 
 template <int D>
+void Gridder<D>::adjoint(const SampleSet<D>& in, Grid<D>& out) {
+  using robustness::SanitizePolicy;
+  if (options_.sanitize == SanitizePolicy::None) {
+    sanitize_report_ = robustness::SanitizeReport{};
+    sanitize_report_.scanned = in.size();
+    sanitize_report_.kept = in.size();
+    do_adjoint(in, out);
+    return;
+  }
+  auto outcome =
+      robustness::sanitize<D>(in, options_.sanitize, options_.threads);
+  sanitize_report_ = std::move(outcome.report);
+  // A clean input never takes the copy path, so sanitization is a bit-exact
+  // no-op on valid data (asserted by the robustness tests).
+  if (sanitize_report_.modified()) {
+    do_adjoint(outcome.samples, out);
+  } else {
+    do_adjoint(in, out);
+  }
+}
+
+template <int D>
 void Gridder<D>::forward(const Grid<D>& in, SampleSet<D>& out) {
+  using robustness::SanitizePolicy;
+  sanitize_report_ = robustness::SanitizeReport{};
+  sanitize_report_.policy = options_.sanitize;
+  sanitize_report_.scanned = out.size();
+  sanitize_report_.kept = out.size();
+  if (options_.sanitize != SanitizePolicy::None) {
+    // Samples are output slots here: repair coordinates (Strict still
+    // throws), never drop.
+    std::vector<Coord<D>> repaired = out.coords;
+    const std::size_t changed = robustness::clamp_coords<D>(repaired);
+    if (options_.sanitize == SanitizePolicy::Strict) {
+      JIGSAW_REQUIRE(changed == 0,
+                     "forward(): " << changed
+                         << " sample coordinates are non-finite or off the "
+                            "torus (strict sanitize policy)");
+    }
+    if (changed > 0) {
+      sanitize_report_.out_of_range_coords = changed;
+      sanitize_report_.defective_samples = changed;
+      sanitize_report_.repaired = changed;
+      SampleSet<D> tmp;
+      tmp.coords = std::move(repaired);
+      tmp.values = std::move(out.values);
+      do_forward(in, tmp);
+      out.values = std::move(tmp.values);
+      return;
+    }
+  }
+  do_forward(in, out);
+}
+
+template <int D>
+void Gridder<D>::do_forward(const Grid<D>& in, SampleSet<D>& out) {
   JIGSAW_REQUIRE(in.size() == g_, "grid size mismatch in forward()");
   JIGSAW_REQUIRE(out.values.size() == out.coords.size(),
                  "sample set coords/values mismatch");

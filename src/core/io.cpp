@@ -1,6 +1,6 @@
 #include "core/io.hpp"
 
-#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -20,36 +20,73 @@ bool save_samples_csv(const std::string& path, const SampleSet<2>& samples) {
   return static_cast<bool>(f);
 }
 
-SampleSet<2> load_samples_csv(const std::string& path) {
+namespace {
+
+/// Parse one data row "k0,k1,real,imag" into v. Returns an empty string on
+/// success, otherwise the reason the row is rejected. strtod (rather than
+/// stream extraction) so "nan"/"inf" survive the round trip to the
+/// sanitizer.
+std::string parse_row(const std::string& line, double v[4]) {
+  const char* p = line.c_str();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      while (*p == ' ' || *p == '\t') ++p;
+      if (*p != ',') {
+        return "expected ',' before field " + std::to_string(i + 1);
+      }
+      ++p;
+    }
+    char* end = nullptr;
+    v[i] = std::strtod(p, &end);
+    if (end == p) {
+      return "field " + std::to_string(i + 1) + " is not a number";
+    }
+    p = end;
+  }
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p != '\0') return "trailing characters after field 4";
+  return {};
+}
+
+}  // namespace
+
+SampleSet<2> load_samples_csv(const std::string& path, CsvReport* report) {
   std::ifstream f(path);
   if (!f) {
     throw std::runtime_error("jigsaw: cannot open sample file: " + path);
   }
   SampleSet<2> out;
+  CsvReport local;
   std::string line;
-  std::size_t lineno = 0;
+  std::size_t lineno = 0;  // 1-based in diagnostics
   while (std::getline(f, line)) {
     ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
     double v[4];
-    char comma;
-    for (int i = 0; i < 4; ++i) {
-      if (i > 0) {
-        ss >> comma;
-        JIGSAW_REQUIRE(comma == ',', "malformed CSV at " << path << ":"
-                                                          << lineno);
-      }
-      JIGSAW_REQUIRE(static_cast<bool>(ss >> v[i]),
-                     "malformed CSV at " << path << ":" << lineno);
+    std::string reason = parse_row(line, v);
+    if (!reason.empty()) {
+      local.rejects.push_back(CsvReject{lineno, std::move(reason)});
+      continue;
     }
-    JIGSAW_REQUIRE(v[0] >= -0.5 && v[0] < 0.5 && v[1] >= -0.5 && v[1] < 0.5,
-                   "coordinate out of [-0.5, 0.5) at " << path << ":"
-                                                       << lineno);
+    ++local.rows_parsed;
     out.coords.push_back({v[0], v[1]});
     out.values.emplace_back(v[2], v[3]);
   }
-  JIGSAW_REQUIRE(!out.empty(), "no samples in " << path);
+  if (report == nullptr) {
+    if (!local.rejects.empty()) {
+      std::ostringstream msg;
+      msg << "jigsaw: " << local.rejects.size() << " malformed row"
+          << (local.rejects.size() == 1 ? "" : "s") << " in " << path;
+      for (const auto& r : local.rejects) {
+        msg << "\n  line " << r.line << ": " << r.reason;
+      }
+      throw std::invalid_argument(msg.str());
+    }
+  } else {
+    *report = std::move(local);
+  }
   return out;
 }
 

@@ -4,10 +4,18 @@
 // through the CLI and examples: one line per sample,
 //   k0,k1,real,imag
 // with coordinates in normalized torus units [-0.5, 0.5). Lines starting
-// with '#' are comments.
+// with '#' are comments; blank lines and CRLF line endings are tolerated.
+//
+// The loader is a recovering line-oriented parser: a malformed row is
+// recorded as a (1-based line number, reason) reject and skipped, so one
+// corrupt export line cannot discard an entire acquisition. Out-of-range or
+// non-finite numbers parse successfully — classifying and repairing them is
+// the sanitizer's job (robustness/sanitize.hpp), not the parser's.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/sample_set.hpp"
 
@@ -16,8 +24,24 @@ namespace jigsaw::core {
 /// Write a 2D sample set as CSV. Returns false on I/O failure.
 bool save_samples_csv(const std::string& path, const SampleSet<2>& samples);
 
-/// Read a 2D sample set from CSV. Throws std::invalid_argument on malformed
-/// rows or out-of-range coordinates; std::runtime_error if unreadable.
-SampleSet<2> load_samples_csv(const std::string& path);
+/// One rejected CSV row.
+struct CsvReject {
+  std::size_t line = 0;  // 1-based line number in the file
+  std::string reason;
+};
+
+/// Outcome of one load: accepted row count plus every reject, in file order.
+struct CsvReport {
+  std::size_t rows_parsed = 0;
+  std::vector<CsvReject> rejects;
+};
+
+/// Read a 2D sample set from CSV. Throws std::runtime_error if the file is
+/// unreadable. With `report` non-null, malformed rows are skipped and
+/// recorded there; with `report` null, malformed rows raise
+/// std::invalid_argument listing every rejected line. A file with no data
+/// rows (empty or comment-only) yields an empty SampleSet.
+SampleSet<2> load_samples_csv(const std::string& path,
+                              CsvReport* report = nullptr);
 
 }  // namespace jigsaw::core

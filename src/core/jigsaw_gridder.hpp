@@ -17,6 +17,7 @@
 #include "core/gridder.hpp"
 #include "core/jigsaw_datapath.hpp"
 #include "core/window.hpp"
+#include "robustness/soft_error.hpp"
 
 namespace jigsaw::core {
 
@@ -53,7 +54,7 @@ class JigsawGridder final : public Gridder<D> {
   /// Scale exponent used by the last adjoint() call.
   int scale_log2() const { return scale_log2_; }
 
-  void adjoint(const SampleSet<D>& in, Grid<D>& out) override {
+  void do_adjoint(const SampleSet<D>& in, Grid<D>& out) override {
     JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
     const int w = this->options_.width;
     const std::int64_t t = this->options_.tile;
@@ -70,6 +71,9 @@ class JigsawGridder final : public Gridder<D> {
     Timer timer;
     const auto m = static_cast<std::int64_t>(in.size());
     std::uint64_t saturations = 0;
+    // Soft-error campaign hook: possibly flip one bit per accumulation-SRAM
+    // write (inactive and draw-free at the default rate of 0).
+    robustness::SoftErrorInjector seu(this->options_.soft_error);
     datapath::DimSelect sel[3][64];
     fixed::CWeight16 wsel[3][64];
     for (std::int64_t j = 0; j < m; ++j) {
@@ -97,6 +101,7 @@ class JigsawGridder final : public Gridder<D> {
           saturations += datapath::accumulate(
               dice_[static_cast<std::size_t>(addr)],
               datapath::interpolate(wt, value));
+          seu.corrupt(dice_[static_cast<std::size_t>(addr)]);
           this->trace_grid_access(addr, /*write=*/true);
         }
       } else if constexpr (D == 2) {
@@ -111,6 +116,7 @@ class JigsawGridder final : public Gridder<D> {
             saturations += datapath::accumulate(
                 dice_[static_cast<std::size_t>(addr)],
                 datapath::interpolate(wt, value));
+            seu.corrupt(dice_[static_cast<std::size_t>(addr)]);
             this->trace_grid_access(addr, /*write=*/true);
           }
         }
@@ -132,6 +138,7 @@ class JigsawGridder final : public Gridder<D> {
               saturations += datapath::accumulate(
                   dice_[static_cast<std::size_t>(addr)],
                   datapath::interpolate(wt, value));
+              seu.corrupt(dice_[static_cast<std::size_t>(addr)]);
               this->trace_grid_access(addr, /*write=*/true);
             }
           }
@@ -167,6 +174,7 @@ class JigsawGridder final : public Gridder<D> {
                                 static_cast<std::uint64_t>(D) *
                                 static_cast<std::uint64_t>(w);
     this->stats_.saturation_events += saturations;
+    this->stats_.soft_error_flips += seu.flips();
   }
 
   /// Fixed-point forward interpolation (re-gridding): the symmetric
@@ -175,7 +183,7 @@ class JigsawGridder final : public Gridder<D> {
   /// contributions through the same select / weight-lookup / interpolate
   /// datapath, accumulating into a per-sample register. Bit-exact with
   /// jigsaw::CycleSim::run_2d_forward (tested).
-  void forward(const Grid<D>& in, SampleSet<D>& out) override {
+  void do_forward(const Grid<D>& in, SampleSet<D>& out) override {
     JIGSAW_REQUIRE(in.size() == this->g_, "grid size mismatch in forward()");
     const int w = this->options_.width;
     const std::int64_t t = this->options_.tile;

@@ -11,12 +11,20 @@ NufftPlan<D>::NufftPlan(std::int64_t n, std::vector<Coord<D>> coords,
                         const GridderOptions& options)
     : n_(n), coords_(std::move(coords)) {
   // Validate once at plan time (the per-transform hot paths do not check):
-  // every coordinate must be finite and inside the torus.
-  for (const auto& c : coords_) {
-    for (int d = 0; d < D; ++d) {
-      const double v = c[static_cast<std::size_t>(d)];
-      JIGSAW_REQUIRE(v >= -0.5 && v < 0.5,
-                     "coordinate component out of [-0.5, 0.5): " << v);
+  // every coordinate must be finite and inside the torus. Under a repairing
+  // sanitize policy (Drop/Clamp) the gridder handles defects itself, so the
+  // plan accepts degraded coordinates as-is.
+  using robustness::SanitizePolicy;
+  if (options.sanitize == SanitizePolicy::None ||
+      options.sanitize == SanitizePolicy::Strict) {
+    const std::size_t m = coords_.size();
+    for (std::size_t j = 0; j < m; ++j) {
+      for (int d = 0; d < D; ++d) {
+        const double v = coords_[j][static_cast<std::size_t>(d)];
+        JIGSAW_REQUIRE(robustness::coord_in_range(v),
+                       "sample " << j << " of " << m << ": coordinate dim "
+                                 << d << " out of [-0.5, 0.5): " << v);
+      }
     }
   }
   gridder_ = make_gridder<D>(n, options);

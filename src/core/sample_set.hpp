@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "robustness/sanitize.hpp"
 
 namespace jigsaw::core {
 
@@ -26,16 +27,12 @@ struct SampleSet {
   std::size_t size() const { return coords.size(); }
   bool empty() const { return coords.empty(); }
 
-  /// Validate that every coordinate lies in [-0.5, 0.5).
-  void validate() const {
-    for (const auto& c : coords) {
-      for (int d = 0; d < D; ++d) {
-        JIGSAW_REQUIRE(c[static_cast<std::size_t>(d)] >= -0.5 &&
-                           c[static_cast<std::size_t>(d)] < 0.5,
-                       "coordinate component out of [-0.5, 0.5)");
-      }
-    }
-  }
+  /// Validate that every value is finite and every coordinate lies in
+  /// [-0.5, 0.5). This is exactly the sanitizer's Strict policy: on the
+  /// first defect it throws std::invalid_argument naming the sample index,
+  /// the dimension and the offending value — indispensable context when one
+  /// sample in a 50M-sample acquisition is bad.
+  void validate() const { robustness::require_valid<D>(*this); }
 };
 
 }  // namespace jigsaw::core

@@ -21,7 +21,7 @@ class SerialGridder final : public Gridder<D> {
 
   GridderKind kind() const override { return GridderKind::Serial; }
 
-  void adjoint(const SampleSet<D>& in, Grid<D>& out) override {
+  void do_adjoint(const SampleSet<D>& in, Grid<D>& out) override {
     JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
     const int w = this->options_.width;
     const std::int64_t g = this->g_;

@@ -53,7 +53,7 @@ class SliceDiceGridder final : public Gridder<D> {
 
   std::int64_t tiles_per_dim() const { return ntiles_; }
 
-  void adjoint(const SampleSet<D>& in, Grid<D>& out) override {
+  void do_adjoint(const SampleSet<D>& in, Grid<D>& out) override {
     JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
     const std::int64_t t = this->options_.tile;
     const std::int64_t columns = pow_dim<D>(t);

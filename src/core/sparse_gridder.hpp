@@ -44,7 +44,7 @@ class SparseGridder final : public Gridder<D> {
   /// from stats().grid_seconds, analogous to binning's presort time).
   double build_seconds() const { return build_seconds_; }
 
-  void adjoint(const SampleSet<D>& in, Grid<D>& out) override {
+  void do_adjoint(const SampleSet<D>& in, Grid<D>& out) override {
     JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
     ensure_matrix(in.coords);
     out.clear();
@@ -69,7 +69,7 @@ class SparseGridder final : public Gridder<D> {
                                        sizeof(c64);
   }
 
-  void forward(const Grid<D>& in, SampleSet<D>& out) override {
+  void do_forward(const Grid<D>& in, SampleSet<D>& out) override {
     JIGSAW_REQUIRE(in.size() == this->g_, "grid size mismatch in forward()");
     ensure_matrix(out.coords);
     Timer timer;

@@ -86,10 +86,12 @@ void CycleSim::broadcast_2d(std::int64_t usx_q, std::int64_t usy_q,
       stats_.macs += 1;
       const std::int64_t col = cy * t + cx;
       const std::int64_t tile_addr = sy.tile * ntiles_ + sx.tile;
-      stats_.saturations +=
-          dp::accumulate(dice_[static_cast<std::size_t>(col * tile_count +
-                                                        tile_addr)],
-                         contrib);
+      auto& word =
+          dice_[static_cast<std::size_t>(col * tile_count + tile_addr)];
+      stats_.saturations += dp::accumulate(word, contrib);
+      // Soft-error campaign hook: possibly flip one bit of the word just
+      // written (inactive and draw-free at the default rate of 0).
+      soft_error_.corrupt(word);
       stats_.accum_writes += 1;
     }
   }
@@ -104,6 +106,7 @@ void CycleSim::run_2d(const core::SampleSet<2>& in, core::Grid<2>& out) {
   dice_.assign(static_cast<std::size_t>(t * t * tile_count), fixed::CData32{});
   stats_ = SimStats{};
   stats_.pipeline_depth = 12;
+  soft_error_ = robustness::SoftErrorInjector(options_.soft_error);
 
   scale_log2_ = options_.fixed_scale_log2 != INT_MIN
                     ? options_.fixed_scale_log2
@@ -130,6 +133,7 @@ void CycleSim::run_2d(const core::SampleSet<2>& in, core::Grid<2>& out) {
   // Stall-free streaming: exactly M + depth cycles.
   stats_.gridding_cycles = (m == 0) ? 0 : m + stats_.pipeline_depth;
   stats_.readout_cycles = (g_ * g_ + 1) / 2;  // two 64-bit points per cycle
+  stats_.soft_error_flips = static_cast<long long>(soft_error_.flips());
 
   // Read the dice out, tile by tile, into the row-major grid.
   const double descale = 1.0 / scale;
@@ -230,6 +234,7 @@ void CycleSim::run_3d(const core::SampleSet<3>& in, core::Grid<3>& out,
   const std::int64_t tile_count = ntiles_ * ntiles_;
   stats_ = SimStats{};
   stats_.pipeline_depth = 15;
+  soft_error_ = robustness::SoftErrorInjector(options_.soft_error);
 
   scale_log2_ = options_.fixed_scale_log2 != INT_MIN
                     ? options_.fixed_scale_log2
@@ -323,6 +328,7 @@ void CycleSim::run_3d(const core::SampleSet<3>& in, core::Grid<3>& out,
     }
     stats_.readout_cycles += (g_ * g_ + 1) / 2;
   }
+  stats_.soft_error_flips = static_cast<long long>(soft_error_.flips());
 }
 
 }  // namespace jigsaw::sim

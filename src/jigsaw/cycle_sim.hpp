@@ -29,6 +29,7 @@
 #include "core/jigsaw_datapath.hpp"
 #include "core/sample_set.hpp"
 #include "kernels/lut.hpp"
+#include "robustness/soft_error.hpp"
 
 namespace jigsaw::sim {
 
@@ -53,6 +54,7 @@ struct SimStats {
   long long macs = 0;               // interpolation multiplies
   long long accum_writes = 0;
   long long saturations = 0;
+  long long soft_error_flips = 0;   // injected accumulation-SRAM bit flips
   int pipeline_depth = 0;
   double clock_ghz = 1.0;
 
@@ -117,6 +119,9 @@ class CycleSim {
   std::int64_t ntiles_;
   std::vector<fixed::CData32> dice_;  // per-pipeline accumulation SRAM
   SimStats stats_;
+  // Soft-error campaign hook on the accumulation SRAM (GridderOptions
+  // .soft_error; inactive at the default rate of 0).
+  robustness::SoftErrorInjector soft_error_;
   int scale_log2_ = 0;
 };
 

@@ -1,0 +1,46 @@
+// Defect taxonomy for degraded non-uniform sample sets.
+//
+// Real acquisitions reach the reconstruction stack with predictable damage:
+// scanner-export glitches produce NaN/Inf values, gradient miscalibration or
+// unit mix-ups push coordinates off the [-0.5, 0.5) torus, and retransmitted
+// readouts duplicate coordinates exactly. This header names those defect
+// classes and provides the per-component predicates/repairs shared by the
+// SampleSet validator and the SampleSanitizer — it deliberately depends on
+// nothing but <cmath>/<string> so both can include it without coupling.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace jigsaw::robustness {
+
+enum class DefectClass {
+  NonFiniteValue,    // sample value with a NaN/Inf component
+  NonFiniteCoord,    // coordinate with a NaN/Inf component
+  OutOfRangeCoord,   // finite coordinate component outside [-0.5, 0.5)
+  DuplicateCoord,    // exact bitwise duplicate of an earlier coordinate
+};
+
+inline std::string to_string(DefectClass d) {
+  switch (d) {
+    case DefectClass::NonFiniteValue: return "non-finite value";
+    case DefectClass::NonFiniteCoord: return "non-finite coordinate";
+    case DefectClass::OutOfRangeCoord: return "out-of-range coordinate";
+    case DefectClass::DuplicateCoord: return "duplicate coordinate";
+  }
+  return "unknown defect";
+}
+
+/// Is a finite coordinate component on the torus?
+inline bool coord_in_range(double v) { return v >= -0.5 && v < 0.5; }
+
+/// Wrap a finite coordinate component onto the [-0.5, 0.5) torus (the Clamp
+/// repair). Matches the fold used by the trajectory generators.
+inline double wrap_torus(double v) {
+  v -= std::floor(v + 0.5);
+  if (v >= 0.5) v -= 1.0;   // FP guard: -0.5-eps folds to +0.5
+  if (v < -0.5) v += 1.0;
+  return v;
+}
+
+}  // namespace jigsaw::robustness

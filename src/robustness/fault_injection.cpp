@@ -1,0 +1,132 @@
+#include "robustness/fault_injection.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/sample_set.hpp"
+
+namespace jigsaw::robustness {
+
+std::string FaultReport::summary() const {
+  std::ostringstream os;
+  os << "inject: " << samples_dropped << " samples dropped";
+  if (lines_dropped > 0) os << " (" << lines_dropped << " readout lines)";
+  os << ", " << noise_spikes << " noise spikes, " << nonfinite_injected
+     << " non-finite values, " << coords_perturbed << " coords off-torus\n";
+  return os.str();
+}
+
+template <int D>
+FaultReport inject(core::SampleSet<D>& s, const FaultSpec& spec) {
+  JIGSAW_REQUIRE(s.coords.size() == s.values.size(),
+                 "coords/values size mismatch: " << s.coords.size() << " vs "
+                                                 << s.values.size());
+  JIGSAW_REQUIRE(spec.drop_fraction >= 0.0 && spec.drop_fraction <= 1.0 &&
+                     spec.noise_spike_fraction >= 0.0 &&
+                     spec.noise_spike_fraction <= 1.0 &&
+                     spec.nonfinite_fraction >= 0.0 &&
+                     spec.nonfinite_fraction <= 1.0 &&
+                     spec.out_of_range_fraction >= 0.0 &&
+                     spec.out_of_range_fraction <= 1.0,
+                 "fault fractions must lie in [0, 1]");
+  FaultReport report;
+  Rng rng(spec.seed);
+  const std::size_t m = s.size();
+  if (m == 0) return report;
+
+  // (1) Coordinate perturbation: push one dimension off the torus.
+  if (spec.out_of_range_fraction > 0.0) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (rng.uniform() >= spec.out_of_range_fraction) continue;
+      const int d = static_cast<int>(rng.below(D));
+      // Offset >= 1.0 so a torus coordinate is guaranteed to land outside
+      // [-0.5, 0.5) — the classic off-by-one-period unit mix-up.
+      const double offset = rng.uniform(1.0, 2.0);
+      s.coords[j][static_cast<std::size_t>(d)] +=
+          (rng() & 1) ? offset : -offset;
+      ++report.coords_perturbed;
+    }
+  }
+
+  // (2) Non-finite injection, cycling through the distinct poison patterns
+  // an export glitch produces.
+  if (spec.nonfinite_fraction > 0.0) {
+    constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (rng.uniform() >= spec.nonfinite_fraction) continue;
+      switch (rng.below(4)) {
+        case 0: s.values[j] = c64(kNan, s.values[j].imag()); break;
+        case 1: s.values[j] = c64(s.values[j].real(), kNan); break;
+        case 2: s.values[j] = c64(kInf, 0.0); break;
+        default: s.values[j] = c64(0.0, -kInf); break;
+      }
+      ++report.nonfinite_injected;
+    }
+  }
+
+  // (3) Impulse noise, scaled to the clean stream's peak component.
+  if (spec.noise_spike_fraction > 0.0) {
+    double peak = 0.0;
+    for (const c64& v : s.values) {
+      if (std::isfinite(v.real())) {
+        peak = std::max(peak, std::fabs(v.real()));
+      }
+      if (std::isfinite(v.imag())) {
+        peak = std::max(peak, std::fabs(v.imag()));
+      }
+    }
+    if (peak == 0.0) peak = 1.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (rng.uniform() >= spec.noise_spike_fraction) continue;
+      const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      s.values[j] += spec.spike_magnitude * peak *
+                     c64(std::cos(phi), std::sin(phi));
+      ++report.noise_spikes;
+    }
+  }
+
+  // (4) Dropped readouts: whole lines of `readout_length` samples, or
+  // individual samples when no line structure is known.
+  if (spec.drop_fraction > 0.0) {
+    std::vector<char> keep(m, 1);
+    if (spec.readout_length > 0) {
+      const auto len = static_cast<std::size_t>(spec.readout_length);
+      const std::size_t lines = (m + len - 1) / len;
+      for (std::size_t line = 0; line < lines; ++line) {
+        if (rng.uniform() >= spec.drop_fraction) continue;
+        ++report.lines_dropped;
+        const std::size_t begin = line * len;
+        const std::size_t end = std::min(m, begin + len);
+        for (std::size_t j = begin; j < end; ++j) keep[j] = 0;
+      }
+    } else {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (rng.uniform() < spec.drop_fraction) keep[j] = 0;
+      }
+    }
+    std::size_t w = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (keep[j] == 0) continue;
+      s.coords[w] = s.coords[j];
+      s.values[w] = s.values[j];
+      ++w;
+    }
+    report.samples_dropped = m - w;
+    s.coords.resize(w);
+    s.values.resize(w);
+  }
+
+  return report;
+}
+
+template FaultReport inject<1>(core::SampleSet<1>&, const FaultSpec&);
+template FaultReport inject<2>(core::SampleSet<2>&, const FaultSpec&);
+template FaultReport inject<3>(core::SampleSet<3>&, const FaultSpec&);
+
+}  // namespace jigsaw::robustness

@@ -1,0 +1,79 @@
+// Deterministic acquisition-failure model for sample sets.
+//
+// Real scanners degrade in a handful of stereotyped ways: whole readout
+// lines vanish (gradient trips, motion-gated rejection), isolated samples
+// pick up impulse noise (RF spikes), export pipelines emit NaN/Inf, and
+// coordinate streams drift off the torus (unit mix-ups, miscalibration).
+// The FaultInjector reproduces each mode under a seeded Rng so every
+// gridder and the full recon pipeline can be exercised end-to-end under
+// degradation — reproducibly, in tests, benchmarks and the CLI's
+// `--drop-spokes/--noise-spikes/...` flag group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace jigsaw::core {
+template <int D>
+struct SampleSet;
+}  // namespace jigsaw::core
+
+namespace jigsaw::robustness {
+
+/// What to corrupt, expressed as per-unit probabilities. All modes are
+/// independent Bernoulli draws from one seeded stream, so a given
+/// (spec, sample set) pair always produces the same corruption.
+struct FaultSpec {
+  /// Fraction of readout lines (spokes/interleaves) removed outright.
+  /// `readout_length` is the line granularity in samples; 0 drops
+  /// individual samples instead of whole lines.
+  double drop_fraction = 0.0;
+  std::int64_t readout_length = 0;
+
+  /// Fraction of values hit by impulse noise: value += magnitude * peak *
+  /// e^{i phi} with random phase, where peak is the max |component| of the
+  /// clean stream. Spikes are finite — the damage a sanitizer cannot
+  /// detect, only the reconstruction can absorb.
+  double noise_spike_fraction = 0.0;
+  double spike_magnitude = 50.0;
+
+  /// Fraction of values replaced by NaN/Inf (export glitches).
+  double nonfinite_fraction = 0.0;
+
+  /// Fraction of coordinates pushed off the [-0.5, 0.5) torus by a random
+  /// offset of magnitude in [1.0, 2.0) on one dimension (a full-period
+  /// shift, so an in-range coordinate is guaranteed to leave the torus).
+  double out_of_range_fraction = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// What actually happened (exact counts under the seeded draws).
+struct FaultReport {
+  std::size_t lines_dropped = 0;
+  std::size_t samples_dropped = 0;
+  std::size_t noise_spikes = 0;
+  std::size_t nonfinite_injected = 0;
+  std::size_t coords_perturbed = 0;
+
+  bool any() const {
+    return samples_dropped + noise_spikes + nonfinite_injected +
+               coords_perturbed >
+           0;
+  }
+  std::string summary() const;
+};
+
+/// Corrupt `s` in place per `spec`. Order: coordinate perturbation, then
+/// non-finite injection, then noise spikes, then line/sample drops — so a
+/// sample can carry several defects, as real failures overlap.
+template <int D>
+FaultReport inject(core::SampleSet<D>& s, const FaultSpec& spec);
+
+extern template FaultReport inject<1>(core::SampleSet<1>&, const FaultSpec&);
+extern template FaultReport inject<2>(core::SampleSet<2>&, const FaultSpec&);
+extern template FaultReport inject<3>(core::SampleSet<3>&, const FaultSpec&);
+
+}  // namespace jigsaw::robustness

@@ -1,0 +1,78 @@
+// Soft-error (bit-flip) model for the JIGSAW accumulation SRAM.
+//
+// The paper's whole pitch is that a 16/32-bit fixed-point datapath is "good
+// enough" for clinical image quality; this hook asks how fragile that claim
+// is when the accumulation SRAM takes single-event upsets. A seeded
+// Bernoulli draw decides, per accumulator write, whether to flip one chosen
+// bit in one component of the freshly written word. Both the functional
+// JigsawGridder and the cycle-level CycleSim install the hook on their
+// adjoint accumulation path, and bench/campaign_soft_error.cpp sweeps
+// (flip rate x bit position) to map the datapath's resilience headroom the
+// same way Fig. 9 maps its precision headroom.
+//
+// Note the two models consume their random streams in different write
+// orders (window-order vs column-order), so their outputs are only
+// bit-exact with each other when the injector is inactive.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fixed/fixed.hpp"
+
+namespace jigsaw::robustness {
+
+/// Campaign point: flip `bit` in a `rate` fraction of accumulator writes.
+/// rate == 0 disables the hook entirely (no Rng draws, bit-exact with the
+/// clean datapath).
+struct SoftErrorConfig {
+  double rate = 0.0;       // per-write flip probability
+  int bit = 12;            // bit position within the accumulator word
+  std::uint64_t seed = 0x50f7e44ULL;
+};
+
+class SoftErrorInjector {
+ public:
+  SoftErrorInjector() = default;
+  explicit SoftErrorInjector(const SoftErrorConfig& cfg)
+      : rate_(cfg.rate), bit_(cfg.bit), rng_(cfg.seed),
+        active_(cfg.rate > 0.0) {
+    JIGSAW_REQUIRE(cfg.rate >= 0.0 && cfg.rate <= 1.0,
+                   "soft-error rate must lie in [0, 1], got " << cfg.rate);
+    JIGSAW_REQUIRE(cfg.bit >= 0 && cfg.bit < 64,
+                   "soft-error bit position out of range: " << cfg.bit);
+  }
+
+  bool active() const { return active_; }
+  std::uint64_t flips() const { return flips_; }
+
+  /// Maybe corrupt a just-written accumulator word: one Bernoulli draw per
+  /// write; on a hit, flip the configured bit in a randomly chosen
+  /// component (real/imaginary), as an SEU strikes one physical cell.
+  template <typename F>
+  void corrupt(fixed::Complex<F>& word) {
+    if (!active_) return;
+    if (rng_.uniform() >= rate_) return;
+    JIGSAW_REQUIRE(bit_ < F::bits, "soft-error bit " << bit_
+                       << " exceeds the " << F::bits
+                       << "-bit accumulator word");
+    using S = typename F::storage;
+    using U = std::make_unsigned_t<S>;
+    const U mask = static_cast<U>(U{1} << bit_);
+    F& component = (rng_() & 1) ? word.re : word.im;
+    component =
+        F::from_raw(static_cast<S>(static_cast<U>(component.raw()) ^ mask));
+    ++flips_;
+  }
+
+ private:
+  double rate_ = 0.0;
+  int bit_ = 0;
+  Rng rng_{};
+  std::uint64_t flips_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace jigsaw::robustness

@@ -122,6 +122,26 @@ TEST(ThreadPool, PropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, CallerChunkExceptionPropagatesAndPoolSurvives) {
+  // Regression: chunk 0 runs on the calling thread. Its exception must not
+  // escape before the inflight worker chunks complete (they hold a pointer
+  // to the functor), and the pool must stay usable afterwards —
+  // first-error-wins semantics.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::int64_t b, std::int64_t, unsigned) {
+                          if (b == 0) throw std::invalid_argument("chunk 0");
+                        }),
+      std::invalid_argument);
+  // The same pool still runs a full parallel_for correctly.
+  std::atomic<std::int64_t> count{0};
+  pool.parallel_for(1000, [&](std::int64_t b, std::int64_t e, unsigned) {
+    count += e - b;
+  });
+  EXPECT_EQ(count.load(), 1000);
+}
+
 TEST(ThreadPool, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   bool ran = false;

@@ -4,12 +4,18 @@
 //                       [--engine slice-dice] [--kernel kaiser-bessel]
 //                       [--width 6] [--sigma 2.0] [--table 32]
 //                       [--density ramp|pipe-menon|none] [--iters K]
+//                       [--sanitize none|strict|drop|clamp]
+//                       [--drop-spokes F] [--noise-spikes F]
+//                       [--inject-nan F] [--perturb-coords F]
+//                       [--bitflip-rate F] [--bitflip-bit B] [--seed S]
 //                       [--out recon.pgm]
 //   jigsaw_cli grid     --n 128 --traj radial --samples 50000
 //                       [--engine ...]       time one gridding pass + stats
 //   jigsaw_cli simulate --n 128 --samples 50000 [--3d] [--z-binned]
 //                       run the JIGSAW cycle simulator + synthesis estimate
 //   jigsaw_cli info     list engines, kernels, trajectories
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -24,6 +30,7 @@
 #include "core/recon.hpp"
 #include "energy/asic_model.hpp"
 #include "jigsaw/cycle_sim.hpp"
+#include "robustness/fault_injection.hpp"
 #include "trajectory/phantom.hpp"
 #include "trajectory/trajectory.hpp"
 
@@ -73,31 +80,85 @@ core::GridderOptions options_from(const CliArgs& args) {
   opt.table_oversampling = static_cast<int>(args.get_int("table", 32));
   opt.tile = static_cast<int>(args.get_int("tile", 8));
   opt.exact_weights = args.has("exact-weights");
+  opt.sanitize = robustness::parse_sanitize_policy(args.get("sanitize", "none"));
+  opt.soft_error.rate = args.get_double("bitflip-rate", 0.0);
+  opt.soft_error.bit = static_cast<int>(args.get_int("bitflip-bit", 12));
+  if (args.has("seed")) {
+    opt.soft_error.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  }
   return opt;
+}
+
+/// Fault-injection spec from the --drop-spokes/--noise-spikes/--inject-nan/
+/// --perturb-coords/--seed flags (all fractions default to 0 = off).
+robustness::FaultSpec fault_spec_from(const CliArgs& args,
+                                      std::int64_t readout_length) {
+  robustness::FaultSpec spec;
+  spec.drop_fraction = args.get_double("drop-spokes", 0.0);
+  spec.readout_length = readout_length;
+  spec.noise_spike_fraction = args.get_double("noise-spikes", 0.0);
+  spec.nonfinite_fraction = args.get_double("inject-nan", 0.0);
+  spec.out_of_range_fraction = args.get_double("perturb-coords", 0.0);
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return spec;
 }
 
 int cmd_recon(const CliArgs& args) {
   const std::int64_t n = args.get_int("n", 128);
   const std::int64_t m = args.get_int("samples", 50000);
   const auto traj_type = parse_traj(args.get("traj", "radial"));
+  const auto opt = options_from(args);
   std::vector<Coord<2>> coords;
   std::vector<c64> kdata;
   if (args.has("input")) {
-    // Acquired data: CSV rows of kx,ky,real,imag.
-    auto set = core::load_samples_csv(args.get("input"));
-    coords = std::move(set.coords);
-    kdata = std::move(set.values);
+    // Acquired data: CSV rows of kx,ky,real,imag. Under a non-None sanitize
+    // policy the parser recovers from malformed rows and reports them here;
+    // under None it throws, as degraded input was not expected.
+    if (opt.sanitize == robustness::SanitizePolicy::None) {
+      auto set = core::load_samples_csv(args.get("input"));
+      coords = std::move(set.coords);
+      kdata = std::move(set.values);
+    } else {
+      core::CsvReport csv;
+      auto set = core::load_samples_csv(args.get("input"), &csv);
+      coords = std::move(set.coords);
+      kdata = std::move(set.values);
+      if (!csv.rejects.empty()) {
+        std::printf("csv: %zu rows accepted, %zu rejected\n", csv.rows_parsed,
+                    csv.rejects.size());
+        for (const auto& r : csv.rejects) {
+          std::printf("csv:   line %zu: %s\n", r.line, r.reason.c_str());
+        }
+      }
+    }
   } else {
     coords = trajectory::make_2d(traj_type, m);
     kdata = trajectory::kspace_samples(trajectory::shepp_logan(), coords,
                                        static_cast<int>(n));
   }
+
+  // Optional deterministic degradation of the acquisition (robustness
+  // experiments). Spokes only make sense for radial trajectories; other
+  // geometries drop individual samples.
+  {
+    const std::int64_t readout =
+        (!args.has("input") && traj_type == trajectory::TrajectoryType::Radial)
+            ? static_cast<std::int64_t>(
+                  std::sqrt(static_cast<double>(coords.size())))
+            : 0;
+    const auto spec = fault_spec_from(args, readout);
+    core::SampleSet<2> degraded{std::move(coords), std::move(kdata)};
+    const auto fr = robustness::inject<2>(degraded, spec);
+    coords = std::move(degraded.coords);
+    kdata = std::move(degraded.values);
+    if (fr.any()) std::printf("%s", fr.summary().c_str());
+  }
+
   if (args.has("save")) {
     core::save_samples_csv(args.get("save"), {coords, kdata});
     std::printf("k-space data saved to %s\n", args.get("save").c_str());
   }
 
-  const auto opt = options_from(args);
   core::NufftPlan<2> plan(n, coords, opt);
 
   const std::string density = args.get("density", "ramp");
@@ -137,6 +198,16 @@ int cmd_recon(const CliArgs& args) {
     for (auto& v : mag) v *= dot / sq;
   }
 
+  if (opt.sanitize != robustness::SanitizePolicy::None) {
+    std::printf("%s", plan.gridder().last_sanitize_report().summary().c_str());
+  }
+  if (opt.soft_error.rate > 0.0) {
+    std::printf("soft errors: %llu accumulator bit flips injected "
+                "(rate %g, bit %d)\n",
+                static_cast<unsigned long long>(
+                    plan.gridder().stats().soft_error_flips),
+                opt.soft_error.rate, opt.soft_error.bit);
+  }
   std::printf("recon: %s, %zu samples -> %lldx%lld (%s engine) in %.3f s\n",
               trajectory::to_string(traj_type).c_str(), coords.size(),
               static_cast<long long>(n), static_cast<long long>(n),
@@ -257,7 +328,9 @@ int main(int argc, char** argv) {
       "n",      "samples", "traj",  "engine",        "kernel",
       "width",  "sigma",   "table", "tile",          "exact-weights",
       "density", "iters",  "out",   "3d",            "z-binned",
-      "input",  "save"};
+      "input",  "save",    "sanitize",  "drop-spokes",  "noise-spikes",
+      "inject-nan", "perturb-coords", "bitflip-rate", "bitflip-bit",
+      "seed"};
   try {
     CliArgs args(argc - 1, argv + 1, flags);
     if (cmd == "recon") return cmd_recon(args);
