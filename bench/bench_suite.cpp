@@ -1,0 +1,379 @@
+// bench_suite — unified performance/regression harness.
+//
+// One binary exercises every gridding engine (adjoint + forward, 2D and
+// 3D), the NuFFT with per-phase breakdown, end-to-end iterative recon
+// (direct and Toeplitz Gram), and multi-coil CG-SENSE with the serial coil
+// loop vs the coil-parallel path. Results are emitted as machine-readable
+// BENCH_<tag>.json for scripts/bench_compare.py to diff against a committed
+// baseline — the perf trajectory every later optimization PR is measured
+// on (see docs/benchmarking.md for the schema and the refresh policy).
+//
+//   bench_suite [--smoke] [--tag TAG] [--out FILE] [--coil-threads T]
+//               [--coils C]
+//
+// --smoke shrinks every problem so the suite finishes in CI time while
+// keeping each timed region long enough to be meaningful on one core.
+// Checksums are seeded and deterministic: a checksum drift between two
+// runs of the same code is a correctness bug, not noise.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/batch.hpp"
+#include "core/gridder.hpp"
+#include "core/metrics.hpp"
+#include "core/nufft.hpp"
+#include "core/recon.hpp"
+#include "core/sense.hpp"
+#include "trajectory/phantom.hpp"
+#include "trajectory/trajectory.hpp"
+
+using namespace jigsaw;
+
+namespace {
+
+struct Entry {
+  std::string name;
+  int dim = 0;
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, double>> phases;
+  double checksum = 0.0;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+struct EngineSpec {
+  const char* name;
+  core::GridderKind kind;
+  bool model_faithful;
+};
+
+const EngineSpec kEngines[] = {
+    {"serial", core::GridderKind::Serial, false},
+    {"output-driven", core::GridderKind::OutputDriven, false},
+    {"binning", core::GridderKind::Binning, false},
+    {"slice-dice", core::GridderKind::SliceDice, false},
+    {"slice-dice-model", core::GridderKind::SliceDice, true},
+    {"sparse", core::GridderKind::Sparse, false},
+    {"float", core::GridderKind::FloatSerial, false},
+    {"jigsaw", core::GridderKind::Jigsaw, false},
+};
+
+template <int D>
+core::SampleSet<D> random_samples(std::int64_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  core::SampleSet<D> s;
+  s.coords.resize(static_cast<std::size_t>(m));
+  s.values.resize(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (int d = 0; d < D; ++d) {
+      s.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+          rng.uniform(-0.5, 0.5);
+    }
+    s.values[static_cast<std::size_t>(j)] =
+        c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  return s;
+}
+
+std::string size_suffix(std::int64_t n, std::int64_t m) {
+  return "/n" + std::to_string(n) + "/m" + std::to_string(m);
+}
+
+/// Gridding adjoint + forward for one engine at one problem size.
+template <int D>
+void bench_gridder(const EngineSpec& spec, std::int64_t n, std::int64_t m,
+                   int width, std::vector<Entry>& out) {
+  core::GridderOptions opt;
+  opt.kind = spec.kind;
+  opt.model_faithful_checks = spec.model_faithful;
+  opt.width = width;
+  opt.tile = 8;
+  auto g = core::make_gridder<D>(n, opt);
+  const auto in = random_samples<D>(m, 42 + static_cast<std::uint64_t>(n));
+  core::Grid<D> grid(g->grid_size());
+
+  const std::string base =
+      "grid" + std::to_string(D) + "d/";
+  {
+    Entry e;
+    e.name = base + "adjoint/" + spec.name + size_suffix(n, m);
+    e.dim = D;
+    e.n = n;
+    e.m = m;
+    e.seconds = time_best([&] { g->adjoint(in, grid); }, 0.1, 3);
+    e.phases = {{"grid", e.seconds - 0.0}};
+    e.checksum = core::norm2(
+        std::vector<c64>(grid.data(), grid.data() + grid.total()));
+    e.extra = {{"boundary_checks",
+                static_cast<double>(g->stats().boundary_checks)},
+               {"interpolations",
+                static_cast<double>(g->stats().interpolations)}};
+    out.push_back(std::move(e));
+  }
+  {
+    core::SampleSet<D> fwd;
+    fwd.coords = in.coords;
+    fwd.values.assign(in.coords.size(), c64{});
+    Entry e;
+    e.name = base + "forward/" + spec.name + size_suffix(n, m);
+    e.dim = D;
+    e.n = n;
+    e.m = m;
+    e.seconds = time_best([&] { g->forward(grid, fwd); }, 0.1, 3);
+    e.checksum = core::norm2(fwd.values);
+    out.push_back(std::move(e));
+  }
+}
+
+/// NuFFT adjoint + forward with the per-phase breakdown.
+template <int D>
+void bench_nufft(std::int64_t n, std::int64_t m, int width,
+                 std::vector<Entry>& out) {
+  core::GridderOptions opt;
+  opt.width = width;
+  opt.tile = 8;
+  const auto in = random_samples<D>(m, 7);
+  core::NufftPlan<D> plan(n, in.coords, opt);
+
+  core::NufftTimings t;
+  std::vector<c64> image;
+  {
+    Entry e;
+    e.name = "nufft" + std::to_string(D) + "d/adjoint/slice-dice" +
+             size_suffix(n, m);
+    e.dim = D;
+    e.n = n;
+    e.m = m;
+    e.seconds = time_best([&] { image = plan.adjoint(in.values, &t); }, 0.1, 3);
+    e.phases = {{"grid", t.grid_seconds},
+                {"fft", t.fft_seconds},
+                {"apod", t.apod_seconds},
+                {"presort", t.presort_seconds}};
+    e.checksum = core::norm2(image);
+    out.push_back(std::move(e));
+  }
+  {
+    std::vector<c64> samples;
+    Entry e;
+    e.name = "nufft" + std::to_string(D) + "d/forward/slice-dice" +
+             size_suffix(n, m);
+    e.dim = D;
+    e.n = n;
+    e.m = m;
+    e.seconds = time_best([&] { samples = plan.forward(image, &t); }, 0.1, 3);
+    e.phases = {{"grid", t.grid_seconds},
+                {"fft", t.fft_seconds},
+                {"apod", t.apod_seconds},
+                {"presort", t.presort_seconds}};
+    e.checksum = core::norm2(samples);
+    out.push_back(std::move(e));
+  }
+}
+
+/// End-to-end iterative recon (radial, phantom data), direct and Toeplitz.
+void bench_recon(std::int64_t n, int spokes, int per_spoke, int iters,
+                 std::vector<Entry>& out) {
+  const auto coords = trajectory::radial_2d(spokes, per_spoke);
+  const auto kdata = trajectory::kspace_samples(
+      trajectory::shepp_logan(), coords, static_cast<int>(n));
+  core::GridderOptions opt;
+  opt.width = 6;
+  opt.tile = 8;
+  core::NufftPlan<2> plan(n, coords, opt);
+
+  for (const bool toeplitz : {false, true}) {
+    core::CgResult cg;
+    std::vector<c64> image;
+    Entry e;
+    e.name = std::string("recon2d/") + (toeplitz ? "toeplitz" : "cg") +
+             size_suffix(n, static_cast<std::int64_t>(coords.size()));
+    e.dim = 2;
+    e.n = n;
+    e.m = static_cast<std::int64_t>(coords.size());
+    e.seconds = time_best(
+        [&] {
+          image =
+              core::iterative_recon<2>(plan, kdata, iters, 1e-12, toeplitz, &cg);
+        },
+        0.25, 4);
+    e.checksum = core::norm2(image);
+    e.extra = {{"cg_iterations", static_cast<double>(cg.iterations)}};
+    out.push_back(std::move(e));
+  }
+}
+
+/// Multi-coil CG-SENSE: serial coil loop vs the coil-parallel path. The two
+/// must agree to the last bit (recorded as nrmse_vs_serial); the speedup is
+/// the headline number of this PR's scaling rung.
+void bench_sense(std::int64_t n, int coils, unsigned coil_threads, int spokes,
+                 int per_spoke, int iters, std::vector<Entry>& out) {
+  const auto coords = trajectory::radial_2d(spokes, per_spoke);
+  core::GridderOptions opt;
+  opt.width = 6;
+  opt.tile = 8;
+  core::NufftPlan<2> plan(n, coords, opt);
+  const auto maps = core::make_birdcage_maps(n, coils);
+  const auto truth =
+      trajectory::rasterize(trajectory::shepp_logan(), static_cast<int>(n));
+  std::vector<c64> truth_c(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) truth_c[i] = truth[i];
+  const auto y = simulate_multicoil(plan, maps, truth_c);
+
+  const std::string suffix = size_suffix(
+      n, static_cast<std::int64_t>(coords.size()) * coils);
+
+  std::vector<c64> serial_image;
+  double serial_seconds = 0.0;
+  {
+    Entry e;
+    e.name = "sense2d/serial/coils" + std::to_string(coils) + suffix;
+    e.dim = 2;
+    e.n = n;
+    e.m = static_cast<std::int64_t>(coords.size()) * coils;
+    e.seconds = serial_seconds = time_best(
+        [&] {
+          serial_image = core::cg_sense(plan, maps, y, iters, 1e-12, nullptr, 1);
+        },
+        0.25, 4);
+    e.checksum = core::norm2(serial_image);
+    out.push_back(std::move(e));
+  }
+  {
+    Entry e;
+    e.name = "sense2d/coil-parallel-x" + std::to_string(coil_threads) +
+             "/coils" + std::to_string(coils) + suffix;
+    e.dim = 2;
+    e.n = n;
+    e.m = static_cast<std::int64_t>(coords.size()) * coils;
+    std::vector<c64> parallel_image;
+    e.seconds = time_best(
+        [&] {
+          parallel_image =
+              core::cg_sense(plan, maps, y, iters, 1e-12, nullptr, coil_threads);
+        },
+        0.25, 4);
+    e.checksum = core::norm2(parallel_image);
+    e.extra = {{"speedup_vs_serial", serial_seconds / e.seconds},
+               {"nrmse_vs_serial", core::nrmsd(parallel_image, serial_image)}};
+    out.push_back(std::move(e));
+  }
+}
+
+void write_json(const std::string& path, const std::string& tag, bool smoke,
+                unsigned coil_threads, const std::vector<Entry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  JIGSAW_REQUIRE(f != nullptr, "cannot open " << path << " for writing");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"tag\": \"%s\",\n", tag.c_str());
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"coil_threads\": %u,\n", coil_threads);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", e.name.c_str());
+    std::fprintf(f, "      \"dim\": %d, \"n\": %lld, \"m\": %lld,\n", e.dim,
+                 static_cast<long long>(e.n), static_cast<long long>(e.m));
+    std::fprintf(f, "      \"seconds\": %.9g,\n", e.seconds);
+    if (!e.phases.empty()) {
+      std::fprintf(f, "      \"phases\": {");
+      for (std::size_t p = 0; p < e.phases.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": %.9g", p == 0 ? "" : ", ",
+                     e.phases[p].first.c_str(), e.phases[p].second);
+      }
+      std::fprintf(f, "},\n");
+    }
+    if (!e.extra.empty()) {
+      std::fprintf(f, "      \"extra\": {");
+      for (std::size_t p = 0; p < e.extra.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": %.12g", p == 0 ? "" : ", ",
+                     e.extra[p].first.c_str(), e.extra[p].second);
+      }
+      std::fprintf(f, "},\n");
+    }
+    std::fprintf(f, "      \"checksum\": %.12g\n", e.checksum);
+    std::fprintf(f, "    }%s\n", i + 1 == entries.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> flags = {"smoke", "tag", "out",
+                                          "coil-threads", "coils"};
+  CliArgs args(argc, argv, flags);  // CliArgs skips argv[0]
+  const bool smoke = args.has("smoke");
+  const std::string tag = args.get("tag", smoke ? "smoke" : "full");
+  const std::string out_path = args.get("out", "BENCH_" + tag + ".json");
+  const auto coil_threads =
+      static_cast<unsigned>(args.get_int("coil-threads", 8));
+  const int coils = static_cast<int>(args.get_int("coils", 8));
+
+  std::vector<Entry> entries;
+
+  // Gridding engines. Output-driven is O(M * G^d) by construction (the
+  // strawman the paper argues against) and is capped to a small problem so
+  // the suite stays runnable; every other engine gets the full size.
+  for (const EngineSpec& spec : kEngines) {
+    const bool od = spec.kind == core::GridderKind::OutputDriven;
+    std::int64_t n2 = smoke ? 64 : 128;
+    std::int64_t m2 = smoke ? 32768 : 131072;
+    if (od) {
+      n2 = 32;
+      m2 = 4096;
+    }
+    bench_gridder<2>(spec, n2, m2, /*width=*/6, entries);
+
+    std::int64_t n3 = smoke ? 8 : 16;
+    std::int64_t m3 = smoke ? 8192 : 32768;
+    if (od) {
+      n3 = 8;
+      m3 = 2048;
+    }
+    bench_gridder<3>(spec, n3, m3, /*width=*/4, entries);
+    std::printf("done: gridders/%s\n", spec.name);
+  }
+
+  // NuFFT with phase breakdown (slice-dice engine).
+  bench_nufft<2>(smoke ? 64 : 128, smoke ? 32768 : 131072, 6, entries);
+  bench_nufft<3>(smoke ? 8 : 16, smoke ? 8192 : 32768, 4, entries);
+  std::printf("done: nufft\n");
+
+  // End-to-end iterative recon.
+  if (smoke) {
+    bench_recon(32, 48, 64, 4, entries);
+  } else {
+    bench_recon(128, 96, 192, 8, entries);
+  }
+  std::printf("done: recon\n");
+
+  // Multi-coil CG-SENSE, serial vs coil-parallel.
+  if (smoke) {
+    bench_sense(64, coils, coil_threads, 32, 64, 3, entries);
+  } else {
+    bench_sense(128, coils, coil_threads, 64, 128, 6, entries);
+  }
+  std::printf("done: sense\n");
+
+  write_json(out_path, tag, smoke, coil_threads, entries);
+
+  std::printf("\n%-56s %12s %16s\n", "benchmark", "seconds", "checksum");
+  for (const Entry& e : entries) {
+    std::printf("%-56s %12.6f %16.8g\n", e.name.c_str(), e.seconds,
+                e.checksum);
+  }
+  std::printf("\n%zu benchmarks -> %s\n", entries.size(), out_path.c_str());
+  return 0;
+}

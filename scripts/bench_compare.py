@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two bench_suite JSON files and fail on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json
+        [--threshold 0.15] [--min-seconds 0.02] [--checksum-tol 1e-6]
+
+Exit status 1 when:
+  * a benchmark present in the baseline is missing from the candidate,
+  * a checksum drifts beyond --checksum-tol (relative) — a correctness
+    bug, never timing noise,
+  * a benchmark slows down by more than --threshold (relative) and both
+    measurements exceed --min-seconds (sub-threshold timings are too noisy
+    to gate on, especially in --smoke mode).
+
+New benchmarks in the candidate are reported but never fail the run, so
+adding coverage does not require a simultaneous baseline refresh.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative slowdown that counts as a regression")
+    ap.add_argument("--min-seconds", type=float, default=0.02,
+                    help="ignore timing changes when either side is faster than this")
+    ap.add_argument("--checksum-tol", type=float, default=1e-6,
+                    help="relative checksum drift that counts as a failure")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    if base_doc.get("smoke") != cand_doc.get("smoke"):
+        sys.exit("refusing to compare: baseline and candidate were run in "
+                 "different modes (smoke vs full) — problem sizes differ")
+
+    base = {b["name"]: b for b in base_doc["benchmarks"]}
+    cand = {b["name"]: b for b in cand_doc["benchmarks"]}
+
+    failures = []
+    notes = []
+    rows = []
+    for name, b in base.items():
+        c = cand.get(name)
+        if c is None:
+            failures.append(f"MISSING   {name}: present in baseline, absent in candidate")
+            continue
+
+        ref = max(abs(b["checksum"]), abs(c["checksum"]), 1e-300)
+        drift = abs(b["checksum"] - c["checksum"]) / ref
+        if drift > args.checksum_tol:
+            failures.append(
+                f"CHECKSUM  {name}: {b['checksum']:.12g} -> {c['checksum']:.12g} "
+                f"(rel drift {drift:.3g})")
+
+        ratio = c["seconds"] / b["seconds"] if b["seconds"] > 0 else float("inf")
+        gated = b["seconds"] >= args.min_seconds and c["seconds"] >= args.min_seconds
+        status = "ok"
+        if gated and ratio > 1.0 + args.threshold:
+            status = "REGRESSED"
+            failures.append(
+                f"REGRESSED {name}: {b['seconds']:.4f}s -> {c['seconds']:.4f}s "
+                f"({(ratio - 1) * 100:+.1f}%, threshold {args.threshold * 100:.0f}%)")
+        elif not gated:
+            status = "skipped (sub-threshold)"
+        rows.append((name, b["seconds"], c["seconds"], ratio, status))
+
+    for name in cand:
+        if name not in base:
+            notes.append(f"NEW       {name}: not in baseline (will gate after refresh)")
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark':<{width}} {'base':>10} {'cand':>10} {'ratio':>7}  status")
+    for name, bs, cs, ratio, status in rows:
+        print(f"{name:<{width}} {bs:>10.4f} {cs:>10.4f} {ratio:>7.2f}  {status}")
+
+    for n in notes:
+        print(n)
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(rows)} benchmarks within {args.threshold * 100:.0f}% "
+          f"of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,42 @@
 #!/usr/bin/env bash
-# Tier-1 CI: build and run the full test suite twice — once plain, once
-# under AddressSanitizer + UBSan (JIGSAW_SANITIZE=ON). Both configurations
-# must pass for a change to land.
+# CI pipeline: tiered tests + benchmark regression gate.
+#
+#   1. plain build, tier-1 tests (ctest -L tier1 — the fast gate set)
+#   2. ASan+UBSan build (JIGSAW_SANITIZE=ON), tier-1 tests — includes the
+#      thread-invariance and plan-cache concurrency suites, so the
+#      coil-parallel paths run sanitized on every CI pass
+#   3. bench_suite --smoke compared against the committed BENCH_baseline.json
+#      (fails on >15% slowdown or any checksum drift; see
+#      docs/benchmarking.md for the baseline refresh policy)
+#
+# JIGSAW_CI_FULL=1 widens both test runs to the complete suite (tier1 +
+# tier2 soak tests) — what the merge gate runs; the default is the fast
+# inner-loop configuration.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+TEST_ARGS=(--output-on-failure -j"${JOBS}")
+if [[ "${JIGSAW_CI_FULL:-0}" != "1" ]]; then
+  TEST_ARGS+=(-L tier1)
+  echo "=== tier-1 run (JIGSAW_CI_FULL=1 for the full suite) ==="
+else
+  echo "=== full-suite run ==="
+fi
+
 echo "=== plain build + ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
-ctest --test-dir build --output-on-failure -j"${JOBS}"
+ctest --test-dir build "${TEST_ARGS[@]}"
 
 echo "=== ASan+UBSan build + ctest ==="
 cmake -B build-asan -S . -DJIGSAW_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}"
-ctest --test-dir build-asan --output-on-failure -j"${JOBS}"
+ctest --test-dir build-asan "${TEST_ARGS[@]}"
 
-echo "=== CI green: both configurations pass ==="
+echo "=== benchmark smoke + regression gate ==="
+./build/bench/bench_suite --smoke --tag ci --out build/BENCH_ci.json
+python3 scripts/bench_compare.py BENCH_baseline.json build/BENCH_ci.json
+
+echo "=== CI green: tests + sanitizers + benchmark gate pass ==="

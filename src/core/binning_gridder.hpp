@@ -96,7 +96,6 @@ class BinningGridder final : public Gridder<D> {
     const int w = this->options_.width;
     const std::int64_t g = this->g_;
     const std::int64_t b = this->options_.tile;
-    const double half_w = static_cast<double>(w) * 0.5;
     out.clear();
 
     Timer presort_timer;
@@ -106,12 +105,16 @@ class BinningGridder final : public Gridder<D> {
     Timer timer;
     const auto m = static_cast<std::int64_t>(in.size());
     std::vector<std::array<double, D>> u(static_cast<std::size_t>(m));
+    std::vector<std::array<std::int64_t, D>> w0(static_cast<std::size_t>(m));
     for (std::int64_t j = 0; j < m; ++j) {
       for (int d = 0; d < D; ++d) {
-        u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+        const double uj =
             grid_coord(in.coords[static_cast<std::size_t>(j)]
                                 [static_cast<std::size_t>(d)],
                        g);
+        u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] = uj;
+        w0[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+            window_start(uj, w);
       }
     }
 
@@ -141,19 +144,23 @@ class BinningGridder final : public Gridder<D> {
           c64 acc{};
           for (const std::int32_t j : bin) {
             ++local_checks;
+            // Same window_start-derived boundary check as the output-driven
+            // engine: keeps the W/2-edge weight on the serial engine's side
+            // of FP ties (see output_driven_gridder.hpp).
             double dist[3];
             bool inside = true;
             for (int d = 0; d < D; ++d) {
-              double dd =
-                  static_cast<double>(p[static_cast<std::size_t>(d)]) -
-                  u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
-              dd -= std::floor(dd / static_cast<double>(g) + 0.5) *
-                    static_cast<double>(g);
-              if (!(dd > -half_w && dd <= half_w)) {
+              const std::int64_t g0 =
+                  w0[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
+              const std::int64_t o =
+                  pos_mod(p[static_cast<std::size_t>(d)] - g0, g);
+              if (o >= w) {
                 inside = false;
                 break;
               }
-              dist[d] = dd;
+              dist[d] = static_cast<double>(g0 + o) -
+                        u[static_cast<std::size_t>(j)]
+                         [static_cast<std::size_t>(d)];
             }
             if (!inside) continue;
             double wt = 1.0;

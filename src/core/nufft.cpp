@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/timer.hpp"
+#include "fft/plan_cache.hpp"
 
 namespace jigsaw::core {
 
@@ -29,8 +30,9 @@ NufftPlan<D>::NufftPlan(std::int64_t n, std::vector<Coord<D>> coords,
   }
   gridder_ = make_gridder<D>(n, options);
   const std::int64_t g = gridder_->grid_size();
-  fft_ = std::make_unique<fft::FftNd>(
-      std::vector<std::size_t>(D, static_cast<std::size_t>(g)));
+  // Shared, immutable plan: every NufftPlan (and every coil lane) with the
+  // same oversampled geometry reuses one twiddle/bit-reversal table set.
+  fft_ = fft::FftPlanCache::global().get_cube(D, static_cast<std::size_t>(g));
   work_ = Grid<D>(g);
 
   // De-apodization profile: the kernel's continuous Fourier transform

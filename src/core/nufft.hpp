@@ -70,7 +70,7 @@ class NufftPlan {
   std::int64_t n_;
   std::vector<Coord<D>> coords_;
   std::unique_ptr<Gridder<D>> gridder_;
-  std::unique_ptr<fft::FftNd> fft_;
+  std::shared_ptr<const fft::FftNd> fft_;  // shared via FftPlanCache
   std::vector<double> apod_;  // A((i - N/2) / G) per dimension
   Grid<D> work_;              // oversampled working grid
 };

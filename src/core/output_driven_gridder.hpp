@@ -33,19 +33,22 @@ class OutputDrivenGridder final : public Gridder<D> {
     JIGSAW_REQUIRE(out.size() == this->g_, "grid size mismatch in adjoint()");
     const int w = this->options_.width;
     const std::int64_t g = this->g_;
-    const double half_w = static_cast<double>(w) * 0.5;
     out.clear();
     Timer timer;
 
-    // Precompute grid-unit coordinates once.
+    // Precompute grid-unit coordinates and window starts once.
     const auto m = static_cast<std::int64_t>(in.size());
     std::vector<std::array<double, D>> u(static_cast<std::size_t>(m));
+    std::vector<std::array<std::int64_t, D>> w0(static_cast<std::size_t>(m));
     for (std::int64_t j = 0; j < m; ++j) {
       for (int d = 0; d < D; ++d) {
-        u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+        const double uj =
             grid_coord(in.coords[static_cast<std::size_t>(j)]
                                 [static_cast<std::size_t>(d)],
                        g);
+        u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] = uj;
+        w0[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+            window_start(uj, w);
       }
     }
 
@@ -58,20 +61,25 @@ class OutputDrivenGridder final : public Gridder<D> {
         const Index<D> p = unlinear_index<D>(lin, g);
         c64 acc{};
         for (std::int64_t j = 0; j < m; ++j) {
-          // Boundary check: toroidal signed distance in every dimension
-          // must lie in (-W/2, W/2].
+          // Boundary check: the point must fall inside the sample's
+          // interpolation window, distance in (-W/2, W/2]. Membership is
+          // derived from the same window_start decomposition the
+          // input-driven engines use, so FP ties (a sample within one ULP
+          // of a grid point puts the W/2-edge exactly on a boundary) land
+          // the edge weight on the same side in every engine.
           double dist[3];
           bool inside = true;
           for (int d = 0; d < D; ++d) {
-            double dd = static_cast<double>(p[static_cast<std::size_t>(d)]) -
-                        u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
-            dd -= std::floor(dd / static_cast<double>(g) + 0.5) *
-                  static_cast<double>(g);
-            if (!(dd > -half_w && dd <= half_w)) {
+            const std::int64_t g0 =
+                w0[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
+            const std::int64_t o =
+                pos_mod(p[static_cast<std::size_t>(d)] - g0, g);
+            if (o >= w) {
               inside = false;
               break;
             }
-            dist[d] = dd;
+            dist[d] = static_cast<double>(g0 + o) -
+                      u[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
           }
           if (!inside) continue;
           double wt = 1.0;

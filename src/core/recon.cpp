@@ -1,6 +1,9 @@
 #include "core/recon.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "fft/plan_cache.hpp"
 
 namespace jigsaw::core {
 
@@ -9,7 +12,7 @@ ToeplitzOperator<D>::ToeplitzOperator(std::int64_t n,
                                       const std::vector<Coord<D>>& coords,
                                       const std::vector<double>& weights,
                                       const GridderOptions& options)
-    : n_(n) {
+    : n_(n), threads_(options.threads) {
   JIGSAW_REQUIRE(weights.size() == coords.size(),
                  "weights/coords size mismatch");
   // PSF lambda(m) = sum_j w_j e^{+2 pi i m . x_j} for m in [-N, N)^D —
@@ -35,9 +38,9 @@ ToeplitzOperator<D>::ToeplitzOperator(std::int64_t n,
     eigenvalues_[static_cast<std::size_t>(linear_index<D>(dst, n2))] =
         psf[static_cast<std::size_t>(lin)];
   }
-  fft_ = std::make_unique<fft::FftNd>(
-      std::vector<std::size_t>(D, static_cast<std::size_t>(n2)));
-  fft_->execute(eigenvalues_.data(), fft::Direction::Forward);
+  fft_ = fft::FftPlanCache::global().get_cube(
+      D, static_cast<std::size_t>(n2));
+  fft_->execute(eigenvalues_.data(), fft::Direction::Forward, threads_);
 }
 
 template <int D>
@@ -48,7 +51,9 @@ std::vector<c64> ToeplitzOperator<D>::apply(const std::vector<c64>& x) const {
   const std::int64_t total2 = pow_dim<D>(n2);
   const std::int64_t total = pow_dim<D>(n_);
 
-  std::vector<c64> buf(static_cast<std::size_t>(total2), c64{});
+  fft::ScratchLease lease(static_cast<std::size_t>(total2));
+  auto& buf = lease.buffer();
+  std::fill(buf.begin(), buf.end(), c64{});
   for (std::int64_t lin = 0; lin < total; ++lin) {
     const Index<D> idx = unlinear_index<D>(lin, n_);
     Index<D> dst{};
@@ -59,13 +64,13 @@ std::vector<c64> ToeplitzOperator<D>::apply(const std::vector<c64>& x) const {
     buf[static_cast<std::size_t>(linear_index<D>(dst, n2))] =
         x[static_cast<std::size_t>(lin)];
   }
-  fft_->execute(buf.data(), fft::Direction::Forward);
+  fft_->execute(buf.data(), fft::Direction::Forward, threads_);
   const double inv = 1.0 / static_cast<double>(total2);
   for (std::int64_t i = 0; i < total2; ++i) {
     buf[static_cast<std::size_t>(i)] *=
         eigenvalues_[static_cast<std::size_t>(i)] * inv;
   }
-  fft_->execute(buf.data(), fft::Direction::Inverse);
+  fft_->execute(buf.data(), fft::Direction::Inverse, threads_);
 
   std::vector<c64> y(static_cast<std::size_t>(total));
   for (std::int64_t lin = 0; lin < total; ++lin) {

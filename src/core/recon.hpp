@@ -34,8 +34,9 @@ class ToeplitzOperator {
 
  private:
   std::int64_t n_;
+  unsigned threads_;              // FFT threading (from options.threads)
   std::vector<c64> eigenvalues_;  // FFT of the embedded PSF on (2N)^D
-  std::unique_ptr<fft::FftNd> fft_;
+  std::shared_ptr<const fft::FftNd> fft_;  // shared via FftPlanCache
 };
 
 /// Conjugate-gradient solve of the Hermitian PSD system op(x) = b.

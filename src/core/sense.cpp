@@ -1,7 +1,10 @@
 #include "core/sense.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+
+#include "common/thread_pool.hpp"
 
 namespace jigsaw::core {
 
@@ -68,18 +71,53 @@ std::vector<std::vector<c64>> simulate_multicoil(NufftPlan<2>& plan,
   return y;
 }
 
-SenseOperator::SenseOperator(NufftPlan<2>& plan, const CoilMaps& maps)
+SenseOperator::SenseOperator(NufftPlan<2>& plan, const CoilMaps& maps,
+                             unsigned coil_threads)
     : plan_(plan), maps_(maps) {
   JIGSAW_REQUIRE(maps.n == plan.base_size(), "map/plan size mismatch");
+  const unsigned lanes =
+      std::min<unsigned>(std::max(1u, coil_threads),
+                         static_cast<unsigned>(maps.coils));
+  for (unsigned l = 1; l < lanes; ++l) {
+    extra_lanes_.push_back(std::make_unique<NufftPlan<2>>(
+        plan.base_size(), plan.coords(), plan.gridder().options()));
+  }
+}
+
+void SenseOperator::for_each_coil(
+    const std::function<void(int, NufftPlan<2>&)>& fn) const {
+  if (extra_lanes_.empty()) {
+    for (int c = 0; c < maps_.coils; ++c) fn(c, plan_);
+    return;
+  }
+  // Chunk ids are unique within one parallel_for call, so lane-by-chunk-id
+  // gives every inflight chunk a private NuFFT plan (gridder + work grid).
+  ThreadPool pool(coil_threads());
+  pool.parallel_for(maps_.coils,
+                    [&](std::int64_t begin, std::int64_t end, unsigned lane) {
+                      NufftPlan<2>& p =
+                          lane == 0 ? plan_ : *extra_lanes_[lane - 1];
+                      for (std::int64_t c = begin; c < end; ++c) {
+                        fn(static_cast<int>(c), p);
+                      }
+                    });
 }
 
 std::vector<c64> SenseOperator::adjoint(
     const std::vector<std::vector<c64>>& y) const {
   JIGSAW_REQUIRE(static_cast<int>(y.size()) == maps_.coils,
                  "coil count mismatch");
-  std::vector<c64> out(static_cast<std::size_t>(plan_.image_total()), c64{});
+  const auto pixels = static_cast<std::size_t>(plan_.image_total());
+  std::vector<std::vector<c64>> per_coil(
+      static_cast<std::size_t>(maps_.coils));
+  for_each_coil([&](int c, NufftPlan<2>& p) {
+    per_coil[static_cast<std::size_t>(c)] =
+        p.adjoint(y[static_cast<std::size_t>(c)]);
+  });
+  // Coil-order reduction: bit-exact for any thread count.
+  std::vector<c64> out(pixels, c64{});
   for (int c = 0; c < maps_.coils; ++c) {
-    const auto img = plan_.adjoint(y[static_cast<std::size_t>(c)]);
+    const auto& img = per_coil[static_cast<std::size_t>(c)];
     const auto& s = maps_.map(c);
     for (std::size_t p = 0; p < out.size(); ++p) {
       out[p] += std::conj(s[p]) * img[p];
@@ -89,12 +127,18 @@ std::vector<c64> SenseOperator::adjoint(
 }
 
 std::vector<c64> SenseOperator::gram(const std::vector<c64>& x) const {
-  std::vector<c64> out(x.size(), c64{});
-  std::vector<c64> weighted(x.size());
-  for (int c = 0; c < maps_.coils; ++c) {
+  std::vector<std::vector<c64>> per_coil(
+      static_cast<std::size_t>(maps_.coils));
+  for_each_coil([&](int c, NufftPlan<2>& p) {
     const auto& s = maps_.map(c);
-    for (std::size_t p = 0; p < x.size(); ++p) weighted[p] = s[p] * x[p];
-    const auto back = plan_.adjoint(plan_.forward(weighted));
+    std::vector<c64> weighted(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) weighted[i] = s[i] * x[i];
+    per_coil[static_cast<std::size_t>(c)] = p.adjoint(p.forward(weighted));
+  });
+  std::vector<c64> out(x.size(), c64{});
+  for (int c = 0; c < maps_.coils; ++c) {
+    const auto& back = per_coil[static_cast<std::size_t>(c)];
+    const auto& s = maps_.map(c);
     for (std::size_t p = 0; p < x.size(); ++p) {
       out[p] += std::conj(s[p]) * back[p];
     }
@@ -105,8 +149,8 @@ std::vector<c64> SenseOperator::gram(const std::vector<c64>& x) const {
 std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
                           const std::vector<std::vector<c64>>& y,
                           int max_iterations, double tolerance,
-                          CgResult* result) {
-  SenseOperator op(plan, maps);
+                          CgResult* result, unsigned coil_threads) {
+  SenseOperator op(plan, maps, coil_threads);
   const auto b = op.adjoint(y);
   std::vector<c64> x(b.size(), c64{});
   const CgResult cg = conjugate_gradient(

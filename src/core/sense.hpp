@@ -13,6 +13,7 @@
 // calibrations (DESIGN.md §1).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -46,9 +47,18 @@ std::vector<std::vector<c64>> simulate_multicoil(
 
 /// The SENSE normal-equations operator  A^H A = sum_c S_c^H F^H F S_c  and
 /// right-hand side  A^H y = sum_c S_c^H F^H y_c.
+///
+/// `coil_threads > 1` processes coils concurrently: the operator builds
+/// extra NuFFT lanes (own gridder + work grid, shared cached FFT plan) and
+/// distributes coils over them; per-coil results are then reduced in coil
+/// order. Each coil's transform is computed identically whichever lane runs
+/// it and the reduction order is fixed, so the output is bit-exact for any
+/// thread count — including coil_threads == 1, which skips the pool
+/// entirely and uses the caller's plan.
 class SenseOperator {
  public:
-  SenseOperator(NufftPlan<2>& plan, const CoilMaps& maps);
+  SenseOperator(NufftPlan<2>& plan, const CoilMaps& maps,
+                unsigned coil_threads = 1);
 
   /// b = A^H y for multi-coil data y (coils x M).
   std::vector<c64> adjoint(const std::vector<std::vector<c64>>& y) const;
@@ -56,16 +66,28 @@ class SenseOperator {
   /// (A^H A) x.
   std::vector<c64> gram(const std::vector<c64>& x) const;
 
+  unsigned coil_threads() const {
+    return static_cast<unsigned>(extra_lanes_.size()) + 1;
+  }
+
  private:
-  NufftPlan<2>& plan_;
+  /// Run `fn(c, lane)` for every coil, coil-parallel when configured.
+  void for_each_coil(
+      const std::function<void(int, NufftPlan<2>&)>& fn) const;
+
+  NufftPlan<2>& plan_;  // lane 0
   const CoilMaps& maps_;
+  std::vector<std::unique_ptr<NufftPlan<2>>> extra_lanes_;  // lanes 1..
 };
 
 /// CG-SENSE reconstruction. `y[c]` holds coil c's k-space samples at the
-/// plan's coordinates.
+/// plan's coordinates. `coil_threads` parallelizes the per-coil NuFFTs of
+/// every operator application (see SenseOperator); the result is bit-exact
+/// across thread counts.
 std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
                           const std::vector<std::vector<c64>>& y,
                           int max_iterations = 15, double tolerance = 1e-6,
-                          CgResult* result = nullptr);
+                          CgResult* result = nullptr,
+                          unsigned coil_threads = 1);
 
 }  // namespace jigsaw::core

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "fft/plan_cache.hpp"
 
 namespace jigsaw::fft {
 
@@ -78,16 +79,15 @@ struct Fft1D::Impl {
   std::vector<c64> m_twiddles;
   std::vector<c64> chirp;       // b[k] = e^{-i*pi*k^2/n} (forward direction)
   std::vector<c64> chirp_fft;   // FFT_m of the chirp filter e^{+i*pi*k^2/n}
-  mutable std::vector<c64> work;  // scratch (guarded: execute is logically const
-                                  // but scratch use makes concurrent Bluestein
-                                  // executes on ONE plan unsafe; see note below)
 };
 
-// NOTE: Bluestein plans carry scratch and are therefore not safe for
-// concurrent execute() on the same plan object; power-of-two plans are.
-// All oversampled grid sizes used by the NuFFT (sigma*N with sigma=2 and
-// power-of-two N) hit the radix-2 path; Bluestein exists for odd/irregular
-// sizes (e.g. sigma=1.5).
+// NOTE: Bluestein executes borrow convolution scratch from the global
+// ScratchPool per call, so every plan — radix-2 and Bluestein alike — is
+// safe for concurrent execute() on distinct buffers. This is what allows
+// FftPlanCache to hand one shared plan to many coil lanes. All oversampled
+// grid sizes used by the NuFFT (sigma*N with sigma=2 and power-of-two N)
+// hit the radix-2 path; Bluestein exists for odd/irregular sizes (e.g.
+// sigma=1.5).
 
 Fft1D::Fft1D(std::size_t n) : n_(n), impl_(std::make_unique<Impl>()) {
   JIGSAW_REQUIRE(n >= 1, "FFT length must be >= 1, got " << n);
@@ -117,7 +117,6 @@ Fft1D::Fft1D(std::size_t n) : n_(n), impl_(std::make_unique<Impl>()) {
   }
   radix2_core(impl_->chirp_fft.data(), m, impl_->m_bitrev, impl_->m_twiddles,
               Direction::Forward);
-  impl_->work.resize(m);
 }
 
 Fft1D::~Fft1D() = default;
@@ -133,7 +132,8 @@ void Fft1D::execute(c64* data, Direction dir) const {
   // Bluestein: X[k] = conj(b[k]) * IFFT( FFT(a.*b) .* FFT(filter) ) with
   // b[k] = chirp. For the inverse direction conjugate the chirps.
   const std::size_t m = impl_->bluestein_m;
-  auto& work = impl_->work;
+  ScratchLease lease(m);
+  auto& work = lease.buffer();
   std::fill(work.begin(), work.end(), c64{});
   for (std::size_t k = 0; k < n_; ++k) {
     const c64 b =

@@ -59,10 +59,12 @@ class FftNd {
 
   /// In-place transform of `data[0..total_size())`.
   /// `threads > 1` splits the independent 1-D lines of each axis across a
-  /// thread pool (power-of-two lengths only — Bluestein plans carry
-  /// per-plan scratch and fall back to serial execution). The paper's
-  /// conclusion makes the FFT the post-JIGSAW bottleneck; this is the
-  /// library's corresponding knob.
+  /// thread pool (power-of-two lengths only — Bluestein lengths fall back
+  /// to serial execution of the lines). The paper's conclusion makes the
+  /// FFT the post-JIGSAW bottleneck; this is the library's corresponding
+  /// knob. Regardless of `threads`, execute() is const and thread-safe:
+  /// concurrent calls on one plan with distinct buffers are allowed (the
+  /// coil-parallel reconstruction path relies on this).
   void execute(c64* data, Direction dir, unsigned threads = 1) const;
 
   /// True when every dimension takes the radix-2 (thread-safe) path.

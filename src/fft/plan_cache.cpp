@@ -1,0 +1,94 @@
+#include "fft/plan_cache.hpp"
+
+#include <algorithm>
+
+namespace jigsaw::fft {
+
+std::shared_ptr<const FftNd> FftPlanCache::get(
+    const std::vector<std::size_t>& dims) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(dims);
+  if (it != plans_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  auto plan = std::make_shared<const FftNd>(dims);
+  plans_.emplace(dims, plan);
+  return plan;
+}
+
+std::shared_ptr<const FftNd> FftPlanCache::get_cube(int dim,
+                                                    std::size_t side) {
+  return get(std::vector<std::size_t>(static_cast<std::size_t>(dim), side));
+}
+
+PlanCacheStats FftPlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t FftPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+void FftPlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  stats_ = PlanCacheStats{};
+}
+
+FftPlanCache& FftPlanCache::global() {
+  static FftPlanCache cache;
+  return cache;
+}
+
+std::vector<c64> ScratchPool::acquire(std::size_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Best fit: smallest parked buffer with sufficient capacity; otherwise
+    // the largest one (resize grows it once and it stays big).
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].capacity() < size) continue;
+      if (best == free_.size() ||
+          free_[i].capacity() < free_[best].capacity()) {
+        best = i;
+      }
+    }
+    if (best == free_.size() && !free_.empty()) {
+      best = 0;
+      for (std::size_t i = 1; i < free_.size(); ++i) {
+        if (free_[i].capacity() > free_[best].capacity()) best = i;
+      }
+    }
+    if (best < free_.size()) {
+      std::vector<c64> out = std::move(free_[best]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+      return out;
+    }
+  }
+  std::vector<c64> out;
+  out.reserve(size);
+  return out;
+}
+
+void ScratchPool::release(std::vector<c64> buffer) {
+  if (buffer.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= kMaxRetained) return;  // let it deallocate
+  free_.push_back(std::move(buffer));
+}
+
+std::size_t ScratchPool::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+ScratchPool& ScratchPool::global() {
+  static ScratchPool pool;
+  return pool;
+}
+
+}  // namespace jigsaw::fft

@@ -1,0 +1,180 @@
+// Cross-engine differential oracle.
+//
+// Every gridding engine claims to implement the same operator pair
+// (adjoint gridding / forward interpolation). This suite drives all of
+// them over randomized *realistic* trajectories — radial, spiral and
+// uniform-random, in 2D and 3D — and checks each against the
+// SerialGridder reference within the engine's documented numeric
+// contract:
+//
+//   * double-precision engines (output-driven, binning, slice-and-dice
+//     in both execution modes, sparse): max |diff| < 1e-9 * ||ref||_2
+//     (same bound the existing equivalence tests use);
+//   * FloatGridder: NRMSD < 5e-6 (single-precision accumulation);
+//   * JigsawGridder: NRMSD < 2e-3 (Q-format fixed-point datapath; the
+//     error grows with accumulation depth, so this dense-trajectory bound
+//     sits above the 1e-3 the sparser unit-test cases meet).
+//
+// All randomness is seeded so a failure reproduces deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/gridder.hpp"
+#include "core/metrics.hpp"
+#include "core/serial_gridder.hpp"
+#include "core/slice_dice_gridder.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+template <int D>
+SampleSet<D> samples_on(std::vector<Coord<D>> coords, std::uint64_t seed) {
+  Rng rng(seed);
+  SampleSet<D> s;
+  s.coords = std::move(coords);
+  s.values.resize(s.coords.size());
+  for (auto& v : s.values) v = c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return s;
+}
+
+template <int D>
+std::vector<c64> adjoint_values(Gridder<D>& g, const SampleSet<D>& in) {
+  Grid<D> grid(g.grid_size());
+  g.adjoint(in, grid);
+  return std::vector<c64>(grid.data(), grid.data() + grid.total());
+}
+
+template <int D>
+std::vector<c64> forward_values(Gridder<D>& g, const Grid<D>& grid,
+                                const SampleSet<D>& traj) {
+  SampleSet<D> out;
+  out.coords = traj.coords;
+  out.values.assign(traj.coords.size(), c64{});
+  g.forward(grid, out);
+  return out.values;
+}
+
+// Numeric contract of an engine relative to the serial reference.
+enum class Contract { DoubleTight, Float32, FixedPoint };
+
+struct EngineCase {
+  GridderKind kind;
+  bool model_faithful;  // only meaningful for SliceDice
+  Contract contract;
+};
+
+const EngineCase kEngines[] = {
+    {GridderKind::OutputDriven, false, Contract::DoubleTight},
+    {GridderKind::Binning, false, Contract::DoubleTight},
+    {GridderKind::SliceDice, false, Contract::DoubleTight},
+    {GridderKind::SliceDice, true, Contract::DoubleTight},
+    {GridderKind::Sparse, false, Contract::DoubleTight},
+    {GridderKind::FloatSerial, false, Contract::Float32},
+    {GridderKind::Jigsaw, false, Contract::FixedPoint},
+};
+
+std::string engine_label(const EngineCase& e) {
+  std::string s = to_string(e.kind);
+  if (e.model_faithful) s += "+model-faithful";
+  return s;
+}
+
+template <int D>
+void expect_matches(const EngineCase& e, const std::vector<c64>& got,
+                    const std::vector<c64>& ref, const std::string& what) {
+  const std::string label = engine_label(e) + " " + what;
+  switch (e.contract) {
+    case Contract::DoubleTight:
+      EXPECT_LT(max_abs_diff(got, ref), 1e-9 * norm2(ref)) << label;
+      break;
+    case Contract::Float32:
+      EXPECT_LT(nrmsd(got, ref), 5e-6) << label;
+      break;
+    case Contract::FixedPoint:
+      EXPECT_LT(nrmsd(got, ref), 2e-3) << label;
+      break;
+  }
+}
+
+// Runs every engine against the serial reference on one sample set, in
+// both transform directions.
+template <int D>
+void run_differential(const SampleSet<D>& in, std::int64_t n,
+                      std::uint64_t grid_seed) {
+  GridderOptions opt;
+  opt.width = 6;
+  opt.tile = 8;
+
+  SerialGridder<D> serial(n, opt);
+  const auto ref_adj = adjoint_values<D>(serial, in);
+  ASSERT_GT(norm2(ref_adj), 0.0);
+
+  Grid<D> image(serial.grid_size());
+  Rng rng(grid_seed);
+  for (std::int64_t i = 0; i < image.total(); ++i) {
+    image[i] = c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  const auto ref_fwd = forward_values<D>(serial, image, in);
+  ASSERT_GT(norm2(ref_fwd), 0.0);
+
+  for (const auto& e : kEngines) {
+    GridderOptions eopt = opt;
+    eopt.kind = e.kind;
+    eopt.model_faithful_checks = e.model_faithful;
+    auto g = make_gridder<D>(n, eopt);
+    expect_matches<D>(e, adjoint_values<D>(*g, in), ref_adj, "adjoint");
+    expect_matches<D>(e, forward_values<D>(*g, image, in), ref_fwd,
+                      "forward");
+  }
+}
+
+class Differential2D : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential2D, RadialTrajectory) {
+  const std::uint64_t seed = GetParam();
+  const auto coords =
+      trajectory::radial_2d(24, 64, /*golden_angle=*/(seed % 2) == 1);
+  run_differential<2>(samples_on<2>(coords, seed), 16, seed + 1000);
+}
+
+TEST_P(Differential2D, SpiralTrajectory) {
+  const std::uint64_t seed = GetParam();
+  const auto coords =
+      trajectory::spiral_2d(8, 128, /*turns=*/12.0 + static_cast<double>(seed % 3));
+  run_differential<2>(samples_on<2>(coords, seed), 16, seed + 2000);
+}
+
+TEST_P(Differential2D, RandomTrajectory) {
+  const std::uint64_t seed = GetParam();
+  const auto coords = trajectory::random_2d(1500, seed);
+  run_differential<2>(samples_on<2>(coords, seed), 16, seed + 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential2D,
+                         ::testing::Values(101u, 202u, 303u));
+
+class Differential3D : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential3D, StackOfStarsTrajectory) {
+  const std::uint64_t seed = GetParam();
+  const auto coords = trajectory::stack_of_stars_3d(12, 32, 6);
+  run_differential<3>(samples_on<3>(coords, seed), 8, seed + 4000);
+}
+
+TEST_P(Differential3D, RandomTrajectory) {
+  const std::uint64_t seed = GetParam();
+  const auto coords = trajectory::random_3d(1200, seed);
+  run_differential<3>(samples_on<3>(coords, seed), 8, seed + 5000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential3D,
+                         ::testing::Values(101u, 202u));
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -1,0 +1,201 @@
+// Thread-count invariance tests.
+//
+// The library's determinism contract: the numeric result of every
+// transform is a function of its inputs only, never of how many threads
+// executed it. Where work is partitioned into disjoint writes (binning
+// tiles, FFT lines, per-frame batch lanes, per-coil SENSE lanes with
+// coil-order reduction) the guarantee is bit-exactness; where atomics
+// reorder additions (slice-and-dice direct mode) it is NRMSD <= 1e-12.
+//
+// This suite runs in the sanitizer CI configuration too, so the
+// coil-parallel paths get ASan/TSan-style coverage on every CI run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/batch.hpp"
+#include "core/binning_gridder.hpp"
+#include "core/metrics.hpp"
+#include "core/sense.hpp"
+#include "core/slice_dice_gridder.hpp"
+#include "fft/fft.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+GridderOptions base_options() {
+  GridderOptions opt;
+  opt.width = 6;
+  opt.tile = 8;
+  return opt;
+}
+
+template <int D>
+SampleSet<D> samples_on(std::vector<Coord<D>> coords, std::uint64_t seed) {
+  Rng rng(seed);
+  SampleSet<D> s;
+  s.coords = std::move(coords);
+  s.values.resize(s.coords.size());
+  for (auto& v : s.values) v = c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return s;
+}
+
+std::vector<c64> random_image(std::int64_t total, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<c64> img(static_cast<std::size_t>(total));
+  for (auto& v : img) v = c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return img;
+}
+
+TEST(ThreadInvariance, BinningGridderIsBitExact) {
+  const auto in = samples_on<2>(trajectory::random_2d(2000, 5), 5);
+  GridderOptions opt = base_options();
+  opt.kind = GridderKind::Binning;
+  BinningGridder<2> ref(16, opt);
+  Grid<2> gref(ref.grid_size());
+  ref.adjoint(in, gref);
+  for (unsigned t : kThreadCounts) {
+    opt.threads = t;
+    BinningGridder<2> g(16, opt);
+    Grid<2> out(g.grid_size());
+    g.adjoint(in, out);
+    // Disjoint tiles per thread: identical down to the last bit.
+    for (std::int64_t i = 0; i < out.total(); ++i) {
+      ASSERT_EQ(out[i], gref[i]) << "threads=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadInvariance, SliceDiceGridderWithinAtomicReorderTolerance) {
+  const auto in = samples_on<2>(trajectory::radial_2d(32, 64), 6);
+  GridderOptions opt = base_options();
+  SliceDiceGridder<2> ref(16, opt);
+  Grid<2> gref(ref.grid_size());
+  ref.adjoint(in, gref);
+  const std::vector<c64> a(gref.data(), gref.data() + gref.total());
+  for (unsigned t : kThreadCounts) {
+    opt.threads = t;
+    SliceDiceGridder<2> g(16, opt);
+    Grid<2> out(g.grid_size());
+    g.adjoint(in, out);
+    const std::vector<c64> b(out.data(), out.data() + out.total());
+    EXPECT_LE(nrmsd(b, a), 1e-12) << "threads=" << t;
+  }
+}
+
+TEST(ThreadInvariance, FftNdExecutePow2IsBitExact) {
+  fft::FftNd plan({32, 32});
+  const auto input = random_image(32 * 32, 7);
+  auto ref = input;
+  plan.execute(ref.data(), fft::Direction::Forward, 1);
+  for (unsigned t : kThreadCounts) {
+    auto buf = input;
+    plan.execute(buf.data(), fft::Direction::Forward, t);
+    // Each line transform is identical work regardless of executing
+    // thread: bit-exact.
+    ASSERT_EQ(buf, ref) << "threads=" << t;
+  }
+}
+
+TEST(ThreadInvariance, FftNdExecuteBluesteinIsBitExact) {
+  // Non-pow2 dims are not parallelizable(); the threads knob must degrade
+  // to the serial path without changing results.
+  fft::FftNd plan({24, 18});
+  ASSERT_FALSE(plan.parallelizable());
+  const auto input = random_image(24 * 18, 8);
+  auto ref = input;
+  plan.execute(ref.data(), fft::Direction::Inverse, 1);
+  for (unsigned t : kThreadCounts) {
+    auto buf = input;
+    plan.execute(buf.data(), fft::Direction::Inverse, t);
+    ASSERT_EQ(buf, ref) << "threads=" << t;
+  }
+}
+
+TEST(ThreadInvariance, BatchedNufftIsBitExactAcrossCoilThreads) {
+  const std::int64_t n = 16;
+  const auto coords = trajectory::radial_2d(24, 48);
+  const std::size_t m = coords.size();
+
+  const int frames = 6;
+  std::vector<std::vector<c64>> kdata(frames);
+  std::vector<std::vector<c64>> images(frames);
+  for (int f = 0; f < frames; ++f) {
+    Rng rng(100 + static_cast<std::uint64_t>(f));
+    kdata[static_cast<std::size_t>(f)].resize(m);
+    for (auto& v : kdata[static_cast<std::size_t>(f)]) {
+      v = c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+    images[static_cast<std::size_t>(f)] =
+        random_image(n * n, 200 + static_cast<std::uint64_t>(f));
+  }
+
+  BatchedNufft<2> serial(n, coords, base_options(), 1);
+  const auto ref_adj = serial.adjoint(kdata);
+  const auto ref_fwd = serial.forward(images);
+
+  for (unsigned t : kThreadCounts) {
+    BatchedNufft<2> batch(n, coords, base_options(), t);
+    const auto adj = batch.adjoint(kdata);
+    const auto fwd = batch.forward(images);
+    ASSERT_EQ(adj.size(), ref_adj.size());
+    for (std::size_t f = 0; f < adj.size(); ++f) {
+      EXPECT_EQ(max_abs_diff(adj[f], ref_adj[f]), 0.0)
+          << "coil_threads=" << t << " frame=" << f;
+      EXPECT_EQ(max_abs_diff(fwd[f], ref_fwd[f]), 0.0)
+          << "coil_threads=" << t << " frame=" << f;
+    }
+  }
+}
+
+TEST(ThreadInvariance, CgSenseIsBitExactAcrossCoilThreads) {
+  const std::int64_t n = 24;
+  const auto coords = trajectory::radial_2d(24, 48);
+  NufftPlan<2> plan(n, coords, base_options());
+  const auto maps = make_birdcage_maps(n, 4);
+  const auto truth = random_image(n * n, 11);
+  const auto y = simulate_multicoil(plan, maps, truth);
+
+  CgResult cg_ref;
+  const auto ref = cg_sense(plan, maps, y, 5, 1e-12, &cg_ref, 1);
+
+  for (unsigned t : kThreadCounts) {
+    CgResult cg;
+    const auto x = cg_sense(plan, maps, y, 5, 1e-12, &cg, t);
+    // Per-coil work is independent and the reduction runs in coil order:
+    // CG sees bit-identical operators, so iterates match exactly.
+    EXPECT_EQ(max_abs_diff(x, ref), 0.0) << "coil_threads=" << t;
+    EXPECT_EQ(cg.iterations, cg_ref.iterations) << "coil_threads=" << t;
+  }
+}
+
+TEST(ThreadInvariance, SenseOperatorAdjointAndGramBitExact) {
+  const std::int64_t n = 16;
+  const auto coords = trajectory::radial_2d(16, 32);
+  NufftPlan<2> plan(n, coords, base_options());
+  const auto maps = make_birdcage_maps(n, 5);
+  const auto truth = random_image(n * n, 12);
+  const auto y = simulate_multicoil(plan, maps, truth);
+  const auto x = random_image(n * n, 13);
+
+  SenseOperator serial_op(plan, maps, 1);
+  const auto ref_adj = serial_op.adjoint(y);
+  const auto ref_gram = serial_op.gram(x);
+
+  for (unsigned t : kThreadCounts) {
+    NufftPlan<2> p(n, coords, base_options());
+    SenseOperator op(p, maps, t);
+    EXPECT_EQ(max_abs_diff(op.adjoint(y), ref_adj), 0.0)
+        << "coil_threads=" << t;
+    EXPECT_EQ(max_abs_diff(op.gram(x), ref_gram), 0.0)
+        << "coil_threads=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -4,6 +4,7 @@
 //                       [--engine slice-dice] [--kernel kaiser-bessel]
 //                       [--width 6] [--sigma 2.0] [--table 32]
 //                       [--density ramp|pipe-menon|none] [--iters K]
+//                       [--coils C] [--coil-threads T]   multi-coil CG-SENSE
 //                       [--sanitize none|strict|drop|clamp]
 //                       [--drop-spokes F] [--noise-spikes F]
 //                       [--inject-nan F] [--perturb-coords F]
@@ -28,6 +29,7 @@
 #include "core/metrics.hpp"
 #include "core/nufft.hpp"
 #include "core/recon.hpp"
+#include "core/sense.hpp"
 #include "energy/asic_model.hpp"
 #include "jigsaw/cycle_sim.hpp"
 #include "robustness/fault_injection.hpp"
@@ -160,6 +162,42 @@ int cmd_recon(const CliArgs& args) {
   }
 
   core::NufftPlan<2> plan(n, coords, opt);
+
+  // Multi-coil CG-SENSE path: synthetic birdcage maps, per-coil acquisition
+  // simulated from the phantom, coils reconstructed jointly. --coil-threads
+  // runs the per-coil NuFFTs concurrently (bit-exact vs the serial loop).
+  if (args.get_int("coils", 1) > 1) {
+    const int coils = static_cast<int>(args.get_int("coils", 1));
+    const auto coil_threads =
+        static_cast<unsigned>(args.get_int("coil-threads", 1));
+    const auto maps = core::make_birdcage_maps(n, coils);
+    const auto truth =
+        trajectory::rasterize(trajectory::shepp_logan(), static_cast<int>(n));
+    std::vector<c64> truth_c(truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) truth_c[i] = truth[i];
+    const auto y = simulate_multicoil(plan, maps, truth_c);
+
+    const int sense_iters = static_cast<int>(args.get_int("iters", 10));
+    core::CgResult cg;
+    Timer timer;
+    const auto image =
+        core::cg_sense(plan, maps, y, sense_iters, 1e-6, &cg, coil_threads);
+    const double secs = timer.seconds();
+
+    std::vector<double> mag(image.size());
+    for (std::size_t i = 0; i < image.size(); ++i) mag[i] = std::abs(image[i]);
+    std::printf("cg-sense: %d coils, %u coil-threads, %zu samples -> "
+                "%lldx%lld in %.3f s (%d CG iterations)\n",
+                coils, coil_threads, coords.size(), static_cast<long long>(n),
+                static_cast<long long>(n), secs, cg.iterations);
+    std::printf("NRMSD vs phantom: %.4f | SSIM: %.4f\n",
+                core::nrmsd(mag, truth),
+                core::ssim(mag, truth, static_cast<int>(n)));
+    const std::string out = args.get("out", "recon.pgm");
+    write_pgm(out, image, static_cast<int>(n), static_cast<int>(n));
+    std::printf("image written to %s\n", out.c_str());
+    return 0;
+  }
 
   const std::string density = args.get("density", "ramp");
   if (density == "ramp") {
@@ -330,7 +368,7 @@ int main(int argc, char** argv) {
       "density", "iters",  "out",   "3d",            "z-binned",
       "input",  "save",    "sanitize",  "drop-spokes",  "noise-spikes",
       "inject-nan", "perturb-coords", "bitflip-rate", "bitflip-bit",
-      "seed"};
+      "seed",   "coils",   "coil-threads"};
   try {
     CliArgs args(argc - 1, argv + 1, flags);
     if (cmd == "recon") return cmd_recon(args);
