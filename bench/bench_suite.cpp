@@ -21,6 +21,9 @@
 #include <utility>
 #include <vector>
 
+#include <functional>
+#include <memory>
+
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -30,6 +33,7 @@
 #include "core/nufft.hpp"
 #include "core/recon.hpp"
 #include "core/sense.hpp"
+#include "obs/obs.hpp"
 #include "trajectory/phantom.hpp"
 #include "trajectory/trajectory.hpp"
 
@@ -46,7 +50,31 @@ struct Entry {
   std::vector<std::pair<std::string, double>> phases;
   double checksum = 0.0;
   std::vector<std::pair<std::string, double>> extra;
+  // Registry counter deltas for ONE invocation of the workload (captured
+  // outside the timing loop — time_best's rep count varies run to run, so
+  // counting inside it would make these nondeterministic).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
+
+/// Run `fn` exactly once and return the global counter deltas it produced.
+/// Doubles as the warm-up invocation for the timing loop that follows.
+std::vector<std::pair<std::string, std::uint64_t>> counted_run(
+    const std::function<void()>& fn) {
+  if constexpr (!obs::kEnabled) {
+    fn();
+    return {};
+  }
+  const obs::Snapshot before = obs::snapshot();
+  fn();
+  const obs::Snapshot after = obs::snapshot();
+  std::vector<std::pair<std::string, std::uint64_t>> delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    if (value > prev) delta.emplace_back(name, value - prev);
+  }
+  return delta;
+}
 
 struct EngineSpec {
   const char* name;
@@ -107,6 +135,7 @@ void bench_gridder(const EngineSpec& spec, std::int64_t n, std::int64_t m,
     e.dim = D;
     e.n = n;
     e.m = m;
+    e.counters = counted_run([&] { g->adjoint(in, grid); });
     e.seconds = time_best([&] { g->adjoint(in, grid); }, 0.1, 3);
     e.phases = {{"grid", e.seconds - 0.0}};
     e.checksum = core::norm2(
@@ -126,6 +155,7 @@ void bench_gridder(const EngineSpec& spec, std::int64_t n, std::int64_t m,
     e.dim = D;
     e.n = n;
     e.m = m;
+    e.counters = counted_run([&] { g->forward(grid, fwd); });
     e.seconds = time_best([&] { g->forward(grid, fwd); }, 0.1, 3);
     e.checksum = core::norm2(fwd.values);
     out.push_back(std::move(e));
@@ -140,10 +170,10 @@ void bench_nufft(std::int64_t n, std::int64_t m, int width,
   opt.width = width;
   opt.tile = 8;
   const auto in = random_samples<D>(m, 7);
-  core::NufftPlan<D> plan(n, in.coords, opt);
 
   core::NufftTimings t;
   std::vector<c64> image;
+  std::unique_ptr<core::NufftPlan<D>> plan;
   {
     Entry e;
     e.name = "nufft" + std::to_string(D) + "d/adjoint/slice-dice" +
@@ -151,7 +181,13 @@ void bench_nufft(std::int64_t n, std::int64_t m, int width,
     e.dim = D;
     e.n = n;
     e.m = m;
-    e.seconds = time_best([&] { image = plan.adjoint(in.values, &t); }, 0.1, 3);
+    // Plan construction sits inside the counted (not timed) region so the
+    // entry's counters include the FFT plan-cache traffic it causes.
+    e.counters = counted_run([&] {
+      plan = std::make_unique<core::NufftPlan<D>>(n, in.coords, opt);
+      image = plan->adjoint(in.values, &t);
+    });
+    e.seconds = time_best([&] { image = plan->adjoint(in.values, &t); }, 0.1, 3);
     e.phases = {{"grid", t.grid_seconds},
                 {"fft", t.fft_seconds},
                 {"apod", t.apod_seconds},
@@ -167,7 +203,8 @@ void bench_nufft(std::int64_t n, std::int64_t m, int width,
     e.dim = D;
     e.n = n;
     e.m = m;
-    e.seconds = time_best([&] { samples = plan.forward(image, &t); }, 0.1, 3);
+    e.counters = counted_run([&] { samples = plan->forward(image, &t); });
+    e.seconds = time_best([&] { samples = plan->forward(image, &t); }, 0.1, 3);
     e.phases = {{"grid", t.grid_seconds},
                 {"fft", t.fft_seconds},
                 {"apod", t.apod_seconds},
@@ -197,12 +234,11 @@ void bench_recon(std::int64_t n, int spokes, int per_spoke, int iters,
     e.dim = 2;
     e.n = n;
     e.m = static_cast<std::int64_t>(coords.size());
-    e.seconds = time_best(
-        [&] {
-          image =
-              core::iterative_recon<2>(plan, kdata, iters, 1e-12, toeplitz, &cg);
-        },
-        0.25, 4);
+    const auto run = [&] {
+      image = core::iterative_recon<2>(plan, kdata, iters, 1e-12, toeplitz, &cg);
+    };
+    e.counters = counted_run(run);
+    e.seconds = time_best(run, 0.25, 4);
     e.checksum = core::norm2(image);
     e.extra = {{"cg_iterations", static_cast<double>(cg.iterations)}};
     out.push_back(std::move(e));
@@ -237,11 +273,11 @@ void bench_sense(std::int64_t n, int coils, unsigned coil_threads, int spokes,
     e.dim = 2;
     e.n = n;
     e.m = static_cast<std::int64_t>(coords.size()) * coils;
-    e.seconds = serial_seconds = time_best(
-        [&] {
-          serial_image = core::cg_sense(plan, maps, y, iters, 1e-12, nullptr, 1);
-        },
-        0.25, 4);
+    const auto run = [&] {
+      serial_image = core::cg_sense(plan, maps, y, iters, 1e-12, nullptr, 1);
+    };
+    e.counters = counted_run(run);
+    e.seconds = serial_seconds = time_best(run, 0.25, 4);
     e.checksum = core::norm2(serial_image);
     out.push_back(std::move(e));
   }
@@ -253,12 +289,12 @@ void bench_sense(std::int64_t n, int coils, unsigned coil_threads, int spokes,
     e.n = n;
     e.m = static_cast<std::int64_t>(coords.size()) * coils;
     std::vector<c64> parallel_image;
-    e.seconds = time_best(
-        [&] {
-          parallel_image =
-              core::cg_sense(plan, maps, y, iters, 1e-12, nullptr, coil_threads);
-        },
-        0.25, 4);
+    const auto run = [&] {
+      parallel_image =
+          core::cg_sense(plan, maps, y, iters, 1e-12, nullptr, coil_threads);
+    };
+    e.counters = counted_run(run);
+    e.seconds = time_best(run, 0.25, 4);
     e.checksum = core::norm2(parallel_image);
     e.extra = {{"speedup_vs_serial", serial_seconds / e.seconds},
                {"nrmse_vs_serial", core::nrmsd(parallel_image, serial_image)}};
@@ -274,6 +310,8 @@ void write_json(const std::string& path, const std::string& tag, bool smoke,
   std::fprintf(f, "  \"schema_version\": 1,\n");
   std::fprintf(f, "  \"tag\": \"%s\",\n", tag.c_str());
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"obs_enabled\": %s,\n",
+               obs::kEnabled ? "true" : "false");
   std::fprintf(f, "  \"coil_threads\": %u,\n", coil_threads);
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
@@ -301,10 +339,40 @@ void write_json(const std::string& path, const std::string& tag, bool smoke,
       }
       std::fprintf(f, "},\n");
     }
+    if (!e.counters.empty()) {
+      std::fprintf(f, "      \"counters\": {\n");
+      for (std::size_t p = 0; p < e.counters.size(); ++p) {
+        std::fprintf(f, "        \"%s\": %llu%s\n",
+                     e.counters[p].first.c_str(),
+                     static_cast<unsigned long long>(e.counters[p].second),
+                     p + 1 == e.counters.size() ? "" : ",");
+      }
+      std::fprintf(f, "      },\n");
+    }
     std::fprintf(f, "      \"checksum\": %.12g\n", e.checksum);
     std::fprintf(f, "    }%s\n", i + 1 == entries.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Whole-run registry state: everything the process counted, including
+  // work outside the per-entry counted regions (setup, warm-ups, reps).
+  const obs::Snapshot final_snap = obs::snapshot();
+  std::fprintf(f, "  \"counters\": {\n");
+  std::size_t idx = 0;
+  for (const auto& [name, value] : final_snap.counters) {
+    ++idx;
+    std::fprintf(f, "    \"%s\": %llu%s\n", name.c_str(),
+                 static_cast<unsigned long long>(value),
+                 idx == final_snap.counters.size() ? "" : ",");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"gauges\": {\n");
+  idx = 0;
+  for (const auto& [name, value] : final_snap.gauges) {
+    ++idx;
+    std::fprintf(f, "    \"%s\": %.12g%s\n", name.c_str(), value,
+                 idx == final_snap.gauges.size() ? "" : ",");
+  }
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
 }
 
@@ -312,7 +380,8 @@ void write_json(const std::string& path, const std::string& tag, bool smoke,
 
 int main(int argc, char** argv) {
   const std::vector<std::string> flags = {"smoke", "tag", "out",
-                                          "coil-threads", "coils"};
+                                          "coil-threads", "coils",
+                                          "trace-json"};
   CliArgs args(argc, argv, flags);  // CliArgs skips argv[0]
   const bool smoke = args.has("smoke");
   const std::string tag = args.get("tag", smoke ? "smoke" : "full");
@@ -320,6 +389,8 @@ int main(int argc, char** argv) {
   const auto coil_threads =
       static_cast<unsigned>(args.get_int("coil-threads", 8));
   const int coils = static_cast<int>(args.get_int("coils", 8));
+  const std::string trace_path = args.get("trace-json", "");
+  if (!trace_path.empty()) obs::trace_start();
 
   std::vector<Entry> entries;
 
@@ -368,6 +439,11 @@ int main(int argc, char** argv) {
   std::printf("done: sense\n");
 
   write_json(out_path, tag, smoke, coil_threads, entries);
+
+  if (!trace_path.empty()) {
+    const std::size_t events = obs::trace_stop_write(trace_path);
+    std::printf("trace: %zu events -> %s\n", events, trace_path.c_str());
+  }
 
   std::printf("\n%-56s %12s %16s\n", "benchmark", "seconds", "checksum");
   for (const Entry& e : entries) {

@@ -4,6 +4,7 @@
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json
         [--threshold 0.15] [--min-seconds 0.02] [--checksum-tol 1e-6]
+        [--work-tol 0.0] [--smoke]
 
 Exit status 1 when:
   * a benchmark present in the baseline is missing from the candidate,
@@ -11,7 +12,13 @@ Exit status 1 when:
     bug, never timing noise,
   * a benchmark slows down by more than --threshold (relative) and both
     measurements exceed --min-seconds (sub-threshold timings are too noisy
-    to gate on, especially in --smoke mode).
+    to gate on, especially in --smoke mode),
+  * a work counter (the deterministic grid./nufft./fft./cg./sim. families
+    in an entry's "counters" block) changes beyond --work-tol (relative,
+    default exact). Unlike wall-clock, counters are noise-free: any drift
+    means the algorithm now does different work. The gate only engages
+    when both files were produced by JIGSAW_OBS=ON builds and both entries
+    carry counters; an OFF-build candidate is reported, never failed.
 
 New benchmarks in the candidate are reported but never fail the run, so
 adding coverage does not require a simultaneous baseline refresh.
@@ -19,6 +26,12 @@ adding coverage does not require a simultaneous baseline refresh.
 import argparse
 import json
 import sys
+
+# Counter families that are pure functions of the workload (sample count,
+# kernel width, grid size, iteration count). Excluded by design: pool.*
+# (scheduling-dependent), scratch.*/fftcache.* per-entry values depend on
+# suite-global cache state, memsim.* (opt-in probes).
+WORK_PREFIXES = ("grid.", "nufft.", "fft.", "cg.", "sim.")
 
 
 def load(path):
@@ -39,6 +52,10 @@ def main():
                     help="ignore timing changes when either side is faster than this")
     ap.add_argument("--checksum-tol", type=float, default=1e-6,
                     help="relative checksum drift that counts as a failure")
+    ap.add_argument("--work-tol", type=float, default=0.0,
+                    help="relative drift allowed in work counters (default: exact)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="require both files to be --smoke runs")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
@@ -46,6 +63,11 @@ def main():
     if base_doc.get("smoke") != cand_doc.get("smoke"):
         sys.exit("refusing to compare: baseline and candidate were run in "
                  "different modes (smoke vs full) — problem sizes differ")
+    if args.smoke and not (base_doc.get("smoke") and cand_doc.get("smoke")):
+        sys.exit("--smoke given but the files are full-size runs")
+
+    work_gate = bool(base_doc.get("obs_enabled")) and bool(
+        cand_doc.get("obs_enabled"))
 
     base = {b["name"]: b for b in base_doc["benchmarks"]}
     cand = {b["name"]: b for b in cand_doc["benchmarks"]}
@@ -66,6 +88,18 @@ def main():
                 f"CHECKSUM  {name}: {b['checksum']:.12g} -> {c['checksum']:.12g} "
                 f"(rel drift {drift:.3g})")
 
+        if work_gate and "counters" in b and "counters" in c:
+            bc, cc = b["counters"], c["counters"]
+            for key in sorted(set(bc) | set(cc)):
+                if not key.startswith(WORK_PREFIXES):
+                    continue
+                bv, cv = bc.get(key, 0), cc.get(key, 0)
+                ref = max(abs(bv), abs(cv), 1)
+                if abs(bv - cv) / ref > args.work_tol:
+                    failures.append(
+                        f"WORK      {name}: {key} {bv} -> {cv} "
+                        f"(the engine now performs different work)")
+
         ratio = c["seconds"] / b["seconds"] if b["seconds"] > 0 else float("inf")
         gated = b["seconds"] >= args.min_seconds and c["seconds"] >= args.min_seconds
         status = "ok"
@@ -81,6 +115,9 @@ def main():
     for name in cand:
         if name not in base:
             notes.append(f"NEW       {name}: not in baseline (will gate after refresh)")
+    if not work_gate:
+        notes.append("NOTE      work-counter gate inactive (one side lacks "
+                     "obs_enabled — JIGSAW_OBS=OFF build or pre-obs baseline)")
 
     width = max((len(r[0]) for r in rows), default=20)
     print(f"{'benchmark':<{width}} {'base':>10} {'cand':>10} {'ratio':>7}  status")

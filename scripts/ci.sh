@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
 # CI pipeline: tiered tests + benchmark regression gate.
 #
-#   1. plain build, tier-1 tests (ctest -L tier1 — the fast gate set)
-#   2. ASan+UBSan build (JIGSAW_SANITIZE=ON), tier-1 tests — includes the
-#      thread-invariance and plan-cache concurrency suites, so the
-#      coil-parallel paths run sanitized on every CI pass
-#   3. bench_suite --smoke compared against the committed BENCH_baseline.json
-#      (fails on >15% slowdown or any checksum drift; see
-#      docs/benchmarking.md for the baseline refresh policy)
+#   1. plain build (JIGSAW_OBS=ON, the default), tier-1 tests
+#      (ctest -L tier1 — the fast gate set)
+#   2. JIGSAW_OBS=OFF build, tier-1 tests — proves the no-op observability
+#      stubs compile everywhere and nothing depends on counters existing
+#   3. ASan+UBSan build (JIGSAW_SANITIZE=ON), tier-1 tests — includes the
+#      thread-invariance, plan-cache, and counter-shard concurrency suites,
+#      so the lock-free counter paths run sanitized on every CI pass
+#   4. bench_suite --smoke (obs ON) compared against the committed
+#      BENCH_baseline.json — fails on >15% slowdown, any checksum drift,
+#      or any work-counter drift (see scripts/bench_compare.py); the JSON
+#      is schema-validated with counters required
+#   5. bench_suite --smoke from the OFF build compared against the same
+#      baseline — the overhead guard: a disabled observability layer must
+#      bench within the ordinary noise threshold
 #
-# JIGSAW_CI_FULL=1 widens both test runs to the complete suite (tier1 +
+# JIGSAW_CI_FULL=1 widens the test runs to the complete suite (tier1 +
 # tier2 soak tests) — what the merge gate runs; the default is the fast
 # inner-loop configuration.
 set -euo pipefail
@@ -25,18 +32,31 @@ else
   echo "=== full-suite run ==="
 fi
 
-echo "=== plain build + ctest ==="
-cmake -B build -S . >/dev/null
+echo "=== plain build (JIGSAW_OBS=ON) + ctest ==="
+cmake -B build -S . -DJIGSAW_OBS=ON >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build "${TEST_ARGS[@]}"
+
+echo "=== JIGSAW_OBS=OFF build + ctest ==="
+cmake -B build-noobs -S . -DJIGSAW_OBS=OFF >/dev/null
+cmake --build build-noobs -j"${JOBS}"
+ctest --test-dir build-noobs "${TEST_ARGS[@]}"
 
 echo "=== ASan+UBSan build + ctest ==="
 cmake -B build-asan -S . -DJIGSAW_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}"
 ctest --test-dir build-asan "${TEST_ARGS[@]}"
 
-echo "=== benchmark smoke + regression gate ==="
+echo "=== benchmark smoke + regression/work gate (obs ON) ==="
 ./build/bench/bench_suite --smoke --tag ci --out build/BENCH_ci.json
-python3 scripts/bench_compare.py BENCH_baseline.json build/BENCH_ci.json
+python3 scripts/validate_bench.py build/BENCH_ci.json --require-counters
+python3 scripts/bench_compare.py BENCH_baseline.json build/BENCH_ci.json --smoke
 
-echo "=== CI green: tests + sanitizers + benchmark gate pass ==="
+echo "=== observability overhead guard (obs OFF) ==="
+./build-noobs/bench/bench_suite --smoke --tag ci-noobs \
+  --out build-noobs/BENCH_ci-noobs.json
+python3 scripts/validate_bench.py build-noobs/BENCH_ci-noobs.json
+python3 scripts/bench_compare.py BENCH_baseline.json \
+  build-noobs/BENCH_ci-noobs.json --smoke
+
+echo "=== CI green: tests + sanitizers + benchmark/work/overhead gates pass ==="

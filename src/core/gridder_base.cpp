@@ -5,8 +5,47 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/window.hpp"
+#include "obs/obs.hpp"
 
 namespace jigsaw::core {
+namespace {
+
+/// Publish the work performed by one adjoint()/forward() call to the
+/// global counter registry under grid.<engine>.*. The engines batch their
+/// counts into GriddingStats, so this is one string build + shard add per
+/// counter per *operation* — invisible next to the gridding itself.
+void publish_gridding_delta(GridderKind kind, const char* op,
+                            const GriddingStats& before,
+                            const GriddingStats& after, std::size_t samples_in) {
+  if constexpr (!obs::kEnabled) {
+    (void)kind; (void)op; (void)before; (void)after; (void)samples_in;
+    return;
+  }
+  const std::string prefix = "grid." + to_string(kind) + ".";
+  obs::add(prefix + op + "_calls", 1);
+  obs::add(prefix + "samples_in", samples_in);
+  obs::add(prefix + "samples_processed",
+           after.samples_processed - before.samples_processed);
+  obs::add(prefix + "kernel_evals", after.kernel_evals - before.kernel_evals);
+  obs::add(prefix + "lut_lookups", after.lut_lookups - before.lut_lookups);
+  obs::add(prefix + "boundary_checks",
+           after.boundary_checks - before.boundary_checks);
+  obs::add(prefix + "interpolations",
+           after.interpolations - before.interpolations);
+  obs::add(prefix + "saturations",
+           after.saturation_events - before.saturation_events);
+  obs::add(prefix + "soft_error_flips",
+           after.soft_error_flips - before.soft_error_flips);
+  // Bin-overlap duplicates (only the binning engine processes a sample more
+  // than once; everyone else publishes 0 and the add is dropped).
+  const std::uint64_t processed =
+      after.samples_processed - before.samples_processed;
+  if (processed > samples_in) {
+    obs::add(prefix + "bin_duplicates", processed - samples_in);
+  }
+}
+
+}  // namespace
 
 std::string to_string(GridderKind k) {
   switch (k) {
@@ -42,11 +81,14 @@ Gridder<D>::Gridder(std::int64_t n, const GridderOptions& options)
 template <int D>
 void Gridder<D>::adjoint(const SampleSet<D>& in, Grid<D>& out) {
   using robustness::SanitizePolicy;
+  JIGSAW_OBS_SPAN(span, "grid.adjoint/" + to_string(kind()));
+  const GriddingStats before = stats_;
   if (options_.sanitize == SanitizePolicy::None) {
     sanitize_report_ = robustness::SanitizeReport{};
     sanitize_report_.scanned = in.size();
     sanitize_report_.kept = in.size();
     do_adjoint(in, out);
+    publish_gridding_delta(kind(), "adjoint", before, stats_, in.size());
     return;
   }
   auto outcome =
@@ -59,11 +101,14 @@ void Gridder<D>::adjoint(const SampleSet<D>& in, Grid<D>& out) {
   } else {
     do_adjoint(in, out);
   }
+  publish_gridding_delta(kind(), "adjoint", before, stats_, in.size());
 }
 
 template <int D>
 void Gridder<D>::forward(const Grid<D>& in, SampleSet<D>& out) {
   using robustness::SanitizePolicy;
+  JIGSAW_OBS_SPAN(span, "grid.forward/" + to_string(kind()));
+  const GriddingStats stats_before = stats_;
   sanitize_report_ = robustness::SanitizeReport{};
   sanitize_report_.policy = options_.sanitize;
   sanitize_report_.scanned = out.size();
@@ -88,10 +133,13 @@ void Gridder<D>::forward(const Grid<D>& in, SampleSet<D>& out) {
       tmp.values = std::move(out.values);
       do_forward(in, tmp);
       out.values = std::move(tmp.values);
+      publish_gridding_delta(kind(), "forward", stats_before, stats_,
+                             out.size());
       return;
     }
   }
   do_forward(in, out);
+  publish_gridding_delta(kind(), "forward", stats_before, stats_, out.size());
 }
 
 template <int D>

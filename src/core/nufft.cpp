@@ -4,6 +4,7 @@
 
 #include "common/timer.hpp"
 #include "fft/plan_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace jigsaw::core {
 
@@ -11,6 +12,8 @@ template <int D>
 NufftPlan<D>::NufftPlan(std::int64_t n, std::vector<Coord<D>> coords,
                         const GridderOptions& options)
     : n_(n), coords_(std::move(coords)) {
+  obs::Span span("nufft.plan");
+  obs::add("nufft.plans", 1);
   // Validate once at plan time (the per-transform hot paths do not check):
   // every coordinate must be finite and inside the torus. Under a repairing
   // sanitize policy (Drop/Clamp) the gridder handles defects itself, so the
@@ -53,11 +56,14 @@ std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
                                        NufftTimings* timings) {
   JIGSAW_REQUIRE(values.size() == coords_.size(),
                  "value count does not match plan coordinates");
+  obs::Span span("nufft.adjoint");
+  obs::add("nufft.adjoints", 1);
   NufftTimings local;
   const std::int64_t g = gridder_->grid_size();
 
   // (1) Gridding.
   {
+    obs::Span phase("nufft.adjoint.grid");
     SampleSet<D> in;
     in.coords = coords_;  // cheap relative to gridding itself
     in.values = values;
@@ -72,6 +78,7 @@ std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
 
   // (2) FFT with positive exponent (unnormalized inverse).
   {
+    obs::Span phase("nufft.adjoint.fft");
     Timer t;
     fft_->execute(work_.data(), fft::Direction::Inverse,
                   gridder_->options().threads);
@@ -81,6 +88,7 @@ std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
   // (3) Center crop + checkerboard sign + de-apodization.
   std::vector<c64> image(static_cast<std::size_t>(image_total()));
   {
+    obs::Span phase("nufft.adjoint.apod");
     Timer t;
     const std::int64_t total = image_total();
     for (std::int64_t lin = 0; lin < total; ++lin) {
@@ -109,11 +117,14 @@ std::vector<c64> NufftPlan<D>::forward(const std::vector<c64>& image,
                                        NufftTimings* timings) {
   JIGSAW_REQUIRE(static_cast<std::int64_t>(image.size()) == image_total(),
                  "image size does not match plan");
+  obs::Span span("nufft.forward");
+  obs::add("nufft.forwards", 1);
   NufftTimings local;
   const std::int64_t g = gridder_->grid_size();
 
   // (1) Pre-apodization + checkerboard sign + zero-padded center embed.
   {
+    obs::Span phase("nufft.forward.apod");
     Timer t;
     work_.clear();
     const std::int64_t total = image_total();
@@ -136,6 +147,7 @@ std::vector<c64> NufftPlan<D>::forward(const std::vector<c64>& image,
 
   // (2) FFT with negative exponent.
   {
+    obs::Span phase("nufft.forward.fft");
     Timer t;
     fft_->execute(work_.data(), fft::Direction::Forward,
                   gridder_->options().threads);
@@ -147,6 +159,7 @@ std::vector<c64> NufftPlan<D>::forward(const std::vector<c64>& image,
   out.coords = coords_;
   out.values.assign(coords_.size(), c64{});
   {
+    obs::Span phase("nufft.forward.grid");
     Timer t;
     gridder_->forward(work_, out);
     local.grid_seconds = t.seconds();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fft/plan_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace jigsaw::core {
 
@@ -117,9 +118,15 @@ CgResult conjugate_gradient(
   std::vector<c64> p = r;
   double rs = std::abs(dot(r, r));
 
+  obs::add("cg.solves", 1);
   for (int it = 0; it < max_iterations; ++it) {
+    obs::Span iter_span("cg.iteration");
     const double rel = std::sqrt(rs) / bnorm;
     result.residual_history.push_back(rel);
+    // Per-iteration residual gauge: dashboards/tests read the latest value;
+    // the full history stays in CgResult.
+    obs::set_gauge("cg.residual", rel);
+    obs::set_gauge("cg.iteration", static_cast<double>(it));
     if (rel < tolerance) break;
     const std::vector<c64> ap = op(p);
     const c64 pap = dot(p, ap);
@@ -134,8 +141,10 @@ CgResult conjugate_gradient(
     for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
     rs = rs_new;
     ++result.iterations;
+    obs::add("cg.iterations", 1);
   }
   result.final_residual = std::sqrt(rs) / bnorm;
+  obs::set_gauge("cg.final_residual", result.final_residual);
   return result;
 }
 

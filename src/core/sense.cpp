@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace jigsaw::core {
 
@@ -107,6 +108,9 @@ std::vector<c64> SenseOperator::adjoint(
     const std::vector<std::vector<c64>>& y) const {
   JIGSAW_REQUIRE(static_cast<int>(y.size()) == maps_.coils,
                  "coil count mismatch");
+  obs::Span span("sense.adjoint");
+  obs::add("sense.adjoint_applies", 1);
+  obs::add("sense.coil_transforms", static_cast<std::uint64_t>(maps_.coils));
   const auto pixels = static_cast<std::size_t>(plan_.image_total());
   std::vector<std::vector<c64>> per_coil(
       static_cast<std::size_t>(maps_.coils));
@@ -127,6 +131,11 @@ std::vector<c64> SenseOperator::adjoint(
 }
 
 std::vector<c64> SenseOperator::gram(const std::vector<c64>& x) const {
+  obs::Span span("sense.gram");
+  obs::add("sense.gram_applies", 1);
+  // Each gram apply runs a forward+adjoint pair per coil.
+  obs::add("sense.coil_transforms",
+           2 * static_cast<std::uint64_t>(maps_.coils));
   std::vector<std::vector<c64>> per_coil(
       static_cast<std::size_t>(maps_.coils));
   for_each_coil([&](int c, NufftPlan<2>& p) {
@@ -150,6 +159,8 @@ std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
                           const std::vector<std::vector<c64>>& y,
                           int max_iterations, double tolerance,
                           CgResult* result, unsigned coil_threads) {
+  obs::Span span("sense.cg_sense");
+  obs::add("sense.cg_solves", 1);
   SenseOperator op(plan, maps, coil_threads);
   const auto b = op.adjoint(y);
   std::vector<c64> x(b.size(), c64{});

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "fft/plan_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace jigsaw::fft {
 
@@ -211,6 +212,8 @@ bool FftNd::parallelizable() const {
 }
 
 void FftNd::execute(c64* data, Direction dir, unsigned threads) const {
+  obs::add("fft.execs", 1);
+  obs::Span obs_span("fft.execute");
   const std::size_t ndim = dims_.size();
   const bool parallel = threads > 1 && parallelizable();
   std::vector<c64> scratch;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace jigsaw::fft {
 
 std::shared_ptr<const FftNd> FftPlanCache::get(
@@ -10,9 +12,12 @@ std::shared_ptr<const FftNd> FftPlanCache::get(
   auto it = plans_.find(dims);
   if (it != plans_.end()) {
     ++stats_.hits;
+    obs::add("fftcache.hits", 1);
     return it->second;
   }
   ++stats_.misses;
+  obs::add("fftcache.misses", 1);
+  JIGSAW_OBS_SPAN(span, "fftcache.plan");
   auto plan = std::make_shared<const FftNd>(dims);
   plans_.emplace(dims, plan);
   return plan;
@@ -45,6 +50,7 @@ FftPlanCache& FftPlanCache::global() {
 }
 
 std::vector<c64> ScratchPool::acquire(std::size_t size) {
+  obs::add("scratch.acquires", 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Best fit: smallest parked buffer with sufficient capacity; otherwise
@@ -66,6 +72,7 @@ std::vector<c64> ScratchPool::acquire(std::size_t size) {
     if (best < free_.size()) {
       std::vector<c64> out = std::move(free_[best]);
       free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+      obs::add("scratch.reuses", 1);
       return out;
     }
   }
@@ -76,6 +83,7 @@ std::vector<c64> ScratchPool::acquire(std::size_t size) {
 
 void ScratchPool::release(std::vector<c64> buffer) {
   if (buffer.capacity() == 0) return;
+  obs::add("scratch.releases", 1);
   std::lock_guard<std::mutex> lock(mu_);
   if (free_.size() >= kMaxRetained) return;  // let it deallocate
   free_.push_back(std::move(buffer));

@@ -3,10 +3,38 @@
 #include <cmath>
 
 #include "core/window.hpp"
+#include "obs/obs.hpp"
 
 namespace jigsaw::sim {
 
 namespace dp = core::datapath;
+
+namespace {
+
+/// Push one run's activity counters into the global registry. Each run_*
+/// resets stats_ on entry, so the final struct is exactly this run's work.
+void publish_sim_stats(const SimStats& s) {
+  if constexpr (!obs::kEnabled) {
+    (void)s;
+    return;
+  }
+  auto add = [](const char* name, long long v) {
+    if (v > 0) obs::add(name, static_cast<std::uint64_t>(v));
+  };
+  obs::add("sim.runs", 1);
+  add("sim.samples_streamed", s.samples_streamed);
+  add("sim.gridding_cycles", s.gridding_cycles);
+  add("sim.readout_cycles", s.readout_cycles);
+  add("sim.selects", s.selects);
+  add("sim.lut_reads", s.lut_reads);
+  add("sim.weight_combines", s.weight_combines);
+  add("sim.macs", s.macs);
+  add("sim.accum_writes", s.accum_writes);
+  add("sim.saturations", s.saturations);
+  add("sim.soft_error_flips", s.soft_error_flips);
+}
+
+}  // namespace
 
 CycleSim::CycleSim(std::int64_t base_n, const core::GridderOptions& options,
                    bool three_d, HardwareLimits limits)
@@ -98,6 +126,7 @@ void CycleSim::broadcast_2d(std::int64_t usx_q, std::int64_t usy_q,
 }
 
 void CycleSim::run_2d(const core::SampleSet<2>& in, core::Grid<2>& out) {
+  JIGSAW_OBS_SPAN(span, "sim.run_2d");
   JIGSAW_REQUIRE(!three_d_, "run_2d on a 3D-variant simulator");
   JIGSAW_REQUIRE(out.size() == g_, "output grid size mismatch");
   const int w = options_.width;
@@ -147,10 +176,12 @@ void CycleSim::run_2d(const core::SampleSet<2>& in, core::Grid<2>& out) {
           descale;
     }
   }
+  publish_sim_stats(stats_);
 }
 
 void CycleSim::run_2d_forward(const core::Grid<2>& in,
                               core::SampleSet<2>& out) {
+  JIGSAW_OBS_SPAN(span, "sim.run_2d_forward");
   JIGSAW_REQUIRE(!three_d_, "run_2d_forward on a 3D-variant simulator");
   JIGSAW_REQUIRE(in.size() == g_, "input grid size mismatch");
   JIGSAW_REQUIRE(out.coords.size() == out.values.size(),
@@ -223,10 +254,12 @@ void CycleSim::run_2d_forward(const core::Grid<2>& in,
   stats_.samples_streamed = streamed;
   stats_.gridding_cycles =
       (streamed == 0) ? 0 : streamed + stats_.pipeline_depth;
+  publish_sim_stats(stats_);
 }
 
 void CycleSim::run_3d(const core::SampleSet<3>& in, core::Grid<3>& out,
                       bool z_binned) {
+  JIGSAW_OBS_SPAN(span, "sim.run_3d");
   JIGSAW_REQUIRE(three_d_, "run_3d on a 2D-variant simulator");
   JIGSAW_REQUIRE(out.size() == g_, "output grid size mismatch");
   const int w = options_.width;
@@ -329,6 +362,7 @@ void CycleSim::run_3d(const core::SampleSet<3>& in, core::Grid<3>& out,
     stats_.readout_cycles += (g_ * g_ + 1) / 2;
   }
   stats_.soft_error_flips = static_cast<long long>(soft_error_.flips());
+  publish_sim_stats(stats_);
 }
 
 }  // namespace jigsaw::sim

@@ -1,6 +1,7 @@
 #include "memsim/cache.hpp"
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace jigsaw::memsim {
 
@@ -55,6 +56,16 @@ void Cache::touch_line(std::uint64_t line_addr, bool write) {
   victim->dirty = write;
   victim->tag = tag;
   victim->lru = tick_;
+}
+
+void Cache::publish_counters() {
+  if constexpr (!obs::kEnabled) return;
+  obs::add("memsim.accesses", stats_.accesses - published_.accesses);
+  obs::add("memsim.hits", stats_.hits - published_.hits);
+  obs::add("memsim.misses", stats_.misses - published_.misses);
+  obs::add("memsim.writebacks", stats_.writebacks - published_.writebacks);
+  obs::set_gauge("memsim.hit_rate", stats_.hit_rate());
+  published_ = stats_;
 }
 
 }  // namespace jigsaw::memsim

@@ -47,7 +47,13 @@ class Cache final : public MemTracer {
 
   const CacheStats& stats() const { return stats_; }
   const CacheConfig& config() const { return config_; }
-  void reset_stats() { stats_ = CacheStats{}; }
+  void reset_stats() { stats_ = CacheStats{}; published_ = CacheStats{}; }
+
+  /// Push the activity since the previous publish into the global counter
+  /// registry (memsim.accesses/hits/misses/writebacks, plus a memsim.hit_rate
+  /// gauge with this cache's lifetime hit rate). Idempotent between
+  /// accesses; a no-op build (JIGSAW_OBS=OFF) compiles this to nothing.
+  void publish_counters();
 
  private:
   struct Line {
@@ -64,6 +70,7 @@ class Cache final : public MemTracer {
   std::vector<Line> lines_;  // num_sets * ways
   std::uint64_t tick_ = 0;
   CacheStats stats_;
+  CacheStats published_;  // high-water mark of counters already published
 };
 
 }  // namespace jigsaw::memsim

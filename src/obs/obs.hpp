@@ -1,0 +1,153 @@
+// Runtime observability: counters, gauges, and a chrome-trace span tracer.
+//
+// Two facilities behind one compile-time gate (CMake option JIGSAW_OBS,
+// macro JIGSAW_OBS_ENABLED):
+//
+//   * CounterRegistry — process-wide named monotonic counters and gauges.
+//     Counter increments go to a lock-free per-thread shard (plain relaxed
+//     atomics written only by the owning thread); snapshot() merges every
+//     live shard plus the retired-thread accumulator under a registry lock.
+//     Hot loops are expected to batch: engines accumulate into local
+//     variables / GriddingStats and publish one delta per operation, so a
+//     counter add costs one hash lookup + one relaxed store per *operation*,
+//     not per sample.
+//
+//   * Tracer — scoped spans emitted as chrome://tracing "complete" events
+//     ("ph":"X") with per-thread ids. Disarmed, a Span costs one relaxed
+//     atomic load; armed, span end appends one event to a per-thread buffer
+//     under a per-buffer mutex (uncontended in practice). trace_stop_write()
+//     drains every buffer into a JSON file that chrome://tracing and
+//     Perfetto open directly (see docs/observability.md).
+//
+// With JIGSAW_OBS=OFF every entry point below compiles to an empty inline
+// stub: no registry, no atomics, no strings — the instrumented hot paths
+// are bit-identical to un-instrumented code (the CI overhead guard holds
+// the OFF build to the committed perf baseline).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#ifndef JIGSAW_OBS_ENABLED
+#define JIGSAW_OBS_ENABLED 1
+#endif
+
+namespace jigsaw::obs {
+
+/// Compile-time gate, usable in `if constexpr`.
+inline constexpr bool kEnabled = JIGSAW_OBS_ENABLED != 0;
+
+/// Merged view of the registry at one instant. Counters are monotonic
+/// within a process (reset() excepted); gauges hold the last value set.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+
+  std::uint64_t counter(std::string_view name) const {
+    const auto it = counters.find(std::string(name));
+    return it == counters.end() ? 0 : it->second;
+  }
+  double gauge(std::string_view name) const {
+    const auto it = gauges.find(std::string(name));
+    return it == gauges.end() ? 0.0 : it->second;
+  }
+};
+
+#if JIGSAW_OBS_ENABLED
+
+/// Interned counter handle: stable id for repeated adds without a name
+/// lookup. Obtained from counter(); the default-constructed handle is
+/// invalid and must not be passed to add().
+class Counter {
+ public:
+  Counter() = default;
+
+ private:
+  friend Counter counter(std::string_view);
+  friend void add(Counter, std::uint64_t);
+  explicit Counter(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = ~0u;
+};
+
+/// Intern `name` (idempotent) and return its handle.
+Counter counter(std::string_view name);
+
+/// Add `v` to a counter. The Counter overload is the hot-path form; the
+/// string overload interns per call and suits once-per-operation publishing.
+void add(Counter c, std::uint64_t v);
+void add(std::string_view name, std::uint64_t v);
+
+/// Set a gauge to its latest value (low-frequency; mutex-protected).
+void set_gauge(std::string_view name, double v);
+
+/// Merge all shards + retired threads into one consistent view.
+Snapshot snapshot();
+
+/// Zero every counter and drop every gauge (test/bench harness use only;
+/// racing increments may survive into the next epoch).
+void reset();
+
+/// Arm the tracer: spans entered from now on are recorded.
+void trace_start();
+
+/// True while the tracer is armed (cheap: one relaxed atomic load).
+bool trace_active();
+
+/// Disarm and write every recorded span to `path` in chrome trace format.
+/// Returns the number of events written.
+std::size_t trace_stop_write(const std::string& path);
+
+/// RAII scoped span. Records [construction, destruction) when the tracer
+/// is armed at construction time. Names longer than the internal buffer
+/// (47 chars) are truncated.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::uint64_t t0_ns_ = 0;
+  char name_[48];
+  bool active_ = false;
+};
+
+#else  // !JIGSAW_OBS_ENABLED — every call site compiles to nothing.
+
+class Counter {
+ public:
+  Counter() = default;
+};
+
+inline Counter counter(std::string_view) { return Counter{}; }
+inline void add(Counter, std::uint64_t) {}
+inline void add(std::string_view, std::uint64_t) {}
+inline void set_gauge(std::string_view, double) {}
+inline Snapshot snapshot() { return Snapshot{}; }
+inline void reset() {}
+inline void trace_start() {}
+inline bool trace_active() { return false; }
+inline std::size_t trace_stop_write(const std::string&) { return 0; }
+
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+};
+
+#endif  // JIGSAW_OBS_ENABLED
+
+}  // namespace jigsaw::obs
+
+/// Declare a scoped span whose name expression is evaluated only when the
+/// layer is compiled in — use for dynamically built names so the OFF build
+/// does not even construct the string.
+#if JIGSAW_OBS_ENABLED
+#define JIGSAW_OBS_SPAN(var, name_expr) ::jigsaw::obs::Span var(name_expr)
+#else
+#define JIGSAW_OBS_SPAN(var, name_expr) \
+  do {                                  \
+  } while (false)
+#endif

@@ -226,5 +226,118 @@ TEST_P(GridderFuzz3D, EnginesAgreeInThreeDimensions) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GridderFuzz3D,
                          ::testing::Range<std::uint64_t>(2000, 2012));
 
+// ---------------------------------------------------------------------------
+// Adjoint/forward dot-product identity across the FULL engine matrix.
+//
+// For a gridding operator A (forward: grid -> samples) and its adjoint Aᴴ
+// (samples -> grid), <Ax, y> == <x, Aᴴy> must hold for any x, y. The
+// double-precision engines satisfy it to round-off. The float engine and
+// the fixed-point Jigsaw engine implement forward/adjoint with the SAME
+// reduced-precision datapath, so the identity survives with a tolerance
+// set by their quantization envelope rather than by exactness.
+
+struct EngineTol {
+  GridderKind kind;
+  bool model_faithful;
+  double rel_tol;
+};
+
+const EngineTol kDotEngines[] = {
+    {GridderKind::Serial, false, 1e-9},
+    {GridderKind::OutputDriven, false, 1e-9},
+    {GridderKind::Binning, false, 1e-9},
+    {GridderKind::SliceDice, false, 1e-9},
+    {GridderKind::SliceDice, true, 1e-9},
+    {GridderKind::Sparse, false, 1e-9},
+    {GridderKind::FloatSerial, false, 1e-3},
+    {GridderKind::Jigsaw, false, 5e-2},
+};
+
+template <int D>
+void check_dot_identity(std::int64_t n, const GridderOptions& base_opt,
+                        const SampleSet<D>& y, Rng& rng) {
+  for (const EngineTol& spec : kDotEngines) {
+    GridderOptions opt = base_opt;
+    opt.kind = spec.kind;
+    opt.model_faithful_checks = spec.model_faithful;
+    SCOPED_TRACE(::testing::Message()
+                 << to_string(spec.kind)
+                 << (spec.model_faithful ? " (model-faithful)" : "")
+                 << " D=" << D << " n=" << n << " m=" << y.size());
+    auto g = make_gridder<D>(n, opt);
+
+    Grid<D> aty(g->grid_size());
+    g->adjoint(y, aty);  // Aᴴy
+
+    Grid<D> x(g->grid_size());
+    for (std::int64_t i = 0; i < x.total(); ++i) {
+      x[i] = c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+    SampleSet<D> ax;
+    ax.coords = y.coords;
+    ax.values.assign(y.size(), c64{});
+    g->forward(x, ax);  // Ax
+
+    c64 lhs{}, rhs{};
+    for (std::size_t j = 0; j < y.size(); ++j) {
+      lhs += std::conj(ax.values[j]) * y.values[j];  // <Ax, y>
+    }
+    for (std::int64_t i = 0; i < x.total(); ++i) {
+      rhs += std::conj(x[i]) * aty[i];  // <x, Aᴴy>
+    }
+    const double scale =
+        std::max({std::abs(lhs), std::abs(rhs), 1.0});
+    EXPECT_NEAR(std::abs(lhs - rhs), 0.0, spec.rel_tol * scale);
+  }
+}
+
+class AdjointDotFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdjointDotFuzz, ForwardIsConjugateTransposeForAllEngines2D) {
+  Rng rng(GetParam());
+  GridderOptions opt;
+  opt.width = 2 + static_cast<int>(rng.below(5));  // 2..6
+  opt.tile = 8;
+  opt.sigma = 2.0;
+  opt.table_oversampling = 32;  // inside the fixed-point LUT SRAM limit
+  const std::int64_t ns[] = {8, 16, 32};
+  const std::int64_t n = ns[rng.below(3)];
+  const std::int64_t m = 30 + static_cast<std::int64_t>(rng.below(150));
+  const auto y = draw_samples(rng, m);
+  check_dot_identity<2>(n, opt, y, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjointDotFuzz,
+                         ::testing::Range<std::uint64_t>(3000, 3016));
+
+class AdjointDotFuzz3D : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdjointDotFuzz3D, ForwardIsConjugateTransposeForAllEngines3D) {
+  Rng rng(GetParam());
+  GridderOptions opt;
+  opt.width = 2 + static_cast<int>(rng.below(3));  // 2..4
+  opt.tile = 8;
+  opt.sigma = 2.0;
+  opt.table_oversampling = 32;
+  const std::int64_t n = 8;
+  const std::int64_t m = 20 + static_cast<std::int64_t>(rng.below(80));
+
+  SampleSet<3> y;
+  y.coords.resize(static_cast<std::size_t>(m));
+  y.values.resize(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (int d = 0; d < 3; ++d) {
+      y.coords[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+          rng.uniform(-0.5, 0.5);
+    }
+    y.values[static_cast<std::size_t>(j)] =
+        c64(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  check_dot_identity<3>(n, opt, y, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjointDotFuzz3D,
+                         ::testing::Range<std::uint64_t>(4000, 4008));
+
 }  // namespace
 }  // namespace jigsaw::core

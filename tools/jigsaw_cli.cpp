@@ -32,6 +32,7 @@
 #include "core/sense.hpp"
 #include "energy/asic_model.hpp"
 #include "jigsaw/cycle_sim.hpp"
+#include "obs/obs.hpp"
 #include "robustness/fault_injection.hpp"
 #include "trajectory/phantom.hpp"
 #include "trajectory/trajectory.hpp"
@@ -368,15 +369,47 @@ int main(int argc, char** argv) {
       "density", "iters",  "out",   "3d",            "z-binned",
       "input",  "save",    "sanitize",  "drop-spokes",  "noise-spikes",
       "inject-nan", "perturb-coords", "bitflip-rate", "bitflip-bit",
-      "seed",   "coils",   "coil-threads"};
+      "seed",   "coils",   "coil-threads", "trace-json", "counters"};
   try {
     CliArgs args(argc - 1, argv + 1, flags);
-    if (cmd == "recon") return cmd_recon(args);
-    if (cmd == "grid") return cmd_grid(args);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "info") return cmd_info();
-    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-    return 2;
+    const std::string trace_path = args.get("trace-json", "");
+    if (!trace_path.empty()) obs::trace_start();
+
+    int rc = 2;
+    if (cmd == "recon") {
+      rc = cmd_recon(args);
+    } else if (cmd == "grid") {
+      rc = cmd_grid(args);
+    } else if (cmd == "simulate") {
+      rc = cmd_simulate(args);
+    } else if (cmd == "info") {
+      rc = cmd_info();
+    } else {
+      std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+      return 2;
+    }
+
+    if (!trace_path.empty()) {
+      const std::size_t events = obs::trace_stop_write(trace_path);
+      std::printf("trace: %zu events -> %s (chrome://tracing | Perfetto)\n",
+                  events, trace_path.c_str());
+    }
+    if (args.has("counters")) {
+      if (!obs::kEnabled) {
+        std::printf("counters: unavailable (built with JIGSAW_OBS=OFF)\n");
+      } else {
+        const obs::Snapshot snap = obs::snapshot();
+        std::printf("counters (%zu):\n", snap.counters.size());
+        for (const auto& [name, value] : snap.counters) {
+          std::printf("  %-40s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(value));
+        }
+        for (const auto& [name, value] : snap.gauges) {
+          std::printf("  %-40s %.6g  (gauge)\n", name.c_str(), value);
+        }
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
