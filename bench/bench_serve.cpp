@@ -1,0 +1,228 @@
+// Closed-loop throughput/latency benchmark for the reconstruction service.
+//
+// C client threads each submit same-geometry adjoint requests back-to-back
+// (closed loop: next request issues when the previous reply lands) through
+// the in-process ServeSession — the full admission/batching/plan-pool
+// pipeline without socket noise. Reported per client count: requests/s,
+// p50/p99 latency, and the scheduler's batching/plan-pool counters. Output
+// is a BENCH_<tag>.json whose "serve" block is validated by
+// scripts/validate_bench.py against scripts/bench_schema.json.
+//
+//   bench_serve [--smoke] [--tag ci-serve] [--out BENCH_serve.json]
+//               [--threads 2] [--n 64] [--samples 8192]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "serve/session.hpp"
+#include "trajectory/phantom.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace {
+
+using namespace jigsaw;
+
+struct ServeResult {
+  std::string name;
+  int clients = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t rejected = 0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t plan_builds = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_jobs = 0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+ServeResult run_closed_loop(int clients, int requests_per_client,
+                            std::int64_t n,
+                            const std::vector<Coord<2>>& coords,
+                            const std::vector<c64>& values,
+                            unsigned exec_threads) {
+  serve::ServeConfig config;
+  config.max_queue = static_cast<std::size_t>(clients) * 2 + 8;
+  config.exec_threads = exec_threads;
+  serve::ServeSession session(config);
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& lat = latencies[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int r = 0; r < requests_per_client; ++r) {
+        serve::ReconJob job;
+        job.options.width = 4;
+        job.n = n;
+        job.samples.coords = coords;
+        job.samples.values = values;
+        job.client_tag = static_cast<std::uint64_t>(c);
+        const auto s0 = std::chrono::steady_clock::now();
+        const serve::ReconOutcome outcome = session.recon(std::move(job));
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - s0)
+                              .count();
+        JIGSAW_REQUIRE(outcome.status == serve::Status::kOk,
+                       "closed-loop request failed: "
+                           << serve::to_string(outcome.status) << " "
+                           << outcome.message);
+        lat.push_back(ms);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  session.drain();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  const serve::EngineCounts counts = session.counts();
+  ServeResult result;
+  result.name = "closed-loop/clients" + std::to_string(clients);
+  result.clients = clients;
+  result.requests = counts.submitted;
+  result.ok = counts.ok;
+  result.timeout = counts.timeout;
+  result.rejected = counts.rejected;
+  result.rps = static_cast<double>(all.size()) / elapsed;
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.plan_builds = counts.plan_builds;
+  result.batches = counts.batches;
+  result.batched_jobs = counts.batched_jobs;
+  return result;
+}
+
+void write_json(const std::string& path, const std::string& tag, bool smoke,
+                unsigned exec_threads,
+                const std::vector<ServeResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  JIGSAW_REQUIRE(f != nullptr, "cannot open " << path << " for writing");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"tag\": \"%s\",\n", tag.c_str());
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"obs_enabled\": %s,\n",
+               obs::kEnabled ? "true" : "false");
+  std::fprintf(f, "  \"coil_threads\": %u,\n", exec_threads);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"benchmarks\": [],\n");
+  std::fprintf(f, "  \"serve\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ServeResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"clients\": %d,\n", r.clients);
+    std::fprintf(f, "      \"requests\": %llu,\n",
+                 static_cast<unsigned long long>(r.requests));
+    std::fprintf(f, "      \"ok\": %llu,\n",
+                 static_cast<unsigned long long>(r.ok));
+    std::fprintf(f, "      \"timeout\": %llu,\n",
+                 static_cast<unsigned long long>(r.timeout));
+    std::fprintf(f, "      \"rejected\": %llu,\n",
+                 static_cast<unsigned long long>(r.rejected));
+    std::fprintf(f, "      \"rps\": %.6g,\n", r.rps);
+    std::fprintf(f, "      \"p50_ms\": %.6g,\n", r.p50_ms);
+    std::fprintf(f, "      \"p99_ms\": %.6g,\n", r.p99_ms);
+    std::fprintf(f, "      \"plan_builds\": %llu,\n",
+                 static_cast<unsigned long long>(r.plan_builds));
+    std::fprintf(f, "      \"batches\": %llu,\n",
+                 static_cast<unsigned long long>(r.batches));
+    std::fprintf(f, "      \"batched_jobs\": %llu\n",
+                 static_cast<unsigned long long>(r.batched_jobs));
+    std::fprintf(f, "    }%s\n", i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  const obs::Snapshot snap = obs::snapshot();
+  std::fprintf(f, "  \"counters\": {\n");
+  std::size_t idx = 0;
+  for (const auto& [name, value] : snap.counters) {
+    ++idx;
+    std::fprintf(f, "    \"%s\": %llu%s\n", name.c_str(),
+                 static_cast<unsigned long long>(value),
+                 idx == snap.counters.size() ? "" : ",");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"gauges\": {\n");
+  idx = 0;
+  for (const auto& [name, value] : snap.gauges) {
+    ++idx;
+    std::fprintf(f, "    \"%s\": %.12g%s\n", name.c_str(), value,
+                 idx == snap.gauges.size() ? "" : ",");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"smoke", "tag", "out", "threads", "n", "samples"});
+    const bool smoke = args.has("smoke");
+    const std::string tag = args.get("tag", smoke ? "serve-smoke" : "serve");
+    const std::string out_path = args.get("out", "BENCH_" + tag + ".json");
+    const auto exec_threads =
+        static_cast<unsigned>(args.get_int("threads", 2));
+    const std::int64_t n = args.get_int("n", smoke ? 48 : 64);
+    const std::int64_t m = args.get_int("samples", smoke ? 4000 : 8192);
+    const int requests_per_client = smoke ? 20 : 100;
+    const std::vector<int> client_counts =
+        smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+
+    const auto coords =
+        trajectory::make_2d(trajectory::TrajectoryType::Radial, m);
+    const auto values = trajectory::kspace_samples(trajectory::shepp_logan(),
+                                                   coords,
+                                                   static_cast<int>(n));
+
+    std::printf("bench_serve: n=%lld m=%zu lanes=%u %s\n",
+                static_cast<long long>(n), coords.size(), exec_threads,
+                smoke ? "(smoke)" : "");
+    std::vector<ServeResult> results;
+    for (const int clients : client_counts) {
+      results.push_back(run_closed_loop(clients, requests_per_client, n,
+                                        coords, values, exec_threads));
+      const ServeResult& r = results.back();
+      std::printf("  %-22s %6.1f req/s  p50 %6.2f ms  p99 %6.2f ms  "
+                  "batches %llu (fused jobs %llu), plans %llu\n",
+                  r.name.c_str(), r.rps, r.p50_ms, r.p99_ms,
+                  static_cast<unsigned long long>(r.batches),
+                  static_cast<unsigned long long>(r.batched_jobs),
+                  static_cast<unsigned long long>(r.plan_builds));
+    }
+    write_json(out_path, tag, smoke, exec_threads, results);
+    std::printf("bench_serve: wrote %s\n", out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

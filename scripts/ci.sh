@@ -8,6 +8,9 @@
 #   3. ASan+UBSan build (JIGSAW_SANITIZE=ON), tier-1 tests — includes the
 #      thread-invariance, plan-cache, and counter-shard concurrency suites,
 #      so the lock-free counter paths run sanitized on every CI pass
+#   3b. TSan build (JIGSAW_TSAN=ON) of the serve/deadline suites — the
+#      service layer's dispatcher + connection threads and the deadline
+#      token run under ThreadSanitizer on every CI pass
 #   4. bench_suite --smoke (obs ON) compared against the committed
 #      BENCH_baseline.json — fails on >15% slowdown, any checksum drift,
 #      or any work-counter drift (see scripts/bench_compare.py); the JSON
@@ -47,10 +50,27 @@ cmake -B build-asan -S . -DJIGSAW_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}"
 ctest --test-dir build-asan "${TEST_ARGS[@]}"
 
+echo "=== TSan build + serve/deadline concurrency suites ==="
+# The service layer is the most thread-heavy subsystem (dispatcher thread,
+# per-connection readers, concurrent clients); run exactly those suites
+# under ThreadSanitizer. Bench/examples are skipped to keep the stage short.
+cmake -B build-tsan -S . -DJIGSAW_TSAN=ON \
+  -DJIGSAW_BUILD_BENCH=OFF -DJIGSAW_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target test_serve test_deadline
+ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
+  -R 'Serve|Deadline'
+
 echo "=== benchmark smoke + regression/work gate (obs ON) ==="
 ./build/bench/bench_suite --smoke --tag ci --out build/BENCH_ci.json
 python3 scripts/validate_bench.py build/BENCH_ci.json --require-counters
 python3 scripts/bench_compare.py BENCH_baseline.json build/BENCH_ci.json --smoke
+
+echo "=== serve throughput smoke + schema gate ==="
+# Latency numbers are machine-dependent, so there is no regression compare;
+# the gate is schema validity plus every closed-loop request completing OK.
+./build/bench/bench_serve --smoke --tag ci-serve \
+  --out build/BENCH_ci-serve.json
+python3 scripts/validate_bench.py build/BENCH_ci-serve.json
 
 echo "=== observability overhead guard (obs OFF) ==="
 ./build-noobs/bench/bench_suite --smoke --tag ci-noobs \

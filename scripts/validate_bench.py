@@ -79,6 +79,20 @@ def main():
     errors = []
     check(doc, schema, "$", errors)
 
+    # A document that carries a "serve" block (bench_serve output) must have
+    # actual results in it — an empty array means the benchmark ran nothing.
+    if "serve" in doc and not errors:
+        serve = doc["serve"]
+        if not serve:
+            errors.append("$.serve: present but empty — bench_serve must "
+                          "record at least one closed-loop result")
+        else:
+            for i, r in enumerate(serve):
+                if isinstance(r, dict) and r.get("requests") and \
+                        not r.get("ok"):
+                    errors.append(f"$.serve[{i}] ({r.get('name')}): "
+                                  "no request completed OK")
+
     if args.require_counters and not errors:
         if not doc.get("obs_enabled"):
             errors.append("$.obs_enabled: --require-counters given but the "
@@ -97,8 +111,10 @@ def main():
         return 1
     n = len(doc.get("benchmarks", []))
     with_counters = sum(1 for b in doc.get("benchmarks", []) if b.get("counters"))
+    n_serve = len(doc.get("serve", []))
     print(f"OK: {args.bench} valid ({n} benchmarks, {with_counters} with "
-          f"counters, obs_enabled={doc.get('obs_enabled')})")
+          f"counters, {n_serve} serve results, "
+          f"obs_enabled={doc.get('obs_enabled')})")
     return 0
 
 

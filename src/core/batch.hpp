@@ -52,31 +52,39 @@ class BatchedNufft {
   }
 
   /// Adjoint transform of every frame. frames[f] holds M sample values.
+  /// The deadline is checked before every frame (and at the phase
+  /// boundaries inside each transform); a passed deadline raises
+  /// DeadlineExceeded on the calling thread, ThreadPool's first-error-wins
+  /// semantics included.
   std::vector<std::vector<c64>> adjoint(
       const std::vector<std::vector<c64>>& frames,
-      NufftTimings* total = nullptr) {
-    return run(frames, total, /*adjoint=*/true);
+      NufftTimings* total = nullptr, const Deadline& deadline = Deadline()) {
+    return run(frames, total, /*adjoint=*/true, deadline);
   }
 
   /// Forward transform of every frame. frames[f] holds an N^D image.
   std::vector<std::vector<c64>> forward(
       const std::vector<std::vector<c64>>& frames,
-      NufftTimings* total = nullptr) {
-    return run(frames, total, /*adjoint=*/false);
+      NufftTimings* total = nullptr, const Deadline& deadline = Deadline()) {
+    return run(frames, total, /*adjoint=*/false, deadline);
   }
 
  private:
   std::vector<std::vector<c64>> run(
       const std::vector<std::vector<c64>>& frames, NufftTimings* total,
-      bool adjoint) {
+      bool adjoint, const Deadline& deadline) {
     std::vector<std::vector<c64>> out(frames.size());
     std::vector<NufftTimings> per_frame(frames.size());
     const std::size_t pool_threads =
         std::min<std::size_t>(lanes_.size(), frames.size());
     if (pool_threads <= 1) {
       for (std::size_t f = 0; f < frames.size(); ++f) {
-        out[f] = adjoint ? lanes_.front()->adjoint(frames[f], &per_frame[f])
-                         : lanes_.front()->forward(frames[f], &per_frame[f]);
+        deadline.check("batch.frame");
+        out[f] = adjoint
+                     ? lanes_.front()->adjoint(frames[f], &per_frame[f],
+                                               deadline)
+                     : lanes_.front()->forward(frames[f], &per_frame[f],
+                                               deadline);
       }
     } else {
       // parallel_for hands out one contiguous chunk per chunk id, and chunk
@@ -87,10 +95,14 @@ class BatchedNufft {
           static_cast<std::int64_t>(frames.size()),
           [&](std::int64_t begin, std::int64_t end, unsigned lane) {
             for (std::int64_t f = begin; f < end; ++f) {
+              deadline.check("batch.frame");
               const auto uf = static_cast<std::size_t>(f);
-              out[uf] = adjoint
-                            ? lanes_[lane]->adjoint(frames[uf], &per_frame[uf])
-                            : lanes_[lane]->forward(frames[uf], &per_frame[uf]);
+              out[uf] = adjoint ? lanes_[lane]->adjoint(frames[uf],
+                                                        &per_frame[uf],
+                                                        deadline)
+                                : lanes_[lane]->forward(frames[uf],
+                                                        &per_frame[uf],
+                                                        deadline);
             }
           });
     }

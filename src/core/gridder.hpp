@@ -51,6 +51,14 @@ enum class GridderKind {
 
 std::string to_string(GridderKind k);
 
+/// Comma-separated list of the engine names parse_gridder_kind() accepts.
+std::string gridder_kind_names();
+
+/// Parse an engine name as accepted by the CLI and the serve protocol
+/// (aliases included: "slice-and-dice", "sparse-matrix", "serial-f32").
+/// Throws std::invalid_argument("unknown engine '<name>', valid: ...").
+GridderKind parse_gridder_kind(const std::string& s);
+
 struct GridderOptions {
   GridderKind kind = GridderKind::SliceDice;
   double sigma = 2.0;  // grid oversampling factor

@@ -1,6 +1,7 @@
 #include "core/gridder.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
@@ -58,6 +59,22 @@ std::string to_string(GridderKind k) {
     case GridderKind::FloatSerial: return "serial-f32";
   }
   return "unknown";
+}
+
+std::string gridder_kind_names() {
+  return "serial, output-driven, binning, slice-dice, jigsaw, sparse, float";
+}
+
+GridderKind parse_gridder_kind(const std::string& s) {
+  if (s == "serial") return GridderKind::Serial;
+  if (s == "output-driven") return GridderKind::OutputDriven;
+  if (s == "binning") return GridderKind::Binning;
+  if (s == "slice-dice" || s == "slice-and-dice") return GridderKind::SliceDice;
+  if (s == "jigsaw") return GridderKind::Jigsaw;
+  if (s == "sparse" || s == "sparse-matrix") return GridderKind::Sparse;
+  if (s == "float" || s == "serial-f32") return GridderKind::FloatSerial;
+  throw std::invalid_argument("unknown engine '" + s +
+                              "', valid: " + gridder_kind_names());
 }
 
 template <int D>

@@ -53,7 +53,8 @@ NufftPlan<D>::NufftPlan(std::int64_t n, std::vector<Coord<D>> coords,
 
 template <int D>
 std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
-                                       NufftTimings* timings) {
+                                       NufftTimings* timings,
+                                       const Deadline& deadline) {
   JIGSAW_REQUIRE(values.size() == coords_.size(),
                  "value count does not match plan coordinates");
   obs::Span span("nufft.adjoint");
@@ -63,6 +64,7 @@ std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
 
   // (1) Gridding.
   {
+    deadline.check("nufft.adjoint.grid");
     obs::Span phase("nufft.adjoint.grid");
     SampleSet<D> in;
     in.coords = coords_;  // cheap relative to gridding itself
@@ -78,6 +80,7 @@ std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
 
   // (2) FFT with positive exponent (unnormalized inverse).
   {
+    deadline.check("nufft.adjoint.fft");
     obs::Span phase("nufft.adjoint.fft");
     Timer t;
     fft_->execute(work_.data(), fft::Direction::Inverse,
@@ -86,6 +89,7 @@ std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
   }
 
   // (3) Center crop + checkerboard sign + de-apodization.
+  deadline.check("nufft.adjoint.apod");
   std::vector<c64> image(static_cast<std::size_t>(image_total()));
   {
     obs::Span phase("nufft.adjoint.apod");
@@ -114,7 +118,8 @@ std::vector<c64> NufftPlan<D>::adjoint(const std::vector<c64>& values,
 
 template <int D>
 std::vector<c64> NufftPlan<D>::forward(const std::vector<c64>& image,
-                                       NufftTimings* timings) {
+                                       NufftTimings* timings,
+                                       const Deadline& deadline) {
   JIGSAW_REQUIRE(static_cast<std::int64_t>(image.size()) == image_total(),
                  "image size does not match plan");
   obs::Span span("nufft.forward");
@@ -124,6 +129,7 @@ std::vector<c64> NufftPlan<D>::forward(const std::vector<c64>& image,
 
   // (1) Pre-apodization + checkerboard sign + zero-padded center embed.
   {
+    deadline.check("nufft.forward.apod");
     obs::Span phase("nufft.forward.apod");
     Timer t;
     work_.clear();
@@ -147,6 +153,7 @@ std::vector<c64> NufftPlan<D>::forward(const std::vector<c64>& image,
 
   // (2) FFT with negative exponent.
   {
+    deadline.check("nufft.forward.fft");
     obs::Span phase("nufft.forward.fft");
     Timer t;
     fft_->execute(work_.data(), fft::Direction::Forward,
@@ -155,6 +162,7 @@ std::vector<c64> NufftPlan<D>::forward(const std::vector<c64>& image,
   }
 
   // (3) Re-gridding (forward interpolation at the sample coordinates).
+  deadline.check("nufft.forward.grid");
   SampleSet<D> out;
   out.coords = coords_;
   out.values.assign(coords_.size(), c64{});

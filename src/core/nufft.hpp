@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "core/gridder.hpp"
 #include "fft/fft.hpp"
 
@@ -54,13 +55,18 @@ class NufftPlan {
   Gridder<D>& gridder() { return *gridder_; }
   const Gridder<D>& gridder() const { return *gridder_; }
 
-  /// Adjoint NuFFT: M sample values -> N^D centered image.
+  /// Adjoint NuFFT: M sample values -> N^D centered image. The deadline is
+  /// checked at each phase boundary (grid / FFT / de-apodization); a passed
+  /// deadline raises DeadlineExceeded there.
   std::vector<c64> adjoint(const std::vector<c64>& values,
-                           NufftTimings* timings = nullptr);
+                           NufftTimings* timings = nullptr,
+                           const Deadline& deadline = Deadline());
 
-  /// Forward NuFFT: N^D centered image -> M sample values.
+  /// Forward NuFFT: N^D centered image -> M sample values. Deadline
+  /// semantics as in adjoint().
   std::vector<c64> forward(const std::vector<c64>& image,
-                           NufftTimings* timings = nullptr);
+                           NufftTimings* timings = nullptr,
+                           const Deadline& deadline = Deadline());
 
   /// The de-apodization (1/A(k/G)) profile along one dimension, index
   /// i = k + N/2 (diagnostic / tests).

@@ -87,11 +87,25 @@ std::vector<c64> ToeplitzOperator<D>::apply(const std::vector<c64>& x) const {
   return y;
 }
 
+namespace {
+
+/// Holds "cg.inflight" at 1 for the solve's lifetime and guarantees it
+/// reads 0 afterwards on every exit path — including a DeadlineExceeded
+/// unwind, which the deadline test asserts leaves no gauge stuck non-zero.
+struct InflightGauge {
+  InflightGauge() { obs::set_gauge("cg.inflight", 1.0); }
+  ~InflightGauge() { obs::set_gauge("cg.inflight", 0.0); }
+};
+
+}  // namespace
+
 CgResult conjugate_gradient(
     const std::function<std::vector<c64>(const std::vector<c64>&)>& op,
     const std::vector<c64>& b, std::vector<c64>& x, int max_iterations,
-    double tolerance) {
+    double tolerance, const Deadline& deadline) {
   JIGSAW_REQUIRE(!b.empty(), "empty right-hand side");
+  deadline.check("cg.init");
+  const InflightGauge inflight;
   if (x.size() != b.size()) x.assign(b.size(), c64{});
 
   auto dot = [](const std::vector<c64>& a, const std::vector<c64>& c) {
@@ -120,6 +134,7 @@ CgResult conjugate_gradient(
 
   obs::add("cg.solves", 1);
   for (int it = 0; it < max_iterations; ++it) {
+    deadline.check("cg.iteration");
     obs::Span iter_span("cg.iteration");
     const double rel = std::sqrt(rs) / bnorm;
     result.residual_history.push_back(rel);
@@ -151,8 +166,9 @@ CgResult conjugate_gradient(
 template <int D>
 std::vector<c64> iterative_recon(NufftPlan<D>& plan, const std::vector<c64>& y,
                                  int max_iterations, double tolerance,
-                                 bool use_toeplitz, CgResult* result) {
-  const std::vector<c64> b = plan.adjoint(y);
+                                 bool use_toeplitz, CgResult* result,
+                                 const Deadline& deadline) {
+  const std::vector<c64> b = plan.adjoint(y, nullptr, deadline);
 
   std::function<std::vector<c64>(const std::vector<c64>&)> gram;
   std::unique_ptr<ToeplitzOperator<D>> toeplitz;
@@ -164,13 +180,15 @@ std::vector<c64> iterative_recon(NufftPlan<D>& plan, const std::vector<c64>& y,
       return toeplitz->apply(x);
     };
   } else {
-    gram = [&plan](const std::vector<c64>& x) {
-      return plan.adjoint(plan.forward(x));
+    gram = [&plan, &deadline](const std::vector<c64>& x) {
+      return plan.adjoint(plan.forward(x, nullptr, deadline), nullptr,
+                          deadline);
     };
   }
 
   std::vector<c64> x(b.size(), c64{});
-  const CgResult cg = conjugate_gradient(gram, b, x, max_iterations, tolerance);
+  const CgResult cg = conjugate_gradient(gram, b, x, max_iterations,
+                                         tolerance, deadline);
   if (result != nullptr) *result = cg;
   return x;
 }
@@ -180,12 +198,15 @@ template class ToeplitzOperator<2>;
 template class ToeplitzOperator<3>;
 template std::vector<c64> iterative_recon<1>(NufftPlan<1>&,
                                              const std::vector<c64>&, int,
-                                             double, bool, CgResult*);
+                                             double, bool, CgResult*,
+                                             const Deadline&);
 template std::vector<c64> iterative_recon<2>(NufftPlan<2>&,
                                              const std::vector<c64>&, int,
-                                             double, bool, CgResult*);
+                                             double, bool, CgResult*,
+                                             const Deadline&);
 template std::vector<c64> iterative_recon<3>(NufftPlan<3>&,
                                              const std::vector<c64>&, int,
-                                             double, bool, CgResult*);
+                                             double, bool, CgResult*,
+                                             const Deadline&);
 
 }  // namespace jigsaw::core

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "core/nufft.hpp"
 #include "fft/fft.hpp"
 
@@ -46,10 +47,14 @@ struct CgResult {
   std::vector<double> residual_history;
 };
 
+/// The deadline is checked at the top of every CG iteration (and before the
+/// initial operator application); a passed deadline raises DeadlineExceeded.
+/// While a solve is running the "cg.inflight" gauge reads 1; it returns to 0
+/// on every exit path, timeout included.
 CgResult conjugate_gradient(
     const std::function<std::vector<c64>(const std::vector<c64>&)>& op,
     const std::vector<c64>& b, std::vector<c64>& x, int max_iterations = 30,
-    double tolerance = 1e-6);
+    double tolerance = 1e-6, const Deadline& deadline = Deadline());
 
 /// Convenience: iterative least-squares reconstruction of k-space data
 /// `y` sampled at `plan`'s coordinates. When `use_toeplitz` is set the Gram
@@ -61,7 +66,8 @@ std::vector<c64> iterative_recon(NufftPlan<D>& plan,
                                  int max_iterations = 20,
                                  double tolerance = 1e-6,
                                  bool use_toeplitz = false,
-                                 CgResult* result = nullptr);
+                                 CgResult* result = nullptr,
+                                 const Deadline& deadline = Deadline());
 
 extern template class ToeplitzOperator<1>;
 extern template class ToeplitzOperator<2>;
@@ -69,14 +75,17 @@ extern template class ToeplitzOperator<3>;
 extern template std::vector<c64> iterative_recon<1>(NufftPlan<1>&,
                                                     const std::vector<c64>&,
                                                     int, double, bool,
-                                                    CgResult*);
+                                                    CgResult*,
+                                                    const Deadline&);
 extern template std::vector<c64> iterative_recon<2>(NufftPlan<2>&,
                                                     const std::vector<c64>&,
                                                     int, double, bool,
-                                                    CgResult*);
+                                                    CgResult*,
+                                                    const Deadline&);
 extern template std::vector<c64> iterative_recon<3>(NufftPlan<3>&,
                                                     const std::vector<c64>&,
                                                     int, double, bool,
-                                                    CgResult*);
+                                                    CgResult*,
+                                                    const Deadline&);
 
 }  // namespace jigsaw::core

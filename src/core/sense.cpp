@@ -104,8 +104,8 @@ void SenseOperator::for_each_coil(
                     });
 }
 
-std::vector<c64> SenseOperator::adjoint(
-    const std::vector<std::vector<c64>>& y) const {
+std::vector<c64> SenseOperator::adjoint(const std::vector<std::vector<c64>>& y,
+                                        const Deadline& deadline) const {
   JIGSAW_REQUIRE(static_cast<int>(y.size()) == maps_.coils,
                  "coil count mismatch");
   obs::Span span("sense.adjoint");
@@ -115,8 +115,9 @@ std::vector<c64> SenseOperator::adjoint(
   std::vector<std::vector<c64>> per_coil(
       static_cast<std::size_t>(maps_.coils));
   for_each_coil([&](int c, NufftPlan<2>& p) {
+    deadline.check("sense.coil");
     per_coil[static_cast<std::size_t>(c)] =
-        p.adjoint(y[static_cast<std::size_t>(c)]);
+        p.adjoint(y[static_cast<std::size_t>(c)], nullptr, deadline);
   });
   // Coil-order reduction: bit-exact for any thread count.
   std::vector<c64> out(pixels, c64{});
@@ -130,7 +131,8 @@ std::vector<c64> SenseOperator::adjoint(
   return out;
 }
 
-std::vector<c64> SenseOperator::gram(const std::vector<c64>& x) const {
+std::vector<c64> SenseOperator::gram(const std::vector<c64>& x,
+                                     const Deadline& deadline) const {
   obs::Span span("sense.gram");
   obs::add("sense.gram_applies", 1);
   // Each gram apply runs a forward+adjoint pair per coil.
@@ -139,10 +141,12 @@ std::vector<c64> SenseOperator::gram(const std::vector<c64>& x) const {
   std::vector<std::vector<c64>> per_coil(
       static_cast<std::size_t>(maps_.coils));
   for_each_coil([&](int c, NufftPlan<2>& p) {
+    deadline.check("sense.coil");
     const auto& s = maps_.map(c);
     std::vector<c64> weighted(x.size());
     for (std::size_t i = 0; i < x.size(); ++i) weighted[i] = s[i] * x[i];
-    per_coil[static_cast<std::size_t>(c)] = p.adjoint(p.forward(weighted));
+    per_coil[static_cast<std::size_t>(c)] =
+        p.adjoint(p.forward(weighted, nullptr, deadline), nullptr, deadline);
   });
   std::vector<c64> out(x.size(), c64{});
   for (int c = 0; c < maps_.coils; ++c) {
@@ -158,15 +162,21 @@ std::vector<c64> SenseOperator::gram(const std::vector<c64>& x) const {
 std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
                           const std::vector<std::vector<c64>>& y,
                           int max_iterations, double tolerance,
-                          CgResult* result, unsigned coil_threads) {
+                          CgResult* result, unsigned coil_threads,
+                          const Deadline& deadline) {
   obs::Span span("sense.cg_sense");
+  // An already-expired deadline returns before any operator construction or
+  // transform work — the prompt-timeout contract the serve layer relies on.
+  deadline.check("sense.rhs");
   obs::add("sense.cg_solves", 1);
   SenseOperator op(plan, maps, coil_threads);
-  const auto b = op.adjoint(y);
+  const auto b = op.adjoint(y, deadline);
   std::vector<c64> x(b.size(), c64{});
   const CgResult cg = conjugate_gradient(
-      [&op](const std::vector<c64>& v) { return op.gram(v); }, b, x,
-      max_iterations, tolerance);
+      [&op, &deadline](const std::vector<c64>& v) {
+        return op.gram(v, deadline);
+      },
+      b, x, max_iterations, tolerance, deadline);
   if (result != nullptr) *result = cg;
   return x;
 }

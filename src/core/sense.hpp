@@ -60,11 +60,14 @@ class SenseOperator {
   SenseOperator(NufftPlan<2>& plan, const CoilMaps& maps,
                 unsigned coil_threads = 1);
 
-  /// b = A^H y for multi-coil data y (coils x M).
-  std::vector<c64> adjoint(const std::vector<std::vector<c64>>& y) const;
+  /// b = A^H y for multi-coil data y (coils x M). The deadline is checked
+  /// before every coil's transform (DeadlineExceeded on expiry).
+  std::vector<c64> adjoint(const std::vector<std::vector<c64>>& y,
+                           const Deadline& deadline = Deadline()) const;
 
-  /// (A^H A) x.
-  std::vector<c64> gram(const std::vector<c64>& x) const;
+  /// (A^H A) x. Deadline semantics as in adjoint().
+  std::vector<c64> gram(const std::vector<c64>& x,
+                        const Deadline& deadline = Deadline()) const;
 
   unsigned coil_threads() const {
     return static_cast<unsigned>(extra_lanes_.size()) + 1;
@@ -83,11 +86,15 @@ class SenseOperator {
 /// CG-SENSE reconstruction. `y[c]` holds coil c's k-space samples at the
 /// plan's coordinates. `coil_threads` parallelizes the per-coil NuFFTs of
 /// every operator application (see SenseOperator); the result is bit-exact
-/// across thread counts.
+/// across thread counts. The deadline is enforced at phase boundaries
+/// (right-hand side, per CG iteration, per coil transform); an expired
+/// deadline raises DeadlineExceeded promptly — before any transform work
+/// when it was already expired on entry.
 std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
                           const std::vector<std::vector<c64>>& y,
                           int max_iterations = 15, double tolerance = 1e-6,
                           CgResult* result = nullptr,
-                          unsigned coil_threads = 1);
+                          unsigned coil_threads = 1,
+                          const Deadline& deadline = Deadline());
 
 }  // namespace jigsaw::core

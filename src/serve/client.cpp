@@ -1,0 +1,102 @@
+#include "serve/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace jigsaw::serve {
+
+namespace {
+// Replies are images (16 bytes/pixel): 1 GiB covers n = 8192 and the
+// decoder's own sanity ceilings apply first.
+constexpr std::size_t kMaxReplyBody = 1ull << 30;
+}  // namespace
+
+ServeClient::ServeClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve: connect(" + socket_path +
+                             ") failed: " + std::strerror(err));
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame ServeClient::recv_reply_frame() {
+  Frame frame;
+  if (!recv_frame(fd_, frame, kMaxReplyBody)) {
+    throw std::runtime_error("serve: server closed the connection");
+  }
+  return frame;
+}
+
+ReconReplyWire ServeClient::recon(const ReconRequestWire& request) {
+  send_frame(fd_, MsgType::kRecon, encode_recon_request(request));
+  return recv_recon_reply();
+}
+
+ReconReplyWire ServeClient::recv_recon_reply() {
+  const Frame frame = recv_reply_frame();
+  if (frame.type != MsgType::kReconReply) {
+    throw ProtocolError("expected recon reply, got type " +
+                        std::to_string(static_cast<std::uint32_t>(frame.type)));
+  }
+  return decode_recon_reply(frame.body.data(), frame.body.size());
+}
+
+std::string ServeClient::statsz() {
+  send_frame(fd_, MsgType::kStats, nullptr, 0);
+  const Frame frame = recv_reply_frame();
+  if (frame.type != MsgType::kStatsReply) {
+    throw ProtocolError("expected stats reply, got type " +
+                        std::to_string(static_cast<std::uint32_t>(frame.type)));
+  }
+  return std::string(reinterpret_cast<const char*>(frame.body.data()),
+                     frame.body.size());
+}
+
+void ServeClient::send_raw(MsgType type, const std::vector<std::uint8_t>& body) {
+  send_frame(fd_, type, body);
+}
+
+void ServeClient::send_raw_header(std::uint32_t type, std::uint64_t body_len) {
+  std::uint8_t header[16];
+  const std::uint32_t magic = kMagic;
+  std::memcpy(header + 0, &magic, 4);
+  std::memcpy(header + 4, &type, 4);
+  std::memcpy(header + 8, &body_len, 8);
+  const std::uint8_t* p = header;
+  std::size_t len = sizeof header;
+  while (len > 0) {
+    const ssize_t w = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve: send failed: ") +
+                               std::strerror(errno));
+    }
+    p += w;
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace jigsaw::serve

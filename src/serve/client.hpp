@@ -1,0 +1,48 @@
+// ServeClient: a blocking Unix-domain-socket client for jigsaw_serve.
+//
+// One client owns one connection. recon() and statsz() are synchronous
+// request/reply round-trips; raw-frame helpers exist for protocol tests
+// (malformed bodies, oversized headers) and are not part of the stable
+// surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace jigsaw::serve {
+
+class ServeClient {
+ public:
+  /// Connect to the daemon's socket. Throws std::runtime_error on failure.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Synchronous reconstruction round-trip.
+  ReconReplyWire recon(const ReconRequestWire& request);
+
+  /// Fetch the /statsz JSON snapshot.
+  std::string statsz();
+
+  // --- protocol-test helpers ------------------------------------------
+  /// Send a frame with an arbitrary body (may be malformed on purpose).
+  void send_raw(MsgType type, const std::vector<std::uint8_t>& body);
+  /// Send only a frame header advertising `body_len` bytes (never sent).
+  void send_raw_header(std::uint32_t type, std::uint64_t body_len);
+  /// Block until one reply frame arrives.
+  ReconReplyWire recv_recon_reply();
+
+  int fd() const { return fd_; }
+
+ private:
+  Frame recv_reply_frame();
+
+  int fd_ = -1;
+};
+
+}  // namespace jigsaw::serve

@@ -1,0 +1,545 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "core/recon.hpp"
+#include "core/sense.hpp"
+#include "obs/obs.hpp"
+#include "robustness/sanitize.hpp"
+
+namespace jigsaw::serve {
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t seed = 1469598103934665603ull) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+const char* status_counter(Status s) {
+  switch (s) {
+    case Status::kOk: return "serve.ok";
+    case Status::kSanitizedPartial: return "serve.sanitized_partial";
+    case Status::kTimeout: return "serve.timeout";
+    case Status::kRejected: return "serve.rejected";
+    case Status::kError: return "serve.error";
+  }
+  return "serve.error";
+}
+
+ReconOutcome make_outcome(Status status, std::string message,
+                          std::int64_t n = 0) {
+  ReconOutcome o;
+  o.status = status;
+  o.message = std::move(message);
+  o.n = n;
+  return o;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(const ServeConfig& config) : config_(config) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ServeEngine::~ServeEngine() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  dispatcher_.join();
+}
+
+ServeEngine::GeometryKey ServeEngine::key_of(const ReconJob& job) {
+  GeometryKey key;
+  key.n = job.n;
+  key.m = job.samples.coords.size();
+  // Coord<2> is a contiguous trivially-copyable array, so the coordinate
+  // set hashes as one byte range. A 64-bit collision between two *queued*
+  // geometries is vanishingly unlikely; m and n participating in the key
+  // narrows it further.
+  key.traj_hash = fnv1a(job.samples.coords.data(),
+                        key.m * sizeof(Coord<2>));
+  const auto& o = job.options;
+  struct {
+    std::int32_t kind, kernel, width, table, tile, exact;
+    double sigma;
+  } sig{static_cast<std::int32_t>(o.kind),
+        static_cast<std::int32_t>(o.kernel),
+        o.width,
+        o.table_oversampling,
+        o.tile,
+        o.exact_weights ? 1 : 0,
+        o.sigma};
+  key.options_sig = fnv1a(&sig, sizeof sig);
+  return key;
+}
+
+void ServeEngine::submit(ReconJob job, Callback done) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counts_.submitted;
+  }
+  obs::add("serve.submitted", 1);
+
+  Pending p;
+  p.job = std::move(job);
+  p.done = std::move(done);
+
+  // Admission-control limits first: violations are REJECTED (a policy
+  // decision), not ERROR (a malformed request).
+  const auto& j = p.job;
+  std::string reject;
+  if (j.n < 2 || j.n > config_.max_n) {
+    reject = "grid size " + std::to_string(j.n) + " outside [2, " +
+             std::to_string(config_.max_n) + "]";
+  } else if (j.samples.coords.empty()) {
+    reject = "empty sample set";
+  } else if (j.samples.coords.size() > config_.max_request_samples) {
+    reject = "sample count " + std::to_string(j.samples.coords.size()) +
+             " exceeds max_request_samples " +
+             std::to_string(config_.max_request_samples);
+  } else if (j.iters < 0 || j.iters > config_.max_iters) {
+    reject = "iteration count outside [0, " +
+             std::to_string(config_.max_iters) + "]";
+  } else if (j.coils < 1 || j.coils > config_.max_coils) {
+    reject = "coil count outside [1, " + std::to_string(config_.max_coils) +
+             "]";
+  } else if (j.coils > 1 &&
+             j.options.sanitize != robustness::SanitizePolicy::None) {
+    // The sanitizer operates on a coords/values pair of equal length;
+    // multi-coil payloads carry coils blocks of values per coordinate set.
+    reject = "sanitize policies are single-coil only";
+  }
+  if (!reject.empty()) {
+    finish(p, make_outcome(Status::kRejected, std::move(reject)),
+           /*was_inflight=*/false);
+    return;
+  }
+  if (j.samples.values.size() !=
+      j.samples.coords.size() * static_cast<std::size_t>(j.coils)) {
+    finish(p,
+           make_outcome(Status::kError,
+                        "value count does not equal samples x coils"),
+           /*was_inflight=*/false);
+    return;
+  }
+  if (j.deadline.expired()) {
+    finish(p,
+           make_outcome(Status::kTimeout, "deadline expired at admission"),
+           /*was_inflight=*/false);
+    return;
+  }
+
+  p.key = key_of(p.job);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (draining_ || stop_) {
+      lk.unlock();
+      finish(p, make_outcome(Status::kRejected, "server draining"),
+             /*was_inflight=*/false);
+      return;
+    }
+    if (queue_.size() >= config_.max_queue) {
+      lk.unlock();
+      finish(p,
+             make_outcome(Status::kRejected,
+                          "admission queue full (" +
+                              std::to_string(config_.max_queue) + ")"),
+             /*was_inflight=*/false);
+      return;
+    }
+    queue_.push_back(std::move(p));
+    publish_gauges();
+  }
+  cv_work_.notify_one();
+}
+
+void ServeEngine::count_external(Status status) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counts_.submitted;
+    switch (status) {
+      case Status::kOk: ++counts_.ok; break;
+      case Status::kSanitizedPartial: ++counts_.sanitized_partial; break;
+      case Status::kTimeout: ++counts_.timeout; break;
+      case Status::kRejected: ++counts_.rejected; break;
+      case Status::kError: ++counts_.error; break;
+    }
+  }
+  obs::add("serve.submitted", 1);
+  obs::add(status_counter(status), 1);
+}
+
+void ServeEngine::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  draining_ = true;
+  publish_gauges();
+  cv_work_.notify_all();
+  cv_idle_.wait(lk, [&] { return queue_.empty() && inflight_ == 0; });
+}
+
+void ServeEngine::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      // Plan-aware grouping: the oldest job anchors the dispatch; every
+      // queued job with the same geometry key rides along (FIFO order
+      // preserved within the group), up to max_batch.
+      const GeometryKey key = queue_.front().key;
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < config_.max_batch;) {
+        if (it->key == key) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      inflight_ += batch.size();
+      publish_gauges();
+    }
+    process_batch(std::move(batch));
+  }
+}
+
+void ServeEngine::process_batch(std::vector<Pending> batch) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counts_.batches;
+    if (batch.size() >= 2) counts_.batched_jobs += batch.size();
+  }
+  obs::add("serve.batches", 1);
+  if (batch.size() >= 2) {
+    obs::add("serve.batched_jobs", static_cast<std::uint64_t>(batch.size()));
+  }
+  obs::set_gauge("serve.batch_occupancy", static_cast<double>(batch.size()));
+
+  // Phase boundary 1: deadline at dispatch.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (p.job.deadline.expired()) {
+      finish(p, make_outcome(Status::kTimeout, "deadline expired in queue"),
+             /*was_inflight=*/true);
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+
+  // Phase boundary 2: per-request sanitize. A pass that modifies the sample
+  // set changes the geometry, so the job leaves the fused group and
+  // executes on its own (pooled) plan.
+  std::vector<Pending> fused;
+  std::vector<std::pair<Pending, ReconOutcome>> solo;  // outcome = partial
+  for (auto& p : live) {
+    using robustness::SanitizePolicy;
+    const SanitizePolicy policy = p.job.options.sanitize;
+    ReconOutcome partial;  // carries sanitize counts into the final status
+    if (policy != SanitizePolicy::None) {
+      try {
+        auto outcome = robustness::sanitize<2>(p.job.samples, policy, 1);
+        if (outcome.report.modified()) {
+          partial.sanitize_dropped = outcome.report.dropped;
+          partial.sanitize_repaired = outcome.report.repaired;
+          p.job.samples = std::move(outcome.samples);
+          p.key = key_of(p.job);
+          if (p.job.samples.coords.empty()) {
+            finish(p,
+                   make_outcome(Status::kError,
+                                "sanitizer dropped every sample"),
+                   /*was_inflight=*/true);
+            continue;
+          }
+          solo.emplace_back(std::move(p), std::move(partial));
+          continue;
+        }
+      } catch (const std::exception& e) {  // Strict policy: first defect
+        finish(p, make_outcome(Status::kError, e.what()),
+               /*was_inflight=*/true);
+        continue;
+      }
+    }
+    // Multi-coil and iterative jobs execute per-request even when fused
+    // into the dispatch (they still share the pooled plan).
+    if (p.job.coils > 1 || p.job.iters > 0) {
+      solo.emplace_back(std::move(p), std::move(partial));
+    } else {
+      fused.push_back(std::move(p));
+    }
+  }
+
+  if (!fused.empty()) {
+    std::shared_ptr<core::BatchedNufft<2>> plan;
+    try {
+      plan = plan_for(fused.front());
+    } catch (const std::exception& e) {
+      for (auto& p : fused) {
+        finish(p, make_outcome(Status::kError, e.what()),
+               /*was_inflight=*/true);
+      }
+      fused.clear();
+    }
+    if (!fused.empty()) execute_adjoint_batch(plan, fused);
+  }
+
+  for (auto& [p, partial] : solo) {
+    ReconOutcome outcome;
+    try {
+      auto plan = plan_for(p);
+      outcome = execute_single(p, plan);
+    } catch (const DeadlineExceeded& e) {
+      outcome = make_outcome(Status::kTimeout, e.what());
+    } catch (const std::exception& e) {
+      outcome = make_outcome(Status::kError, e.what());
+    }
+    if (outcome.status == Status::kOk &&
+        (partial.sanitize_dropped > 0 || partial.sanitize_repaired > 0)) {
+      outcome.status = Status::kSanitizedPartial;
+      outcome.sanitize_dropped = partial.sanitize_dropped;
+      outcome.sanitize_repaired = partial.sanitize_repaired;
+    }
+    finish(p, std::move(outcome), /*was_inflight=*/true);
+  }
+}
+
+void ServeEngine::execute_adjoint_batch(
+    const std::shared_ptr<core::BatchedNufft<2>>& plan,
+    std::vector<Pending>& group) {
+  // Backstop deadline: the most patient member's. Members that expire
+  // mid-batch get their own post-execution check below; once even the
+  // latest deadline passes, the whole dispatch aborts at the next frame
+  // boundary and the survivors report TIMEOUT.
+  auto max_remaining = Deadline::Clock::duration::zero();
+  bool all_bounded = true;
+  for (const auto& p : group) {
+    const auto rem = p.job.deadline.remaining();
+    if (rem == Deadline::Clock::duration::max()) all_bounded = false;
+    max_remaining = std::max(max_remaining, rem);
+  }
+  const Deadline backstop =
+      all_bounded ? Deadline::after(max_remaining) : Deadline::never();
+
+  std::vector<std::vector<c64>> frames;
+  frames.reserve(group.size());
+  for (auto& p : group) frames.push_back(std::move(p.job.samples.values));
+
+  std::vector<std::vector<c64>> images;
+  try {
+    images = plan->adjoint(frames, nullptr, backstop);
+  } catch (const DeadlineExceeded& e) {
+    for (auto& p : group) {
+      finish(p, make_outcome(Status::kTimeout, e.what()),
+             /*was_inflight=*/true);
+    }
+    return;
+  } catch (const std::exception& e) {
+    for (auto& p : group) {
+      finish(p, make_outcome(Status::kError, e.what()),
+             /*was_inflight=*/true);
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Pending& p = group[i];
+    if (p.job.deadline.expired()) {
+      finish(p,
+             make_outcome(Status::kTimeout, "deadline expired during batch"),
+             /*was_inflight=*/true);
+      continue;
+    }
+    ReconOutcome outcome = make_outcome(Status::kOk, "", p.job.n);
+    outcome.image = std::move(images[i]);
+    finish(p, std::move(outcome), /*was_inflight=*/true);
+  }
+}
+
+ReconOutcome ServeEngine::execute_single(
+    Pending& p, const std::shared_ptr<core::BatchedNufft<2>>& plan) {
+  ReconJob& job = p.job;
+  job.deadline.check("serve.execute");
+  std::vector<c64> image;
+  if (job.coils > 1) {
+    // Multi-coil: synthetic birdcage maps (the calibration-free convention
+    // the CLI uses); values arrive as coils consecutive blocks of m.
+    const auto maps =
+        core::make_birdcage_maps(job.n, job.coils);
+    const std::size_t m = job.samples.coords.size();
+    std::vector<std::vector<c64>> y(static_cast<std::size_t>(job.coils));
+    for (int c = 0; c < job.coils; ++c) {
+      const auto* first = job.samples.values.data() +
+                          static_cast<std::size_t>(c) * m;
+      y[static_cast<std::size_t>(c)].assign(first, first + m);
+    }
+    const int iters = job.iters > 0 ? job.iters : 10;
+    image = core::cg_sense(plan->plan(), maps, y, iters,
+                           config_.cg_tolerance, nullptr,
+                           /*coil_threads=*/1, job.deadline);
+  } else if (job.iters > 0) {
+    image = core::iterative_recon<2>(plan->plan(), job.samples.values,
+                                     job.iters, config_.cg_tolerance,
+                                     /*use_toeplitz=*/false, nullptr,
+                                     job.deadline);
+  } else {
+    image = plan->plan().adjoint(job.samples.values, nullptr, job.deadline);
+  }
+  // Phase boundary: respond. Work that finished past its deadline still
+  // reports TIMEOUT — the client has long stopped waiting.
+  job.deadline.check("serve.respond");
+  ReconOutcome outcome = make_outcome(Status::kOk, "", job.n);
+  outcome.image = std::move(image);
+  return outcome;
+}
+
+std::shared_ptr<core::BatchedNufft<2>> ServeEngine::plan_for(
+    const Pending& p) {
+  const auto it = plans_.find(p.key);
+  if (it != plans_.end()) {
+    it->second.last_used = ++plan_tick_;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++counts_.plan_hits;
+    }
+    obs::add("serve.plan_hits", 1);
+    return it->second.plan;
+  }
+
+  // The resident plan is geometry-only: per-request policies (sanitize,
+  // soft-error injection) run as pipeline stages before it, and intra-
+  // transform threading stays at 1 — parallelism comes from the lanes.
+  core::GridderOptions options = p.job.options;
+  options.sanitize = robustness::SanitizePolicy::None;
+  options.soft_error = {};
+  options.threads = 1;
+  auto plan = std::make_shared<core::BatchedNufft<2>>(
+      p.job.n, p.job.samples.coords, options,
+      std::max(1u, config_.exec_threads));
+  plans_[p.key] = PlanEntry{plan, ++plan_tick_};
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counts_.plan_builds;
+  }
+  obs::add("serve.plan_builds", 1);
+
+  while (plans_.size() > config_.max_plans) {
+    auto lru = plans_.begin();
+    for (auto cand = plans_.begin(); cand != plans_.end(); ++cand) {
+      if (cand->second.last_used < lru->second.last_used) lru = cand;
+    }
+    plans_.erase(lru);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++counts_.plan_evictions;
+    }
+    obs::add("serve.plan_evictions", 1);
+  }
+  return plan;
+}
+
+void ServeEngine::finish(Pending& p, ReconOutcome outcome, bool was_inflight) {
+  outcome.client_tag = p.job.client_tag;
+  if (outcome.n == 0) outcome.n = p.job.n;
+  const Status status = outcome.status;
+  // Count BEFORE completing: a caller that observes its reply must already
+  // see itself in the per-status totals.
+  obs::add(status_counter(status), 1);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    switch (status) {
+      case Status::kOk: ++counts_.ok; break;
+      case Status::kSanitizedPartial: ++counts_.sanitized_partial; break;
+      case Status::kTimeout: ++counts_.timeout; break;
+      case Status::kRejected: ++counts_.rejected; break;
+      case Status::kError: ++counts_.error; break;
+    }
+  }
+  if (p.done) p.done(std::move(outcome));
+  // Retire from inflight only AFTER the callback: drain() must not return
+  // (and the server must not tear down connections) while a reply is still
+  // being written.
+  if (was_inflight) {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+    publish_gauges();
+    if (queue_.empty() && inflight_ == 0) cv_idle_.notify_all();
+  }
+}
+
+void ServeEngine::publish_gauges() {
+  counts_.queue_depth = queue_.size();
+  counts_.inflight = inflight_;
+  counts_.draining = draining_;
+  obs::set_gauge("serve.queue_depth", static_cast<double>(queue_.size()));
+  obs::set_gauge("serve.inflight", static_cast<double>(inflight_));
+  obs::set_gauge("serve.draining", draining_ ? 1.0 : 0.0);
+}
+
+EngineCounts ServeEngine::counts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  EngineCounts c = counts_;
+  c.queue_depth = queue_.size();
+  c.inflight = inflight_;
+  c.draining = draining_;
+  return c;
+}
+
+std::string ServeEngine::statsz_json() const {
+  const EngineCounts c = counts();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"queue_depth\": " << c.queue_depth << ",\n";
+  os << "  \"inflight\": " << c.inflight << ",\n";
+  os << "  \"draining\": " << (c.draining ? "true" : "false") << ",\n";
+  os << "  \"requests\": {\n";
+  os << "    \"submitted\": " << c.submitted << ",\n";
+  os << "    \"ok\": " << c.ok << ",\n";
+  os << "    \"sanitized_partial\": " << c.sanitized_partial << ",\n";
+  os << "    \"timeout\": " << c.timeout << ",\n";
+  os << "    \"rejected\": " << c.rejected << ",\n";
+  os << "    \"error\": " << c.error << "\n";
+  os << "  },\n";
+  os << "  \"scheduler\": {\n";
+  os << "    \"batches\": " << c.batches << ",\n";
+  os << "    \"batched_jobs\": " << c.batched_jobs << ",\n";
+  os << "    \"plan_builds\": " << c.plan_builds << ",\n";
+  os << "    \"plan_hits\": " << c.plan_hits << ",\n";
+  os << "    \"plan_evictions\": " << c.plan_evictions << "\n";
+  os << "  },\n";
+  // The obs CounterRegistry snapshot (empty maps under JIGSAW_OBS=OFF).
+  const obs::Snapshot snap = obs::snapshot();
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace jigsaw::serve

@@ -1,0 +1,196 @@
+// ServeEngine: the socket-free core of the reconstruction service.
+//
+// One engine owns
+//   * a bounded admission queue — submit() either admits a job or completes
+//     it immediately with REJECTED (queue full / limits / draining) or
+//     TIMEOUT (deadline already passed at admission); backpressure is a
+//     status code, never a blocking producer;
+//   * a plan-aware scheduler — a single dispatcher thread repeatedly takes
+//     the oldest queued job plus every queued job with the same geometry
+//     key (grid size, gridder options, trajectory hash) up to max_batch and
+//     processes them as one dispatch, so a burst of same-geometry requests
+//     shares one resident NufftPlan/gridder lane set;
+//   * an LRU pool of BatchedNufft plans keyed by geometry — the serve-layer
+//     plan cache above fft::FftPlanCache. A same-geometry burst of N
+//     requests builds exactly one plan (serve.plan_builds == distinct
+//     geometries), the acceptance invariant of this subsystem;
+//   * per-request deadline enforcement at every phase boundary (admission,
+//     sanitize, execute, respond) via common/deadline.hpp.
+//
+// The per-request pipeline is: admission checks -> SampleSanitizer with the
+// request's policy (a modified sample set leaves the batch and executes on
+// its own plan, since its geometry changed) -> adjoint / CG recon /
+// CG-SENSE -> completion callback with one of the five protocol statuses.
+//
+// Completion callbacks run on the dispatcher thread (or inline in submit()
+// for requests that never reach the queue) and are invoked exactly once per
+// submitted job. drain() stops admission and returns once every queued and
+// in-flight job has completed — the graceful-shutdown half of SIGTERM
+// handling; jobs submitted afterwards are REJECTED.
+//
+// The engine keeps its own per-status totals (EngineCounts, available even
+// with JIGSAW_OBS=OFF) and mirrors them to obs counters/gauges under
+// serve.* for the /statsz snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.hpp"
+#include "core/batch.hpp"
+#include "core/sample_set.hpp"
+#include "serve/protocol.hpp"
+
+namespace jigsaw::serve {
+
+struct ServeConfig {
+  std::string socket_path;      // used by ReconServer only
+  std::size_t max_queue = 64;   // admission queue capacity (jobs)
+  std::size_t max_batch = 8;    // same-geometry jobs fused per dispatch
+  std::size_t max_plans = 16;   // resident geometry plans (LRU-evicted)
+  std::size_t max_request_samples = 1u << 21;  // per-request M cap
+  std::size_t max_request_bytes = 256u << 20;  // frame-size admission cap
+  unsigned exec_threads = 2;    // execution lanes per plan (batch/coil)
+  std::int64_t max_n = 1024;    // largest accepted base grid side
+  int max_iters = 64;           // largest accepted CG iteration count
+  int max_coils = 32;
+  double cg_tolerance = 1e-6;
+};
+
+/// A parsed, validated-enough-to-try reconstruction job.
+struct ReconJob {
+  core::GridderOptions options;  // sanitize policy rides in options.sanitize
+  std::int64_t n = 128;
+  int iters = 0;   // 0 = adjoint only
+  int coils = 1;   // >1 = CG-SENSE with synthetic birdcage maps
+  Deadline deadline;
+  core::SampleSet<2> samples;  // coils > 1: values holds coils blocks of m
+  std::uint64_t client_tag = 0;
+};
+
+struct ReconOutcome {
+  Status status = Status::kError;
+  std::string message;
+  std::int64_t n = 0;
+  std::vector<c64> image;  // filled for kOk / kSanitizedPartial
+  std::uint64_t sanitize_dropped = 0;
+  std::uint64_t sanitize_repaired = 0;
+  std::uint64_t client_tag = 0;
+};
+
+/// Point-in-time totals. Monotonic counts on the left; queue_depth /
+/// inflight are instantaneous gauges.
+struct EngineCounts {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t sanitized_partial = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t error = 0;
+  std::uint64_t batches = 0;          // dispatches executed
+  std::uint64_t batched_jobs = 0;     // jobs that rode a >= 2 job dispatch
+  std::uint64_t plan_builds = 0;      // geometry-pool misses
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_evictions = 0;
+  std::size_t queue_depth = 0;
+  std::size_t inflight = 0;
+  bool draining = false;
+
+  std::uint64_t completed() const {
+    return ok + sanitized_partial + timeout + rejected + error;
+  }
+};
+
+class ServeEngine {
+ public:
+  using Callback = std::function<void(ReconOutcome)>;
+
+  explicit ServeEngine(const ServeConfig& config);
+  ~ServeEngine();  // drains, then joins the dispatcher
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Admit or immediately reject `job`. `done` is invoked exactly once —
+  /// inline (from this call) for REJECTED/TIMEOUT-at-admission, from the
+  /// dispatcher thread otherwise. Callbacks must not call back into the
+  /// engine.
+  void submit(ReconJob job, Callback done);
+
+  /// Record a request that terminated outside the engine (the socket layer
+  /// refusing an oversized frame -> kRejected, a malformed body -> kError),
+  /// so per-status totals cover every request the process saw.
+  void count_external(Status status);
+
+  /// Stop admitting, finish every queued + in-flight job, return when the
+  /// engine is idle. Idempotent; subsequent submits are REJECTED.
+  void drain();
+
+  EngineCounts counts() const;
+  const ServeConfig& config() const { return config_; }
+
+  /// JSON snapshot of counts + obs counters/gauges (the /statsz body).
+  std::string statsz_json() const;
+
+ private:
+  struct GeometryKey {
+    std::int64_t n = 0;
+    std::uint64_t options_sig = 0;
+    std::uint64_t traj_hash = 0;
+    std::size_t m = 0;
+    auto operator<=>(const GeometryKey&) const = default;
+  };
+
+  struct Pending {
+    ReconJob job;
+    Callback done;
+    GeometryKey key;
+  };
+
+  struct PlanEntry {
+    std::shared_ptr<core::BatchedNufft<2>> plan;
+    std::uint64_t last_used = 0;
+  };
+
+  void dispatcher_loop();
+  void process_batch(std::vector<Pending> batch);
+  void execute_adjoint_batch(
+      const std::shared_ptr<core::BatchedNufft<2>>& plan,
+      std::vector<Pending>& group);
+  ReconOutcome execute_single(Pending& p,
+                              const std::shared_ptr<core::BatchedNufft<2>>& plan);
+  std::shared_ptr<core::BatchedNufft<2>> plan_for(const Pending& p);
+
+  void finish(Pending& p, ReconOutcome outcome, bool was_inflight);
+  void publish_gauges();  // queue_depth / inflight / draining, under mu_
+
+  static GeometryKey key_of(const ReconJob& job);
+
+  const ServeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // dispatcher wakeup
+  std::condition_variable cv_idle_;   // drain() wakeup
+  std::deque<Pending> queue_;
+  std::size_t inflight_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+  EngineCounts counts_;
+
+  // Plan pool: dispatcher-thread-only (no lock needed beyond the queue's).
+  std::map<GeometryKey, PlanEntry> plans_;
+  std::uint64_t plan_tick_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace jigsaw::serve

@@ -1,0 +1,281 @@
+#include "serve/protocol.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace jigsaw::serve {
+
+namespace {
+
+// Sanity ceiling for decode: no legitimate request/reply body reaches this
+// (the server applies its own, much smaller, admission limits first).
+constexpr std::uint64_t kAbsoluteMaxElements = 1ull << 28;
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  std::uint32_t u32(const char* field) {
+    std::uint32_t v;
+    raw(&v, sizeof v, field);
+    return v;
+  }
+  std::uint64_t u64(const char* field) {
+    std::uint64_t v;
+    raw(&v, sizeof v, field);
+    return v;
+  }
+  double f64(const char* field) {
+    double v;
+    raw(&v, sizeof v, field);
+    return v;
+  }
+  void raw(void* out, std::size_t n, const char* field) {
+    if (len_ - pos_ < n) {
+      throw ProtocolError(std::string("truncated body reading '") + field +
+                          "' (need " + std::to_string(n) + " bytes, have " +
+                          std::to_string(len_ - pos_) + ")");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+  void expect_consumed() const {
+    if (pos_ != len_) {
+      throw ProtocolError("trailing garbage: " + std::to_string(len_ - pos_) +
+                          " unconsumed bytes");
+    }
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process signal.
+    const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve: send failed: ") +
+                               std::strerror(errno));
+    }
+    p += w;
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Read exactly `len` bytes. Returns false on EOF with zero bytes read when
+/// `eof_ok`; EOF mid-read always throws (truncated frame).
+bool read_all(int fd, void* data, std::size_t len, bool eof_ok) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::recv(fd, p + got, len - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("serve: recv failed: ") +
+                               std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw ProtocolError("connection closed mid-frame (" +
+                          std::to_string(got) + "/" + std::to_string(len) +
+                          " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kSanitizedPartial: return "SANITIZED_PARTIAL";
+    case Status::kTimeout: return "TIMEOUT";
+    case Status::kRejected: return "REJECTED";
+    case Status::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::uint8_t> encode_recon_request(const ReconRequestWire& req) {
+  Writer w;
+  w.u32(kProtocolVersion);
+  w.u32(req.engine);
+  w.u32(req.n);
+  w.u32(req.iters);
+  w.u32(req.coils);
+  w.u32(req.sanitize);
+  w.u32(req.kernel_width);
+  w.u32(0);  // pad to 8-byte alignment of the doubles that follow
+  w.f64(req.sigma);
+  w.u64(req.deadline_ms);
+  w.u64(req.client_tag);
+  w.u64(req.coords.size());
+  for (const auto& c : req.coords) {
+    w.f64(c[0]);
+    w.f64(c[1]);
+  }
+  for (const auto& v : req.values) {
+    w.f64(v.real());
+    w.f64(v.imag());
+  }
+  return w.take();
+}
+
+ReconRequestWire decode_recon_request(const std::uint8_t* data,
+                                      std::size_t len) {
+  Reader r(data, len);
+  const std::uint32_t version = r.u32("version");
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  ReconRequestWire req;
+  req.engine = r.u32("engine");
+  req.n = r.u32("n");
+  req.iters = r.u32("iters");
+  req.coils = r.u32("coils");
+  req.sanitize = r.u32("sanitize");
+  req.kernel_width = r.u32("kernel_width");
+  r.u32("pad");
+  req.sigma = r.f64("sigma");
+  req.deadline_ms = r.u64("deadline_ms");
+  req.client_tag = r.u64("client_tag");
+  const std::uint64_t m = r.u64("m");
+  if (req.coils == 0) throw ProtocolError("coils must be >= 1");
+  if (m == 0) throw ProtocolError("empty sample set");
+  if (m > kAbsoluteMaxElements || req.coils > 1024 ||
+      m * req.coils > kAbsoluteMaxElements) {
+    throw ProtocolError("sample count " + std::to_string(m) + " x " +
+                        std::to_string(req.coils) + " coils implausibly large");
+  }
+  req.coords.resize(static_cast<std::size_t>(m));
+  for (auto& c : req.coords) {
+    c[0] = r.f64("coord");
+    c[1] = r.f64("coord");
+  }
+  req.values.resize(static_cast<std::size_t>(m * req.coils));
+  for (auto& v : req.values) {
+    const double re = r.f64("value");
+    const double im = r.f64("value");
+    v = c64(re, im);
+  }
+  r.expect_consumed();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_recon_reply(const ReconReplyWire& reply) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(reply.status));
+  w.u32(reply.n);
+  w.u64(reply.client_tag);
+  w.u64(reply.sanitize_dropped);
+  w.u64(reply.sanitize_repaired);
+  w.u32(static_cast<std::uint32_t>(reply.message.size()));
+  w.raw(reply.message.data(), reply.message.size());
+  w.u64(reply.image.size());
+  for (const auto& v : reply.image) {
+    w.f64(v.real());
+    w.f64(v.imag());
+  }
+  return w.take();
+}
+
+ReconReplyWire decode_recon_reply(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  ReconReplyWire reply;
+  const std::uint32_t status = r.u32("status");
+  if (status > static_cast<std::uint32_t>(Status::kError)) {
+    throw ProtocolError("unknown status code " + std::to_string(status));
+  }
+  reply.status = static_cast<Status>(status);
+  reply.n = r.u32("n");
+  reply.client_tag = r.u64("client_tag");
+  reply.sanitize_dropped = r.u64("sanitize_dropped");
+  reply.sanitize_repaired = r.u64("sanitize_repaired");
+  const std::uint32_t msg_len = r.u32("msg_len");
+  if (msg_len > (1u << 20)) throw ProtocolError("message implausibly long");
+  reply.message.resize(msg_len);
+  if (msg_len > 0) r.raw(reply.message.data(), msg_len, "message");
+  const std::uint64_t pixels = r.u64("pixel_count");
+  if (pixels > kAbsoluteMaxElements) {
+    throw ProtocolError("pixel count implausibly large");
+  }
+  reply.image.resize(static_cast<std::size_t>(pixels));
+  for (auto& v : reply.image) {
+    const double re = r.f64("pixel");
+    const double im = r.f64("pixel");
+    v = c64(re, im);
+  }
+  r.expect_consumed();
+  return reply;
+}
+
+void send_frame(int fd, MsgType type, const std::uint8_t* body,
+                std::size_t len) {
+  std::uint8_t header[16];
+  const std::uint32_t magic = kMagic;
+  const auto type_u32 = static_cast<std::uint32_t>(type);
+  const auto body_len = static_cast<std::uint64_t>(len);
+  std::memcpy(header + 0, &magic, 4);
+  std::memcpy(header + 4, &type_u32, 4);
+  std::memcpy(header + 8, &body_len, 8);
+  write_all(fd, header, sizeof header);
+  if (len > 0) write_all(fd, body, len);
+}
+
+bool recv_frame(int fd, Frame& out, std::size_t max_body) {
+  std::uint8_t header[16];
+  if (!read_all(fd, header, sizeof header, /*eof_ok=*/true)) return false;
+  std::uint32_t magic, type_u32;
+  std::uint64_t body_len;
+  std::memcpy(&magic, header + 0, 4);
+  std::memcpy(&type_u32, header + 4, 4);
+  std::memcpy(&body_len, header + 8, 8);
+  if (magic != kMagic) {
+    throw ProtocolError("bad magic 0x" + std::to_string(magic));
+  }
+  switch (static_cast<MsgType>(type_u32)) {
+    case MsgType::kRecon:
+    case MsgType::kStats:
+    case MsgType::kReconReply:
+    case MsgType::kStatsReply:
+      break;
+    default:
+      throw ProtocolError("unknown message type " + std::to_string(type_u32));
+  }
+  if (body_len > max_body) throw FrameTooLarge(body_len, max_body);
+  out.type = static_cast<MsgType>(type_u32);
+  out.body.resize(static_cast<std::size_t>(body_len));
+  if (body_len > 0) {
+    read_all(fd, out.body.data(), out.body.size(), /*eof_ok=*/false);
+  }
+  return true;
+}
+
+}  // namespace jigsaw::serve

@@ -1,0 +1,139 @@
+// Wire protocol for the jigsaw_serve reconstruction daemon.
+//
+// Transport: a Unix-domain stream socket carrying length-prefixed frames.
+// Every frame is a 16-byte header followed by `body_len` payload bytes:
+//
+//   u32 magic      0x4A535256 ("JSRV")
+//   u32 type       MsgType
+//   u64 body_len   payload bytes that follow
+//
+// Integers and doubles are host-endian: the socket never leaves the
+// machine, so the protocol trades portability for zero-copy encode/decode
+// of multi-megabyte sample payloads. docs/serving.md documents the framing
+// and the per-field layout below.
+//
+// Request/reply bodies are encoded by the functions here; decode_* performs
+// a *recovering* parse — every length, range and enum is validated and any
+// violation raises ProtocolError, which the server maps to a Status::kError
+// reply instead of tearing down the process. A frame whose advertised
+// body_len exceeds the receiver's limit raises FrameTooLarge *before* the
+// body is read, which the server maps to Status::kRejected (admission
+// control, not a malformed client).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jigsaw::serve {
+
+inline constexpr std::uint32_t kMagic = 0x4A535256;  // "JSRV"
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint32_t {
+  kRecon = 1,       // ReconRequestWire body
+  kStats = 2,       // empty body; answered with kStatsReply
+  kReconReply = 101,
+  kStatsReply = 102,  // UTF-8 JSON text body (the /statsz snapshot)
+};
+
+/// Per-request terminal status, echoed in every recon reply and counted by
+/// the serve.* per-status counters.
+enum class Status : std::uint32_t {
+  kOk = 0,
+  kSanitizedPartial = 1,  // succeeded, but the sanitizer dropped/repaired
+                          // samples first (response carries the detail)
+  kTimeout = 2,           // deadline passed at a phase boundary
+  kRejected = 3,          // admission control: queue full, oversized,
+                          // limits exceeded, or server draining
+  kError = 4,             // malformed request or reconstruction failure
+};
+
+const char* to_string(Status s);
+
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("protocol: " + what) {}
+};
+
+/// A frame header advertised a body larger than the receiver allows. The
+/// body has NOT been consumed; the connection cannot be resynchronized and
+/// must be closed after the rejection reply.
+class FrameTooLarge : public ProtocolError {
+ public:
+  FrameTooLarge(std::uint64_t advertised_bytes, std::uint64_t limit_bytes)
+      : ProtocolError("frame body of " + std::to_string(advertised_bytes) +
+                      " bytes exceeds limit of " +
+                      std::to_string(limit_bytes)),
+        advertised(advertised_bytes),
+        limit(limit_bytes) {}
+  std::uint64_t advertised;
+  std::uint64_t limit;
+};
+
+/// Recon request body. Layout (in order):
+///   u32 version, u32 engine, u32 n, u32 iters, u32 coils, u32 sanitize,
+///   u32 kernel_width, u32 pad, f64 sigma, u64 deadline_ms, u64 client_tag,
+///   u64 m, f64 coords[2*m], f64 values[2*m*coils]
+/// Values are per-coil blocks of m complex samples (coil-major).
+/// deadline_ms == 0 means unbounded.
+struct ReconRequestWire {
+  std::uint32_t engine = 3;   // core::GridderKind (3 = slice-dice)
+  std::uint32_t n = 128;      // base grid side
+  std::uint32_t iters = 0;    // 0 = adjoint-only, >0 = CG iterations
+  std::uint32_t coils = 1;    // >1 = CG-SENSE with server-side birdcage maps
+  std::uint32_t sanitize = 0; // robustness::SanitizePolicy
+  std::uint32_t kernel_width = 6;
+  double sigma = 2.0;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t client_tag = 0;  // echoed verbatim in the reply
+  std::vector<Coord<2>> coords;  // m
+  std::vector<c64> values;       // m * coils
+};
+
+/// Recon reply body. Layout:
+///   u32 status, u32 n, u64 client_tag, u64 sanitize_dropped,
+///   u64 sanitize_repaired, u32 msg_len, u8 msg[msg_len],
+///   u64 pixel_count, f64 image[2*pixel_count]
+struct ReconReplyWire {
+  Status status = Status::kError;
+  std::uint32_t n = 0;
+  std::uint64_t client_tag = 0;
+  std::uint64_t sanitize_dropped = 0;
+  std::uint64_t sanitize_repaired = 0;
+  std::string message;
+  std::vector<c64> image;  // n*n pixels when status is OK/SANITIZED_PARTIAL
+};
+
+std::vector<std::uint8_t> encode_recon_request(const ReconRequestWire& req);
+ReconRequestWire decode_recon_request(const std::uint8_t* data,
+                                      std::size_t len);
+
+std::vector<std::uint8_t> encode_recon_reply(const ReconReplyWire& reply);
+ReconReplyWire decode_recon_reply(const std::uint8_t* data, std::size_t len);
+
+/// One received frame.
+struct Frame {
+  MsgType type = MsgType::kRecon;
+  std::vector<std::uint8_t> body;
+};
+
+/// Write one frame (header + body), retrying on EINTR/partial writes.
+/// Throws std::runtime_error on I/O failure (e.g. peer gone).
+void send_frame(int fd, MsgType type, const std::uint8_t* body,
+                std::size_t len);
+inline void send_frame(int fd, MsgType type,
+                       const std::vector<std::uint8_t>& body) {
+  send_frame(fd, type, body.data(), body.size());
+}
+
+/// Read one frame. Returns false on clean EOF before any header byte.
+/// Throws ProtocolError on bad magic / unknown type / truncation and
+/// FrameTooLarge when body_len > max_body (body unread — close afterwards).
+bool recv_frame(int fd, Frame& out, std::size_t max_body);
+
+}  // namespace jigsaw::serve

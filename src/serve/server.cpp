@@ -1,0 +1,246 @@
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace jigsaw::serve {
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+ReconJob job_from_wire(const ReconRequestWire& wire) {
+  if (wire.engine > static_cast<std::uint32_t>(core::GridderKind::FloatSerial)) {
+    throw ProtocolError("unknown engine code " + std::to_string(wire.engine));
+  }
+  if (wire.sanitize >
+      static_cast<std::uint32_t>(robustness::SanitizePolicy::Clamp)) {
+    throw ProtocolError("unknown sanitize code " +
+                        std::to_string(wire.sanitize));
+  }
+  if (wire.kernel_width < 2 || wire.kernel_width > 16) {
+    throw ProtocolError("kernel width " + std::to_string(wire.kernel_width) +
+                        " outside [2, 16]");
+  }
+  if (!(wire.sigma >= 1.125 && wire.sigma <= 4.0)) {  // !>= rejects NaN too
+    throw ProtocolError("oversampling sigma outside [1.125, 4]");
+  }
+  if (wire.values.size() !=
+      wire.coords.size() * static_cast<std::size_t>(wire.coils)) {
+    throw ProtocolError("value count does not equal samples x coils");
+  }
+  ReconJob job;
+  job.options.kind = static_cast<core::GridderKind>(wire.engine);
+  job.options.width = static_cast<int>(wire.kernel_width);
+  job.options.sigma = wire.sigma;
+  job.options.sanitize =
+      static_cast<robustness::SanitizePolicy>(wire.sanitize);
+  job.n = wire.n;
+  job.iters = static_cast<int>(wire.iters);
+  job.coils = static_cast<int>(wire.coils);
+  job.deadline = wire.deadline_ms > 0
+                     ? Deadline::after_ms(
+                           static_cast<std::int64_t>(wire.deadline_ms))
+                     : Deadline::never();
+  job.samples.coords = wire.coords;
+  job.samples.values = wire.values;
+  job.client_tag = wire.client_tag;
+  return job;
+}
+
+ReconServer::ReconServer(const ServeConfig& config)
+    : config_(config), engine_(config) {
+  if (config_.socket_path.empty()) {
+    throw std::runtime_error("serve: socket_path is empty");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             config_.socket_path);
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(config_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const int err = errno;
+    close_quietly(listen_fd_);
+    throw std::runtime_error("serve: bind(" + config_.socket_path +
+                             ") failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    close_quietly(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+    throw std::runtime_error(std::string("serve: listen() failed: ") +
+                             std::strerror(err));
+  }
+}
+
+ReconServer::~ReconServer() {
+  stop();
+  close_quietly(listen_fd_);
+  ::unlink(config_.socket_path.c_str());
+}
+
+void ReconServer::start() {
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ReconServer::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+
+  // 1. Stop accepting; existing connections may still submit until their
+  //    reader sees the draining rejections.
+  accept_thread_.join();
+
+  // 2. Complete every admitted job (replies go out through the callbacks).
+  engine_.drain();
+
+  // 3. Unblock every connection reader and join. SHUT_RDWR makes a blocked
+  //    recv return 0 (EOF), so readers exit their frame loop cleanly.
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& t : conn_threads_) t.join();
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (const auto& conn : conns_) close_quietly(conn->fd);
+    conns_.clear();
+    conn_threads_.clear();
+  }
+}
+
+void ReconServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // 100 ms: prompt shutdown
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    if (stopping_.load()) {
+      close_quietly(fd);
+      break;
+    }
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { serve_connection(conn); });
+  }
+}
+
+void ReconServer::send_reply_locked(const std::shared_ptr<Connection>& conn,
+                                    const ReconReplyWire& reply) {
+  const auto body = encode_recon_reply(reply);
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  send_frame(conn->fd, MsgType::kReconReply, body);
+}
+
+void ReconServer::serve_connection(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Frame frame;
+    try {
+      if (!recv_frame(conn->fd, frame, config_.max_request_bytes)) {
+        return;  // clean EOF
+      }
+    } catch (const FrameTooLarge& e) {
+      // Admission control at the socket: the body was never read, so the
+      // stream cannot be resynchronized — reply, count, close.
+      engine_.count_external(Status::kRejected);
+      ReconReplyWire reply;
+      reply.status = Status::kRejected;
+      reply.message = e.what();
+      try {
+        send_reply_locked(conn, reply);
+      } catch (const std::exception&) {
+      }
+      return;
+    } catch (const std::exception&) {
+      return;  // bad magic / unknown type / truncation / peer I/O error
+    }
+
+    if (frame.type == MsgType::kStats) {
+      const std::string json = engine_.statsz_json();
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      try {
+        send_frame(conn->fd, MsgType::kStatsReply,
+                   reinterpret_cast<const std::uint8_t*>(json.data()),
+                   json.size());
+      } catch (const std::exception&) {
+        return;
+      }
+      continue;
+    }
+    if (frame.type != MsgType::kRecon) {
+      return;  // a client sending reply types is not salvageable
+    }
+
+    ReconJob job;
+    try {
+      const ReconRequestWire wire =
+          decode_recon_request(frame.body.data(), frame.body.size());
+      job = job_from_wire(wire);
+    } catch (const std::exception& e) {
+      // Recovering parse: the malformed body was fully consumed, so the
+      // connection survives. ERROR is terminal for this request only.
+      engine_.count_external(Status::kError);
+      ReconReplyWire reply;
+      reply.status = Status::kError;
+      reply.message = e.what();
+      try {
+        send_reply_locked(conn, reply);
+      } catch (const std::exception&) {
+        return;
+      }
+      continue;
+    }
+
+    engine_.submit(std::move(job), [this, conn](ReconOutcome outcome) {
+      ReconReplyWire reply;
+      reply.status = outcome.status;
+      reply.n = static_cast<std::uint32_t>(outcome.n);
+      reply.client_tag = outcome.client_tag;
+      reply.sanitize_dropped = outcome.sanitize_dropped;
+      reply.sanitize_repaired = outcome.sanitize_repaired;
+      reply.message = std::move(outcome.message);
+      reply.image = std::move(outcome.image);
+      try {
+        send_reply_locked(conn, reply);
+      } catch (const std::exception&) {
+        // Peer gone mid-reply: the request still completed; counters have
+        // already accounted for it.
+      }
+    });
+  }
+}
+
+}  // namespace jigsaw::serve

@@ -1,0 +1,85 @@
+// ReconServer: the Unix-domain-socket front of the reconstruction service.
+//
+// One server owns a listening socket and a ServeEngine. start() spawns an
+// accept loop (100 ms poll so shutdown is prompt); each connection gets a
+// reader thread that parses frames and submits jobs. Completion callbacks
+// run on the engine's dispatcher thread and write replies under the
+// connection's write mutex, so a client may pipeline requests — replies
+// carry the request's client_tag for matching and may arrive out of order
+// across geometries (FIFO within one geometry group).
+//
+// Error mapping at the socket layer:
+//   * frame body over max_request_bytes  -> REJECTED reply, connection
+//     closed (the oversized body was never read; the stream cannot be
+//     resynchronized);
+//   * body that fails the recovering decode -> ERROR reply, connection
+//     kept (the bad body was fully consumed);
+//   * bad magic / unknown type / truncated frame -> connection closed.
+//
+// stop() is the graceful-drain path SIGTERM triggers in jigsaw_serve:
+// stop accepting, drain the engine (every admitted job completes), then
+// shut down remaining connections and join their threads.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+
+namespace jigsaw::serve {
+
+/// Validate a decoded wire request and convert it to an engine job.
+/// Throws ProtocolError on out-of-enum engine / sanitize codes.
+ReconJob job_from_wire(const ReconRequestWire& wire);
+
+class ReconServer {
+ public:
+  /// Binds and listens on config.socket_path (an existing socket file is
+  /// replaced). Throws std::runtime_error on bind/listen failure.
+  explicit ReconServer(const ServeConfig& config);
+  ~ReconServer();  // stop(), if still running
+
+  ReconServer(const ReconServer&) = delete;
+  ReconServer& operator=(const ReconServer&) = delete;
+
+  /// Spawn the accept loop. Call once.
+  void start();
+
+  /// Graceful drain: stop accepting, complete every admitted job, close
+  /// connections, join every thread. Idempotent.
+  void stop();
+
+  ServeEngine& engine() { return engine_; }
+  const std::string& socket_path() const { return config_.socket_path; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;  // dispatcher + reader threads both reply
+  };
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void send_reply_locked(const std::shared_ptr<Connection>& conn,
+                         const ReconReplyWire& reply);
+
+  const ServeConfig config_;
+  ServeEngine engine_;
+  int listen_fd_ = -1;
+
+  std::mutex conn_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace jigsaw::serve

@@ -1,0 +1,48 @@
+// ServeSession: the in-process face of the reconstruction service.
+//
+// Wraps a ServeEngine with a future-based submit so tests and embedders get
+// the full admission/batching/deadline pipeline without a socket. The wire
+// server (ReconServer) and this class sit side by side on the same engine
+// type, so every scheduler behavior a ctest verifies through ServeSession
+// is the behavior a socket client sees.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "serve/engine.hpp"
+
+namespace jigsaw::serve {
+
+class ServeSession {
+ public:
+  explicit ServeSession(const ServeConfig& config = ServeConfig{})
+      : engine_(config) {}
+
+  /// Asynchronous submit. The future is satisfied exactly once — possibly
+  /// before this call returns, for admission-time rejections.
+  std::future<ReconOutcome> submit(ReconJob job) {
+    auto promise = std::make_shared<std::promise<ReconOutcome>>();
+    auto future = promise->get_future();
+    engine_.submit(std::move(job), [promise](ReconOutcome outcome) {
+      promise->set_value(std::move(outcome));
+    });
+    return future;
+  }
+
+  /// Blocking convenience: submit and wait.
+  ReconOutcome recon(ReconJob job) { return submit(std::move(job)).get(); }
+
+  /// Stop admission and wait for every in-flight job (idempotent).
+  void drain() { engine_.drain(); }
+
+  EngineCounts counts() const { return engine_.counts(); }
+  std::string statsz_json() const { return engine_.statsz_json(); }
+  ServeEngine& engine() { return engine_; }
+
+ private:
+  ServeEngine engine_;
+};
+
+}  // namespace jigsaw::serve

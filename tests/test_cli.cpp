@@ -7,6 +7,7 @@
 #include "common/cli.hpp"
 #include "common/pgm.hpp"
 #include "common/types.hpp"
+#include "core/gridder.hpp"
 
 namespace jigsaw {
 namespace {
@@ -62,6 +63,54 @@ TEST(Cli, DefaultsWhenAbsent) {
 
 TEST(Cli, RejectsUnknownFlag) {
   EXPECT_THROW(parse({"--bogus", "1"}, {"n"}), std::invalid_argument);
+}
+
+TEST(EngineParse, AcceptsEveryListedName) {
+  using core::GridderKind;
+  EXPECT_EQ(core::parse_gridder_kind("serial"), GridderKind::Serial);
+  EXPECT_EQ(core::parse_gridder_kind("output-driven"),
+            GridderKind::OutputDriven);
+  EXPECT_EQ(core::parse_gridder_kind("binning"), GridderKind::Binning);
+  EXPECT_EQ(core::parse_gridder_kind("slice-dice"), GridderKind::SliceDice);
+  EXPECT_EQ(core::parse_gridder_kind("slice-and-dice"),
+            GridderKind::SliceDice);
+  EXPECT_EQ(core::parse_gridder_kind("jigsaw"), GridderKind::Jigsaw);
+  EXPECT_EQ(core::parse_gridder_kind("sparse"), GridderKind::Sparse);
+  EXPECT_EQ(core::parse_gridder_kind("sparse-matrix"), GridderKind::Sparse);
+  EXPECT_EQ(core::parse_gridder_kind("float"), GridderKind::FloatSerial);
+  EXPECT_EQ(core::parse_gridder_kind("serial-f32"), GridderKind::FloatSerial);
+}
+
+TEST(EngineParse, UnknownNameThrowsWithOneLineDiagnostic) {
+  try {
+    core::parse_gridder_kind("bogus");
+    FAIL() << "must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // The jigsaw_cli contract: one line naming the bad engine AND listing
+    // every valid name.
+    EXPECT_NE(what.find("unknown engine 'bogus', valid:"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(core::gridder_kind_names()), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << "must be one line";
+  }
+}
+
+TEST(EngineParse, ListedNamesRoundTripThroughParser) {
+  // Every name advertised in the diagnostic must itself parse.
+  const std::string names = core::gridder_kind_names();
+  std::size_t start = 0;
+  int count = 0;
+  while (start < names.size()) {
+    std::size_t end = names.find(", ", start);
+    if (end == std::string::npos) end = names.size();
+    const std::string name = names.substr(start, end - start);
+    EXPECT_NO_THROW(core::parse_gridder_kind(name)) << name;
+    ++count;
+    start = end + 2;
+  }
+  EXPECT_EQ(count, 7);
 }
 
 TEST(Pgm, WritesValidHeaderAndPayload) {

@@ -1,0 +1,497 @@
+// Reconstruction service layer tests: wire protocol, ServeEngine admission/
+// batching/deadlines via the in-process ServeSession, and the full socket
+// server under concurrent mixed clients. Every Serve*/Deadline* test also
+// runs in the CI TSan stage (scripts/ci.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/nufft.hpp"
+#include "core/sense.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "trajectory/phantom.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace jigsaw::serve {
+namespace {
+
+std::vector<Coord<2>> traj(std::int64_t m = 2000, std::uint64_t seed = 42) {
+  return trajectory::make_2d(trajectory::TrajectoryType::Radial, m, seed);
+}
+
+std::vector<c64> phantom_data(const std::vector<Coord<2>>& coords, int n) {
+  return trajectory::kspace_samples(trajectory::shepp_logan(), coords, n);
+}
+
+ReconJob make_job(std::int64_t n, const std::vector<Coord<2>>& coords) {
+  ReconJob job;
+  job.options.width = 4;
+  job.n = n;
+  job.samples.coords = coords;
+  job.samples.values = phantom_data(coords, static_cast<int>(n));
+  return job;
+}
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/jsrv_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ReconRequestRoundTrip) {
+  ReconRequestWire req;
+  req.engine = 4;
+  req.n = 48;
+  req.iters = 5;
+  req.coils = 2;
+  req.sanitize = 3;
+  req.kernel_width = 4;
+  req.sigma = 1.5;
+  req.deadline_ms = 1234;
+  req.client_tag = 0xDEADBEEFull;
+  req.coords = traj(64);
+  req.values.resize(128);
+  for (std::size_t i = 0; i < req.values.size(); ++i) {
+    req.values[i] = c64(static_cast<double>(i), -static_cast<double>(i));
+  }
+  const auto bytes = encode_recon_request(req);
+  const auto back = decode_recon_request(bytes.data(), bytes.size());
+  EXPECT_EQ(back.engine, req.engine);
+  EXPECT_EQ(back.n, req.n);
+  EXPECT_EQ(back.iters, req.iters);
+  EXPECT_EQ(back.coils, req.coils);
+  EXPECT_EQ(back.sanitize, req.sanitize);
+  EXPECT_EQ(back.kernel_width, req.kernel_width);
+  EXPECT_EQ(back.sigma, req.sigma);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.client_tag, req.client_tag);
+  ASSERT_EQ(back.coords.size(), req.coords.size());
+  EXPECT_EQ(back.coords[7][0], req.coords[7][0]);
+  ASSERT_EQ(back.values.size(), req.values.size());
+  EXPECT_EQ(back.values[100], req.values[100]);
+}
+
+TEST(ServeProtocol, ReconReplyRoundTrip) {
+  ReconReplyWire reply;
+  reply.status = Status::kSanitizedPartial;
+  reply.n = 32;
+  reply.client_tag = 7;
+  reply.sanitize_dropped = 3;
+  reply.sanitize_repaired = 1;
+  reply.message = "three samples dropped";
+  reply.image.assign(32 * 32, c64{0.5, -0.25});
+  const auto bytes = encode_recon_reply(reply);
+  const auto back = decode_recon_reply(bytes.data(), bytes.size());
+  EXPECT_EQ(back.status, reply.status);
+  EXPECT_EQ(back.n, reply.n);
+  EXPECT_EQ(back.client_tag, reply.client_tag);
+  EXPECT_EQ(back.sanitize_dropped, reply.sanitize_dropped);
+  EXPECT_EQ(back.sanitize_repaired, reply.sanitize_repaired);
+  EXPECT_EQ(back.message, reply.message);
+  ASSERT_EQ(back.image.size(), reply.image.size());
+  EXPECT_EQ(back.image[17], reply.image[17]);
+}
+
+TEST(ServeProtocol, DecodeRejectsMalformedBodies) {
+  ReconRequestWire req;
+  req.coords = traj(16);
+  req.values.assign(16, c64{1.0, 0.0});
+  auto bytes = encode_recon_request(req);
+
+  // Truncated body.
+  EXPECT_THROW(decode_recon_request(bytes.data(), bytes.size() - 9),
+               ProtocolError);
+  // Trailing garbage.
+  auto extended = bytes;
+  extended.push_back(0);
+  EXPECT_THROW(decode_recon_request(extended.data(), extended.size()),
+               ProtocolError);
+  // Wrong version.
+  auto bad_version = bytes;
+  bad_version[0] = 0xFF;
+  EXPECT_THROW(decode_recon_request(bad_version.data(), bad_version.size()),
+               ProtocolError);
+  // Arbitrary junk.
+  const std::uint8_t junk[] = {1, 2, 3};
+  EXPECT_THROW(decode_recon_request(junk, sizeof junk), ProtocolError);
+}
+
+TEST(ServeProtocol, JobFromWireValidatesEnums) {
+  ReconRequestWire req;
+  req.coords = traj(16);
+  req.values.assign(16, c64{1.0, 0.0});
+  req.engine = 99;
+  EXPECT_THROW(job_from_wire(req), ProtocolError);
+  req.engine = 3;
+  req.sanitize = 99;
+  EXPECT_THROW(job_from_wire(req), ProtocolError);
+  req.sanitize = 0;
+  req.sigma = 0.5;
+  EXPECT_THROW(job_from_wire(req), ProtocolError);
+  req.sigma = 2.0;
+  const ReconJob job = job_from_wire(req);
+  EXPECT_EQ(job.n, 128);
+  EXPECT_FALSE(job.deadline.bounded());
+}
+
+// ----------------------------------------------------------------- session
+
+TEST(ServeSession, AdjointMatchesDirectPlanBitExact) {
+  const std::int64_t n = 32;
+  const auto coords = traj();
+  ReconJob job = make_job(n, coords);
+
+  core::GridderOptions direct_options = job.options;
+  core::NufftPlan<2> plan(n, coords, direct_options);
+  const auto expected = plan.adjoint(job.samples.values);
+
+  ServeSession session;
+  const ReconOutcome outcome = session.recon(std::move(job));
+  ASSERT_EQ(outcome.status, Status::kOk) << outcome.message;
+  ASSERT_EQ(outcome.image.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(outcome.image[i], expected[i]) << "pixel " << i;
+  }
+}
+
+TEST(ServeSession, SameGeometryBurstPlansExactlyOnce) {
+  const std::int64_t n = 32;
+  const auto coords = traj();
+  ServeSession session;
+
+  constexpr int kBurst = 12;
+  std::vector<std::future<ReconOutcome>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    ReconJob job = make_job(n, coords);
+    job.client_tag = static_cast<std::uint64_t>(i);
+    futures.push_back(session.submit(std::move(job)));
+  }
+  for (auto& f : futures) {
+    const ReconOutcome outcome = f.get();
+    EXPECT_EQ(outcome.status, Status::kOk) << outcome.message;
+    EXPECT_EQ(outcome.image.size(), static_cast<std::size_t>(n * n));
+  }
+  const EngineCounts c = session.counts();
+  EXPECT_EQ(c.submitted, static_cast<std::uint64_t>(kBurst));
+  EXPECT_EQ(c.ok, static_cast<std::uint64_t>(kBurst));
+  // The acceptance invariant: one plan build for the whole burst.
+  EXPECT_EQ(c.plan_builds, 1u);
+  EXPECT_EQ(c.plan_hits, static_cast<std::uint64_t>(c.batches - 1));
+}
+
+TEST(ServeSession, PlanBuildsEqualsDistinctGeometries) {
+  const auto coords = traj();
+  ServeSession session;
+  std::vector<std::future<ReconOutcome>> futures;
+  const std::int64_t sizes[] = {24, 32, 48};
+  for (int round = 0; round < 3; ++round) {
+    for (const std::int64_t n : sizes) {
+      futures.push_back(session.submit(make_job(n, coords)));
+    }
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+  EXPECT_EQ(session.counts().plan_builds, 3u);
+}
+
+TEST(ServeSession, QueueFullRejectsWithBackpressureStatus) {
+  ServeConfig config;
+  config.max_queue = 0;  // every admission sees a full queue
+  ServeSession session(config);
+  const ReconOutcome outcome = session.recon(make_job(32, traj(256)));
+  EXPECT_EQ(outcome.status, Status::kRejected);
+  EXPECT_NE(outcome.message.find("queue full"), std::string::npos)
+      << outcome.message;
+  EXPECT_EQ(session.counts().rejected, 1u);
+}
+
+TEST(ServeSession, LimitViolationsAreRejected) {
+  ServeConfig config;
+  config.max_n = 64;
+  config.max_coils = 4;
+  ServeSession session(config);
+
+  ReconJob too_big = make_job(128, traj(256));
+  EXPECT_EQ(session.recon(std::move(too_big)).status, Status::kRejected);
+
+  ReconJob empty;
+  empty.n = 32;
+  EXPECT_EQ(session.recon(std::move(empty)).status, Status::kRejected);
+
+  ReconJob bad_coils = make_job(32, traj(256));
+  bad_coils.coils = 8;
+  EXPECT_EQ(session.recon(std::move(bad_coils)).status, Status::kRejected);
+
+  EXPECT_EQ(session.counts().rejected, 3u);
+  EXPECT_EQ(session.counts().completed(), 3u);
+}
+
+TEST(ServeSession, ExpiredDeadlineIsTimeoutAtAdmission) {
+  ServeSession session;
+  ReconJob job = make_job(32, traj(256));
+  job.deadline = Deadline::already_expired();
+  const ReconOutcome outcome = session.recon(std::move(job));
+  EXPECT_EQ(outcome.status, Status::kTimeout);
+  EXPECT_EQ(session.counts().timeout, 1u);
+}
+
+TEST(ServeSession, DrainCompletesInflightThenRejectsNewWork) {
+  const auto coords = traj();
+  ServeSession session;
+  std::vector<std::future<ReconOutcome>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(session.submit(make_job(32, coords)));
+  }
+  session.drain();
+  // Every pre-drain job completed successfully (none dropped, none hung).
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get().status, Status::kOk);
+  }
+  const EngineCounts after = session.counts();
+  EXPECT_TRUE(after.draining);
+  EXPECT_EQ(after.queue_depth, 0u);
+  EXPECT_EQ(after.inflight, 0u);
+  EXPECT_EQ(after.ok, 6u);
+  // Post-drain submissions are rejected, not queued.
+  EXPECT_EQ(session.recon(make_job(32, coords)).status, Status::kRejected);
+}
+
+TEST(ServeSession, DropPolicyReportsSanitizedPartial) {
+  const std::int64_t n = 32;
+  // Random trajectory: no duplicate coordinates, so Drop removes exactly
+  // the two defects injected below (radial spokes repeat the center point).
+  auto coords = trajectory::random_2d(512, 7);
+  ReconJob job = make_job(n, coords);
+  job.options.sanitize = robustness::SanitizePolicy::Drop;
+  job.samples.coords[10][0] = std::nan("");
+  job.samples.coords[20][1] = 7.5;  // out of range
+  ServeSession session;
+  const ReconOutcome outcome = session.recon(std::move(job));
+  ASSERT_EQ(outcome.status, Status::kSanitizedPartial) << outcome.message;
+  EXPECT_EQ(outcome.sanitize_dropped, 2u);
+  EXPECT_EQ(outcome.image.size(), static_cast<std::size_t>(n * n));
+  EXPECT_EQ(session.counts().sanitized_partial, 1u);
+}
+
+TEST(ServeSession, StrictPolicyOnDefectiveInputIsError) {
+  ReconJob job = make_job(32, traj(256));
+  job.options.sanitize = robustness::SanitizePolicy::Strict;
+  job.samples.coords[3][0] = std::nan("");
+  ServeSession session;
+  const ReconOutcome outcome = session.recon(std::move(job));
+  EXPECT_EQ(outcome.status, Status::kError);
+  EXPECT_EQ(session.counts().error, 1u);
+}
+
+TEST(ServeSession, MultiCoilJobRunsCgSense) {
+  const std::int64_t n = 24;
+  const int coils = 2;
+  auto coords = traj(800);
+  core::NufftPlan<2> plan(n, coords, core::GridderOptions{});
+  const auto maps = core::make_birdcage_maps(n, coils);
+  const auto image = trajectory::rasterize(trajectory::shepp_logan(),
+                                           static_cast<int>(n));
+  std::vector<c64> cimage(image.size());
+  for (std::size_t i = 0; i < image.size(); ++i) cimage[i] = image[i];
+  const auto y = core::simulate_multicoil(plan, maps, cimage);
+
+  ReconJob job;
+  job.n = n;
+  job.coils = coils;
+  job.iters = 3;
+  job.samples.coords = coords;
+  for (const auto& coil : y) {
+    job.samples.values.insert(job.samples.values.end(), coil.begin(),
+                              coil.end());
+  }
+  ServeSession session;
+  const ReconOutcome outcome = session.recon(std::move(job));
+  ASSERT_EQ(outcome.status, Status::kOk) << outcome.message;
+  EXPECT_EQ(outcome.image.size(), static_cast<std::size_t>(n * n));
+}
+
+TEST(ServeSession, StatszJsonCarriesCountsAndCounters) {
+  ServeSession session;
+  EXPECT_EQ(session.recon(make_job(32, traj(256))).status, Status::kOk);
+  const std::string json = session.statsz_json();
+  EXPECT_NE(json.find("\"submitted\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"plan_builds\": 1"), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------ socket server
+
+// The acceptance scenario: 32 concurrent clients — 30 normal requests over
+// three geometries, one malformed payload, one oversized frame — all
+// answered, per-status totals accounting for every request, plan builds
+// equal to distinct geometries, graceful drain at the end.
+TEST(ServeServer, ConcurrentMixedClientsAllAccountedFor) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("mixed");
+  config.max_request_bytes = 4u << 20;
+  ReconServer server(config);
+  server.start();
+
+  constexpr int kNormal = 30;
+  const std::int64_t sizes[] = {24, 32, 48};
+  const auto coords = traj(1500);
+  // Pre-encode one request per geometry (encode is deterministic; clients
+  // only differ in client_tag, patched per thread below).
+  std::vector<ReconRequestWire> protos;
+  for (const std::int64_t n : sizes) {
+    ReconRequestWire req;
+    req.n = static_cast<std::uint32_t>(n);
+    req.kernel_width = 4;
+    req.coords = coords;
+    req.values = phantom_data(coords, static_cast<int>(n));
+    protos.push_back(std::move(req));
+  }
+
+  std::atomic<int> ok{0}, error{0}, rejected{0}, other{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kNormal + 2);
+  for (int i = 0; i < kNormal; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        ServeClient client(config.socket_path);
+        ReconRequestWire req = protos[static_cast<std::size_t>(i % 3)];
+        req.client_tag = static_cast<std::uint64_t>(i);
+        const ReconReplyWire reply = client.recon(req);
+        if (reply.status == Status::kOk &&
+            reply.client_tag == static_cast<std::uint64_t>(i) &&
+            reply.image.size() ==
+                static_cast<std::size_t>(reply.n) * reply.n) {
+          ok.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        other.fetch_add(1);
+      }
+    });
+  }
+  // One malformed payload: the recovering parse answers ERROR.
+  clients.emplace_back([&] {
+    try {
+      ServeClient client(config.socket_path);
+      client.send_raw(MsgType::kRecon, {0xDE, 0xAD, 0xBE, 0xEF});
+      const ReconReplyWire reply = client.recv_recon_reply();
+      (reply.status == Status::kError ? error : other).fetch_add(1);
+    } catch (const std::exception&) {
+      other.fetch_add(1);
+    }
+  });
+  // One oversized frame: rejected before the body is read.
+  clients.emplace_back([&] {
+    try {
+      ServeClient client(config.socket_path);
+      client.send_raw_header(static_cast<std::uint32_t>(MsgType::kRecon),
+                             config.max_request_bytes + 1);
+      const ReconReplyWire reply = client.recv_recon_reply();
+      (reply.status == Status::kRejected ? rejected : other).fetch_add(1);
+    } catch (const std::exception&) {
+      other.fetch_add(1);
+    }
+  });
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(ok.load(), kNormal);
+  EXPECT_EQ(error.load(), 1);
+  EXPECT_EQ(rejected.load(), 1);
+  EXPECT_EQ(other.load(), 0);
+
+  // Graceful drain; afterwards the per-status totals account for every
+  // request the server saw — none hung, none dropped.
+  server.stop();
+  const EngineCounts c = server.engine().counts();
+  EXPECT_EQ(c.submitted, static_cast<std::uint64_t>(kNormal + 2));
+  EXPECT_EQ(c.completed(), c.submitted);
+  EXPECT_EQ(c.ok, static_cast<std::uint64_t>(kNormal));
+  EXPECT_EQ(c.error, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+  EXPECT_EQ(c.timeout, 0u);
+  EXPECT_EQ(c.queue_depth, 0u);
+  EXPECT_EQ(c.inflight, 0u);
+  // Plan-cache misses == distinct geometries.
+  EXPECT_EQ(c.plan_builds, 3u);
+}
+
+TEST(ServeServer, MalformedBodyKeepsConnectionUsable) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("recover");
+  ReconServer server(config);
+  server.start();
+
+  ServeClient client(config.socket_path);
+  client.send_raw(MsgType::kRecon, {1, 2, 3});
+  EXPECT_EQ(client.recv_recon_reply().status, Status::kError);
+
+  // Same connection, now a valid request.
+  ReconRequestWire req;
+  req.n = 32;
+  req.kernel_width = 4;
+  req.coords = traj(512);
+  req.values = phantom_data(req.coords, 32);
+  const ReconReplyWire reply = client.recon(req);
+  EXPECT_EQ(reply.status, Status::kOk) << reply.message;
+  EXPECT_EQ(reply.image.size(), 32u * 32u);
+  server.stop();
+}
+
+TEST(ServeServer, StatsRequestReturnsJsonSnapshot) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("stats");
+  ReconServer server(config);
+  server.start();
+  {
+    ServeClient client(config.socket_path);
+    ReconRequestWire req;
+    req.n = 32;
+    req.kernel_width = 4;
+    req.coords = traj(512);
+    req.values = phantom_data(req.coords, 32);
+    EXPECT_EQ(client.recon(req).status, Status::kOk);
+    const std::string json = client.statsz();
+    EXPECT_NE(json.find("\"ok\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(ServeServer, DeadlineExpiredRequestAnsweredTimeout) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("deadline");
+  ReconServer server(config);
+  server.start();
+  {
+    ServeClient client(config.socket_path);
+    ReconRequestWire req;
+    req.n = 32;
+    req.kernel_width = 4;
+    req.deadline_ms = 1;  // will be long gone by dispatch
+    req.coords = traj(512);
+    req.values = phantom_data(req.coords, 32);
+    // The deadline may expire at admission or in the queue; either way the
+    // reply must be TIMEOUT or (if the machine was fast) OK — never hang.
+    const ReconReplyWire reply = client.recon(req);
+    EXPECT_TRUE(reply.status == Status::kTimeout ||
+                reply.status == Status::kOk)
+        << to_string(reply.status);
+  }
+  server.stop();
+  const EngineCounts c = server.engine().counts();
+  EXPECT_EQ(c.completed(), c.submitted);
+}
+
+}  // namespace
+}  // namespace jigsaw::serve

@@ -41,19 +41,6 @@ using namespace jigsaw;
 
 namespace {
 
-core::GridderKind parse_engine(const std::string& s) {
-  if (s == "serial") return core::GridderKind::Serial;
-  if (s == "output-driven") return core::GridderKind::OutputDriven;
-  if (s == "binning") return core::GridderKind::Binning;
-  if (s == "slice-dice" || s == "slice-and-dice") {
-    return core::GridderKind::SliceDice;
-  }
-  if (s == "jigsaw") return core::GridderKind::Jigsaw;
-  if (s == "sparse") return core::GridderKind::Sparse;
-  if (s == "float" || s == "serial-f32") return core::GridderKind::FloatSerial;
-  throw std::invalid_argument("unknown engine: " + s);
-}
-
 kernels::KernelType parse_kernel(const std::string& s) {
   if (s == "kaiser-bessel" || s == "kb") {
     return kernels::KernelType::KaiserBessel;
@@ -76,7 +63,9 @@ trajectory::TrajectoryType parse_traj(const std::string& s) {
 
 core::GridderOptions options_from(const CliArgs& args) {
   core::GridderOptions opt;
-  opt.kind = parse_engine(args.get("engine", "slice-dice"));
+  // Misspelled engines exit 1 through main()'s catch with the one-line
+  // "unknown engine '<name>', valid: ..." message from the parser.
+  opt.kind = core::parse_gridder_kind(args.get("engine", "slice-dice"));
   opt.kernel = parse_kernel(args.get("kernel", "kaiser-bessel"));
   opt.width = static_cast<int>(args.get_int("width", 6));
   opt.sigma = args.get_double("sigma", 2.0);
