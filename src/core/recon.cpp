@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "fft/plan_cache.hpp"
 #include "obs/obs.hpp"
@@ -89,12 +90,24 @@ std::vector<c64> ToeplitzOperator<D>::apply(const std::vector<c64>& x) const {
 
 namespace {
 
-/// Holds "cg.inflight" at 1 for the solve's lifetime and guarantees it
-/// reads 0 afterwards on every exit path — including a DeadlineExceeded
-/// unwind, which the deadline test asserts leaves no gauge stuck non-zero.
+/// Publishes the number of CG solves currently running as "cg.inflight".
+/// The count and the gauge write share one mutex so concurrent solves
+/// (coil-parallel CLI, embedders) never publish stale values; the gauge
+/// reads 0 exactly when no solve is in flight — on every exit path,
+/// including a DeadlineExceeded unwind, which the deadline test asserts
+/// leaves no gauge stuck non-zero.
 struct InflightGauge {
-  InflightGauge() { obs::set_gauge("cg.inflight", 1.0); }
-  ~InflightGauge() { obs::set_gauge("cg.inflight", 0.0); }
+  InflightGauge() { update(+1); }
+  ~InflightGauge() { update(-1); }
+
+ private:
+  static void update(int delta) {
+    static std::mutex mu;
+    static int count = 0;
+    std::lock_guard<std::mutex> lk(mu);
+    count += delta;
+    obs::set_gauge("cg.inflight", static_cast<double>(count));
+  }
 };
 
 }  // namespace

@@ -49,8 +49,9 @@ struct CgResult {
 
 /// The deadline is checked at the top of every CG iteration (and before the
 /// initial operator application); a passed deadline raises DeadlineExceeded.
-/// While a solve is running the "cg.inflight" gauge reads 1; it returns to 0
-/// on every exit path, timeout included.
+/// The "cg.inflight" gauge reads the number of solves currently running
+/// (concurrent solves each count once); it returns to 0 once none is in
+/// flight, on every exit path, timeout included.
 CgResult conjugate_gradient(
     const std::function<std::vector<c64>(const std::vector<c64>&)>& op,
     const std::vector<c64>& b, std::vector<c64>& x, int max_iterations = 30,

@@ -376,6 +376,7 @@ ReconOutcome ServeEngine::execute_single(
   ReconJob& job = p.job;
   job.deadline.check("serve.execute");
   std::vector<c64> image;
+  std::string note;
   if (job.coils > 1) {
     // Multi-coil: synthetic birdcage maps (the calibration-free convention
     // the CLI uses); values arrive as coils consecutive blocks of m.
@@ -388,7 +389,14 @@ ReconOutcome ServeEngine::execute_single(
                           static_cast<std::size_t>(c) * m;
       y[static_cast<std::size_t>(c)].assign(first, first + m);
     }
-    const int iters = job.iters > 0 ? job.iters : 10;
+    // Adjoint-only (iters == 0) is undefined for CG-SENSE; the wire
+    // contract (protocol.hpp, docs/serving.md) documents that iters == 0
+    // selects the configured default depth, surfaced in the reply message.
+    const int iters =
+        job.iters > 0 ? job.iters : config_.default_sense_iters;
+    if (job.iters == 0) {
+      note = "cg_sense iters=" + std::to_string(iters) + " (default)";
+    }
     image = core::cg_sense(plan->plan(), maps, y, iters,
                            config_.cg_tolerance, nullptr,
                            /*coil_threads=*/1, job.deadline);
@@ -403,7 +411,7 @@ ReconOutcome ServeEngine::execute_single(
   // Phase boundary: respond. Work that finished past its deadline still
   // reports TIMEOUT — the client has long stopped waiting.
   job.deadline.check("serve.respond");
-  ReconOutcome outcome = make_outcome(Status::kOk, "", job.n);
+  ReconOutcome outcome = make_outcome(Status::kOk, std::move(note), job.n);
   outcome.image = std::move(image);
   return outcome;
 }

@@ -64,6 +64,11 @@ struct ServeConfig {
   int max_iters = 64;           // largest accepted CG iteration count
   int max_coils = 32;
   double cg_tolerance = 1e-6;
+  int default_sense_iters = 10;  // CG-SENSE depth when coils > 1, iters == 0
+  int reply_write_timeout_ms = 5000;  // wall-clock bound per reply write; a
+                                      // peer that stops reading is cut off
+                                      // instead of stalling the dispatcher
+                                      // (< 0 = unbounded)
 };
 
 /// A parsed, validated-enough-to-try reconstruction job.

@@ -1,9 +1,12 @@
 #include "serve/protocol.hpp"
 
 #include <errno.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 namespace jigsaw::serve {
@@ -64,6 +67,7 @@ class Reader {
                           " unconsumed bytes");
     }
   }
+  std::size_t remaining() const { return len_ - pos_; }
 
  private:
   const std::uint8_t* data_;
@@ -71,18 +75,47 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-void write_all(int fd, const void* data, std::size_t len) {
+/// Write exactly `len` bytes. `timeout_ms < 0` blocks indefinitely;
+/// otherwise the WHOLE write must finish within `timeout_ms` of wall clock
+/// (a per-send timeout would let a drip-feeding peer stall the caller
+/// forever). On timeout the stream is left mid-frame — unrecoverable, the
+/// caller must close the connection.
+void write_all(int fd, const void* data, std::size_t len, int timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
     // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process signal.
-    const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("serve: send failed: ") +
-                               std::strerror(errno));
+    const int flags = MSG_NOSIGNAL | (timeout_ms >= 0 ? MSG_DONTWAIT : 0);
+    const ssize_t w = ::send(fd, p, len, flags);
+    if (w > 0) {
+      p += w;
+      len -= static_cast<std::size_t>(w);
+      continue;
     }
-    p += w;
-    len -= static_cast<std::size_t>(w);
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && timeout_ms >= 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const std::int64_t left = timeout_ms - elapsed_ms;
+      if (left <= 0) {
+        throw std::runtime_error("serve: send timed out after " +
+                                 std::to_string(timeout_ms) + " ms (" +
+                                 std::to_string(len) + " bytes unwritten)");
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int r =
+          ::poll(&pfd, 1, static_cast<int>(std::min<std::int64_t>(left, 100)));
+      if (r < 0 && errno != EINTR) {
+        throw std::runtime_error(std::string("serve: poll failed: ") +
+                                 std::strerror(errno));
+      }
+      continue;
+    }
+    throw std::runtime_error(std::string("serve: send failed: ") +
+                             std::strerror(errno));
   }
 }
 
@@ -174,6 +207,17 @@ ReconRequestWire decode_recon_request(const std::uint8_t* data,
     throw ProtocolError("sample count " + std::to_string(m) + " x " +
                         std::to_string(req.coils) + " coils implausibly large");
   }
+  // Preflight BEFORE allocating: the claimed counts must match the payload
+  // bytes actually present, or a tiny body advertising a huge m would make
+  // the receiver allocate gigabytes just to throw on the first read.
+  const std::uint64_t payload =
+      m * sizeof(double) * 2 + m * req.coils * sizeof(double) * 2;
+  if (payload != r.remaining()) {
+    throw ProtocolError("body carries " + std::to_string(r.remaining()) +
+                        " payload bytes, expected " + std::to_string(payload) +
+                        " for " + std::to_string(m) + " samples x " +
+                        std::to_string(req.coils) + " coils");
+  }
   req.coords.resize(static_cast<std::size_t>(m));
   for (auto& c : req.coords) {
     c[0] = r.f64("coord");
@@ -226,6 +270,12 @@ ReconReplyWire decode_recon_reply(const std::uint8_t* data, std::size_t len) {
   if (pixels > kAbsoluteMaxElements) {
     throw ProtocolError("pixel count implausibly large");
   }
+  if (pixels * sizeof(double) * 2 != r.remaining()) {
+    throw ProtocolError("body carries " + std::to_string(r.remaining()) +
+                        " image bytes, expected " +
+                        std::to_string(pixels * sizeof(double) * 2) + " for " +
+                        std::to_string(pixels) + " pixels");
+  }
   reply.image.resize(static_cast<std::size_t>(pixels));
   for (auto& v : reply.image) {
     const double re = r.f64("pixel");
@@ -237,7 +287,7 @@ ReconReplyWire decode_recon_reply(const std::uint8_t* data, std::size_t len) {
 }
 
 void send_frame(int fd, MsgType type, const std::uint8_t* body,
-                std::size_t len) {
+                std::size_t len, int timeout_ms) {
   std::uint8_t header[16];
   const std::uint32_t magic = kMagic;
   const auto type_u32 = static_cast<std::uint32_t>(type);
@@ -245,8 +295,8 @@ void send_frame(int fd, MsgType type, const std::uint8_t* body,
   std::memcpy(header + 0, &magic, 4);
   std::memcpy(header + 4, &type_u32, 4);
   std::memcpy(header + 8, &body_len, 8);
-  write_all(fd, header, sizeof header);
-  if (len > 0) write_all(fd, body, len);
+  write_all(fd, header, sizeof header, timeout_ms);
+  if (len > 0) write_all(fd, body, len, timeout_ms);
 }
 
 bool recv_frame(int fd, Frame& out, std::size_t max_body) {

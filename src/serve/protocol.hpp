@@ -84,7 +84,11 @@ class FrameTooLarge : public ProtocolError {
 struct ReconRequestWire {
   std::uint32_t engine = 3;   // core::GridderKind (3 = slice-dice)
   std::uint32_t n = 128;      // base grid side
-  std::uint32_t iters = 0;    // 0 = adjoint-only, >0 = CG iterations
+  std::uint32_t iters = 0;    // 0 = adjoint-only, >0 = CG iterations; with
+                              // coils > 1 (where adjoint-only is undefined)
+                              // 0 selects the server's default CG-SENSE
+                              // depth (ServeConfig::default_sense_iters,
+                              // 10) and the reply message reports it
   std::uint32_t coils = 1;    // >1 = CG-SENSE with server-side birdcage maps
   std::uint32_t sanitize = 0; // robustness::SanitizePolicy
   std::uint32_t kernel_width = 6;
@@ -123,12 +127,17 @@ struct Frame {
 };
 
 /// Write one frame (header + body), retrying on EINTR/partial writes.
-/// Throws std::runtime_error on I/O failure (e.g. peer gone).
+/// Throws std::runtime_error on I/O failure (e.g. peer gone). When
+/// timeout_ms >= 0, each of header and body must complete within that many
+/// milliseconds of wall clock or the call throws — the frame is then only
+/// partially written and the connection must be closed. timeout_ms < 0
+/// blocks indefinitely (client side, where the server reads promptly).
 void send_frame(int fd, MsgType type, const std::uint8_t* body,
-                std::size_t len);
+                std::size_t len, int timeout_ms = -1);
 inline void send_frame(int fd, MsgType type,
-                       const std::vector<std::uint8_t>& body) {
-  send_frame(fd, type, body.data(), body.size());
+                       const std::vector<std::uint8_t>& body,
+                       int timeout_ms = -1) {
+  send_frame(fd, type, body.data(), body.size(), timeout_ms);
 }
 
 /// Read one frame. Returns false on clean EOF before any header byte.

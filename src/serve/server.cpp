@@ -6,6 +6,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 namespace jigsaw::serve {
@@ -104,6 +106,8 @@ void ReconServer::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+ReconServer::Connection::~Connection() { close_quietly(fd); }
+
 void ReconServer::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
@@ -117,22 +121,55 @@ void ReconServer::stop() {
   engine_.drain();
 
   // 3. Unblock every connection reader and join. SHUT_RDWR makes a blocked
-  //    recv return 0 (EOF), so readers exit their frame loop cleanly.
+  //    recv return 0 (EOF), so readers exit their frame loop cleanly,
+  //    retire themselves, and land in finished_threads_. Loop until every
+  //    reader — live or already self-retired — has been joined.
+  for (;;) {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+      for (auto& [conn, t] : reader_threads_) to_join.push_back(std::move(t));
+      reader_threads_.clear();
+      for (auto& t : finished_threads_) to_join.push_back(std::move(t));
+      finished_threads_.clear();
+    }
+    if (to_join.empty()) break;
+    for (auto& t : to_join) t.join();
+  }
+  // Readers erased themselves from conns_ as they retired; dropping any
+  // leftovers releases the server's references (fds close with the last
+  // shared_ptr).
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  conns_.clear();
+}
+
+void ReconServer::retire_connection(const Connection* conn) {
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  const auto it = reader_threads_.find(conn);
+  if (it != reader_threads_.end()) {
+    finished_threads_.push_back(std::move(it->second));
+    reader_threads_.erase(it);
+  }
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [conn](const std::shared_ptr<Connection>& c) {
+                                return c.get() == conn;
+                              }),
+               conns_.end());
+}
+
+void ReconServer::reap_finished() {
+  std::vector<std::thread> done;
   {
     std::lock_guard<std::mutex> lk(conn_mu_);
-    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+    done.swap(finished_threads_);
   }
-  for (auto& t : conn_threads_) t.join();
-  {
-    std::lock_guard<std::mutex> lk(conn_mu_);
-    for (const auto& conn : conns_) close_quietly(conn->fd);
-    conns_.clear();
-    conn_threads_.clear();
-  }
+  for (auto& t : done) t.join();
 }
 
 void ReconServer::accept_loop() {
   while (!stopping_.load()) {
+    reap_finished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);  // 100 ms: prompt shutdown
     if (ready < 0) {
@@ -143,18 +180,24 @@ void ReconServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
+      // Transient exhaustion (EMFILE/ENFILE/ENOMEM/...): the pending
+      // connection stays in the backlog and poll() would report it ready
+      // again immediately, so back off briefly instead of spinning — and
+      // keep accepting; retiring connections frees descriptors.
+      std::fprintf(stderr, "jigsaw_serve: accept failed: %s\n",
+                   std::strerror(errno));
+      ::poll(nullptr, 0, 100);
+      continue;
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     std::lock_guard<std::mutex> lk(conn_mu_);
-    if (stopping_.load()) {
-      close_quietly(fd);
-      break;
-    }
+    if (stopping_.load()) break;  // ~Connection closes fd
     conns_.push_back(conn);
-    conn_threads_.emplace_back(
-        [this, conn] { serve_connection(conn); });
+    reader_threads_.emplace(conn.get(), std::thread([this, conn] {
+                              serve_connection(conn);
+                              retire_connection(conn.get());
+                            }));
   }
 }
 
@@ -162,7 +205,8 @@ void ReconServer::send_reply_locked(const std::shared_ptr<Connection>& conn,
                                     const ReconReplyWire& reply) {
   const auto body = encode_recon_reply(reply);
   std::lock_guard<std::mutex> lk(conn->write_mu);
-  send_frame(conn->fd, MsgType::kReconReply, body);
+  send_frame(conn->fd, MsgType::kReconReply, body,
+             config_.reply_write_timeout_ms);
 }
 
 void ReconServer::serve_connection(const std::shared_ptr<Connection>& conn) {
@@ -194,7 +238,7 @@ void ReconServer::serve_connection(const std::shared_ptr<Connection>& conn) {
       try {
         send_frame(conn->fd, MsgType::kStatsReply,
                    reinterpret_cast<const std::uint8_t*>(json.data()),
-                   json.size());
+                   json.size(), config_.reply_write_timeout_ms);
       } catch (const std::exception&) {
         return;
       }
@@ -236,8 +280,11 @@ void ReconServer::serve_connection(const std::shared_ptr<Connection>& conn) {
       try {
         send_reply_locked(conn, reply);
       } catch (const std::exception&) {
-        // Peer gone mid-reply: the request still completed; counters have
-        // already accounted for it.
+        // Peer gone or reply write timed out mid-frame: the request still
+        // completed and the counters already account for it, but the
+        // stream is unrecoverable. Shut the socket down so the reader
+        // unblocks, exits, and retires the connection.
+        ::shutdown(conn->fd, SHUT_RDWR);
       }
     });
   }

@@ -16,12 +16,27 @@
 //     kept (the bad body was fully consumed);
 //   * bad magic / unknown type / truncated frame -> connection closed.
 //
+// Connections are reaped as they end, not at shutdown: a reader that sees
+// EOF (or a fatal framing/write error) retires itself — the server drops
+// its references, the fd closes once the last in-flight reply callback
+// releases the connection, and the accept loop joins the exited thread on
+// its next pass. A long-running daemon serving one-connection-per-request
+// clients therefore holds O(live connections) fds/threads, not O(total).
+// accept() failures (EMFILE under fd pressure, ENOMEM, ...) back off and
+// retry; the accept loop never exits while the server is running.
+//
+// Reply writes are bounded by ServeConfig::reply_write_timeout_ms so a
+// client that stops reading cannot stall the dispatcher thread (or a
+// drain) indefinitely: on timeout the partially-written connection is shut
+// down and the request is still counted as completed.
+//
 // stop() is the graceful-drain path SIGTERM triggers in jigsaw_serve:
 // stop accepting, drain the engine (every admitted job completes), then
 // shut down remaining connections and join their threads.
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -58,7 +73,12 @@ class ReconServer {
   const std::string& socket_path() const { return config_.socket_path; }
 
  private:
+  // The connection's fd closes when the last shared_ptr drops — i.e. only
+  // once the reader thread has exited AND no engine callback that might
+  // still write a reply holds a reference. Nobody closes fd directly, so a
+  // reused descriptor number can never be written by a stale callback.
   struct Connection {
+    ~Connection();  // closes fd
     int fd = -1;
     std::mutex write_mu;  // dispatcher + reader threads both reply
   };
@@ -68,13 +88,22 @@ class ReconServer {
   void send_reply_locked(const std::shared_ptr<Connection>& conn,
                          const ReconReplyWire& reply);
 
+  /// Reader-thread epilogue: drop the server's references to `conn` and
+  /// move the reader's own thread handle to finished_threads_ for joining
+  /// by the accept loop (or stop()).
+  void retire_connection(const Connection* conn);
+
+  /// Join and discard every thread in finished_threads_.
+  void reap_finished();
+
   const ServeConfig config_;
   ServeEngine engine_;
   int listen_fd_ = -1;
 
   std::mutex conn_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<std::shared_ptr<Connection>> conns_;       // live connections
+  std::map<const Connection*, std::thread> reader_threads_;  // live readers
+  std::vector<std::thread> finished_threads_;  // exited readers, un-joined
 
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};

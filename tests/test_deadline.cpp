@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <thread>
 
 #include "common/deadline.hpp"
@@ -181,6 +182,42 @@ TEST(Deadline, CgSenseTimeoutMidSolveResetsInflightGauge) {
                               /*coil_threads=*/1,
                               Deadline::after(std::chrono::milliseconds(30))),
                DeadlineExceeded);
+  EXPECT_EQ(obs::snapshot().gauge("cg.inflight"), 0.0);
+}
+
+TEST(Deadline, InflightGaugeCountsConcurrentSolves) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs layer compiled out";
+  // One solve parks inside its operator while a second starts and finishes.
+  // The gauge must read the number of solves still in flight (1) — an
+  // absolute 1/0 publish would let the finished solve clobber it to 0 while
+  // the parked solve is still running.
+  std::promise<void> entered;
+  std::promise<void> release;
+  auto release_future = release.get_future().share();
+  std::atomic<int> calls{0};
+  const std::vector<c64> b(8, c64{1.0, 0.0});
+
+  std::thread parked([&] {
+    const auto op = [&](const std::vector<c64>& x) {
+      if (calls.fetch_add(1) == 0) {
+        entered.set_value();
+        release_future.wait();
+      }
+      return x;  // identity operator: converges immediately
+    };
+    std::vector<c64> x;
+    core::conjugate_gradient(op, b, x, /*max_iterations=*/2, 1e-12);
+  });
+
+  entered.get_future().wait();
+  {
+    const auto identity = [](const std::vector<c64>& x) { return x; };
+    std::vector<c64> x;
+    core::conjugate_gradient(identity, b, x, /*max_iterations=*/2, 1e-12);
+  }
+  EXPECT_EQ(obs::snapshot().gauge("cg.inflight"), 1.0);
+  release.set_value();
+  parked.join();
   EXPECT_EQ(obs::snapshot().gauge("cg.inflight"), 0.0);
 }
 

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include "core/nufft.hpp"
@@ -123,6 +124,46 @@ TEST(ServeProtocol, DecodeRejectsMalformedBodies) {
   // Arbitrary junk.
   const std::uint8_t junk[] = {1, 2, 3};
   EXPECT_THROW(decode_recon_request(junk, sizeof junk), ProtocolError);
+}
+
+TEST(ServeProtocol, CountMismatchRejectedBeforePayloadAllocation) {
+  // A tiny body advertising 2^27 samples must be refused by the preflight
+  // byte-count check — not allocate gigabytes and throw on the first read.
+  std::vector<std::uint8_t> body;
+  const auto put = [&](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    body.insert(body.end(), b, b + n);
+  };
+  const auto u32 = [&](std::uint32_t v) { put(&v, sizeof v); };
+  const auto u64 = [&](std::uint64_t v) { put(&v, sizeof v); };
+  const auto f64 = [&](double v) { put(&v, sizeof v); };
+
+  u32(kProtocolVersion);
+  u32(3);    // engine
+  u32(64);   // n
+  u32(0);    // iters
+  u32(1);    // coils
+  u32(0);    // sanitize
+  u32(6);    // kernel_width
+  u32(0);    // pad
+  f64(2.0);  // sigma
+  u64(0);    // deadline_ms
+  u64(0);    // client_tag
+  u64(1ull << 27);  // m: claims 4 GiB of payload...
+  f64(0.25);        // ...but 8 bytes follow
+  EXPECT_THROW(decode_recon_request(body.data(), body.size()), ProtocolError);
+
+  // Same guard on the reply path.
+  body.clear();
+  u32(0);   // status
+  u32(64);  // n
+  u64(0);   // client_tag
+  u64(0);   // sanitize_dropped
+  u64(0);   // sanitize_repaired
+  u32(0);   // msg_len
+  u64(1ull << 27);  // pixel_count: claims 4 GiB of image...
+  f64(1.0);         // ...but 8 bytes follow
+  EXPECT_THROW(decode_recon_reply(body.data(), body.size()), ProtocolError);
 }
 
 TEST(ServeProtocol, JobFromWireValidatesEnums) {
@@ -320,6 +361,27 @@ TEST(ServeSession, MultiCoilJobRunsCgSense) {
   EXPECT_EQ(outcome.image.size(), static_cast<std::size_t>(n * n));
 }
 
+TEST(ServeSession, MultiCoilItersZeroRunsDocumentedDefaultDepth) {
+  // The wire contract: iters == 0 with coils > 1 selects the configured
+  // default CG-SENSE depth, and the reply message must say so.
+  const std::int64_t n = 24;
+  ReconJob job;
+  job.n = n;
+  job.coils = 2;
+  job.iters = 0;
+  job.samples.coords = traj(600);
+  const auto values = phantom_data(job.samples.coords, static_cast<int>(n));
+  job.samples.values = values;
+  job.samples.values.insert(job.samples.values.end(), values.begin(),
+                            values.end());
+  ServeSession session;
+  const ReconOutcome outcome = session.recon(std::move(job));
+  ASSERT_EQ(outcome.status, Status::kOk) << outcome.message;
+  EXPECT_NE(outcome.message.find("iters=10 (default)"), std::string::npos)
+      << outcome.message;
+  EXPECT_EQ(outcome.image.size(), static_cast<std::size_t>(n * n));
+}
+
 TEST(ServeSession, StatszJsonCarriesCountsAndCounters) {
   ServeSession session;
   EXPECT_EQ(session.recon(make_job(32, traj(256))).status, Status::kOk);
@@ -466,6 +528,81 @@ TEST(ServeServer, StatsRequestReturnsJsonSnapshot) {
     EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
   }
   server.stop();
+}
+
+int open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(ServeServer, ConnectionsAreReapedWhileRunning) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("reap");
+  ReconServer server(config);
+  server.start();
+
+  {  // Warm-up connection: first-use allocations settle before baselining.
+    ServeClient warm(config.socket_path);
+    warm.statsz();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const int baseline = open_fd_count();
+  ASSERT_GT(baseline, 0);
+
+  // The jigsaw_client pattern: one connection per request, then EOF.
+  constexpr int kConnections = 40;
+  for (int i = 0; i < kConnections; ++i) {
+    ServeClient client(config.socket_path);
+    client.statsz();
+  }
+
+  // Readers retire themselves on client EOF and the accept loop joins
+  // them; poll until the fd count is back near the baseline. Without
+  // reaping the server held one fd per past connection until stop() and
+  // this never converged.
+  int now = open_fd_count();
+  for (int spin = 0; spin < 100 && now > baseline + 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    now = open_fd_count();
+  }
+  EXPECT_LE(now, baseline + 2);
+  server.stop();
+}
+
+TEST(ServeServer, StalledReplyReaderCannotBlockDrain) {
+  ServeConfig config;
+  config.socket_path = unique_socket_path("stall");
+  config.reply_write_timeout_ms = 200;
+  ReconServer server(config);
+  server.start();
+  {
+    // A client that submits a request with a ~1 MiB reply and never reads
+    // it: the socket buffers fill and the dispatcher's reply write must
+    // time out instead of stalling the drain below forever.
+    ServeClient client(config.socket_path);
+    ReconRequestWire req;
+    req.n = 256;
+    req.kernel_width = 4;
+    req.coords = traj(512);
+    req.values = phantom_data(req.coords, 256);
+    client.send_raw(MsgType::kRecon, encode_recon_request(req));
+
+    // The job's status is counted before the reply write, so waiting for
+    // ok == 1 guarantees the write is the only thing still outstanding.
+    for (int spin = 0; spin < 1000 && server.engine().counts().ok < 1;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_EQ(server.engine().counts().ok, 1u);
+    server.stop();  // hangs here without the bounded reply write
+  }
+  const EngineCounts c = server.engine().counts();
+  EXPECT_EQ(c.ok, 1u);
+  EXPECT_EQ(c.completed(), c.submitted);
 }
 
 TEST(ServeServer, DeadlineExpiredRequestAnsweredTimeout) {

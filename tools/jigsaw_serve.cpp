@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
                        {"socket", "queue", "batch", "plans", "threads",
-                        "max-n", "max-samples", "max-iters", "max-coils"});
+                        "max-n", "max-samples", "max-iters", "max-coils",
+                        "reply-timeout"});
     serve::ServeConfig config;
     config.socket_path = args.get("socket", "/tmp/jigsaw_serve.sock");
     config.max_queue = static_cast<std::size_t>(args.get_int("queue", 64));
@@ -39,6 +40,9 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("max-samples", 1 << 21));
     config.max_iters = static_cast<int>(args.get_int("max-iters", 64));
     config.max_coils = static_cast<int>(args.get_int("max-coils", 32));
+    // Wall-clock bound per reply write (ms); < 0 disables the bound.
+    config.reply_write_timeout_ms =
+        static_cast<int>(args.get_int("reply-timeout", 5000));
 
     serve::ReconServer server(config);
     std::signal(SIGTERM, handle_stop);
