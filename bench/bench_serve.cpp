@@ -10,6 +10,11 @@
 //
 //   bench_serve [--smoke] [--tag ci-serve] [--out BENCH_serve.json]
 //               [--threads 2] [--n 64] [--samples 8192]
+//               [--engine slice-dice|auto] [--wisdom <path>] [--no-trials]
+//
+// --engine auto routes requests through the engine's autotuner; each serve
+// block then reports the CONCRETE engine the tuner picked plus
+// "tuned": true, so a tuned run and a default run are directly comparable.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -41,6 +46,9 @@ struct ServeResult {
   std::uint64_t plan_builds = 0;
   std::uint64_t batches = 0;
   std::uint64_t batched_jobs = 0;
+  std::string engine;  // concrete engine the plans ran on (tuner-resolved
+                       // when the request asked for auto)
+  bool tuned = false;  // true when the engine came from the autotuner
 };
 
 double percentile(std::vector<double>& sorted, double q) {
@@ -54,10 +62,14 @@ ServeResult run_closed_loop(int clients, int requests_per_client,
                             std::int64_t n,
                             const std::vector<Coord<2>>& coords,
                             const std::vector<c64>& values,
-                            unsigned exec_threads) {
+                            unsigned exec_threads,
+                            core::GridderKind engine_kind,
+                            const std::string& wisdom_path, bool tune_trials) {
   serve::ServeConfig config;
   config.max_queue = static_cast<std::size_t>(clients) * 2 + 8;
   config.exec_threads = exec_threads;
+  config.wisdom_path = wisdom_path;
+  config.tune_trials = tune_trials;
   serve::ServeSession session(config);
 
   std::vector<std::vector<double>> latencies(
@@ -71,6 +83,7 @@ ServeResult run_closed_loop(int clients, int requests_per_client,
       lat.reserve(static_cast<std::size_t>(requests_per_client));
       for (int r = 0; r < requests_per_client; ++r) {
         serve::ReconJob job;
+        job.options.kind = engine_kind;
         job.options.width = 4;
         job.n = n;
         job.samples.coords = coords;
@@ -115,6 +128,20 @@ ServeResult run_closed_loop(int clients, int requests_per_client,
   result.plan_builds = counts.plan_builds;
   result.batches = counts.batches;
   result.batched_jobs = counts.batched_jobs;
+  result.tuned = counts.tuned_plans > 0;
+  if (result.tuned) {
+    // The tuner memoized its decision when the first plan was built; a
+    // second decide() is a pure lookup that names the concrete engine.
+    core::GridderOptions options;
+    options.width = 4;
+    const auto key = tune::TuneKey::of(
+        2, n, static_cast<std::int64_t>(coords.size()), options,
+        /*coils=*/1, /*threads=*/1);
+    result.engine =
+        core::to_string(session.engine().tuner().decide(key, options).kind);
+  } else {
+    result.engine = core::to_string(engine_kind);
+  }
   return result;
 }
 
@@ -154,8 +181,10 @@ void write_json(const std::string& path, const std::string& tag, bool smoke,
                  static_cast<unsigned long long>(r.plan_builds));
     std::fprintf(f, "      \"batches\": %llu,\n",
                  static_cast<unsigned long long>(r.batches));
-    std::fprintf(f, "      \"batched_jobs\": %llu\n",
+    std::fprintf(f, "      \"batched_jobs\": %llu,\n",
                  static_cast<unsigned long long>(r.batched_jobs));
+    std::fprintf(f, "      \"engine\": \"%s\",\n", r.engine.c_str());
+    std::fprintf(f, "      \"tuned\": %s\n", r.tuned ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(f, "  ],\n");
@@ -185,7 +214,8 @@ void write_json(const std::string& path, const std::string& tag, bool smoke,
 int main(int argc, char** argv) {
   try {
     const CliArgs args(argc, argv,
-                       {"smoke", "tag", "out", "threads", "n", "samples"});
+                       {"smoke", "tag", "out", "threads", "n", "samples",
+                        "engine", "wisdom", "no-trials"});
     const bool smoke = args.has("smoke");
     const std::string tag = args.get("tag", smoke ? "serve-smoke" : "serve");
     const std::string out_path = args.get("out", "BENCH_" + tag + ".json");
@@ -193,6 +223,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(args.get_int("threads", 2));
     const std::int64_t n = args.get_int("n", smoke ? 48 : 64);
     const std::int64_t m = args.get_int("samples", smoke ? 4000 : 8192);
+    const core::GridderKind engine_kind =
+        core::parse_gridder_kind(args.get("engine", "slice-dice"));
+    const std::string wisdom_path = args.get("wisdom", "");
+    const bool tune_trials = !args.has("no-trials");
     const int requests_per_client = smoke ? 20 : 100;
     const std::vector<int> client_counts =
         smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
@@ -203,20 +237,24 @@ int main(int argc, char** argv) {
                                                    coords,
                                                    static_cast<int>(n));
 
-    std::printf("bench_serve: n=%lld m=%zu lanes=%u %s\n",
+    std::printf("bench_serve: n=%lld m=%zu lanes=%u engine=%s %s\n",
                 static_cast<long long>(n), coords.size(), exec_threads,
+                core::to_string(engine_kind).c_str(),
                 smoke ? "(smoke)" : "");
     std::vector<ServeResult> results;
     for (const int clients : client_counts) {
       results.push_back(run_closed_loop(clients, requests_per_client, n,
-                                        coords, values, exec_threads));
+                                        coords, values, exec_threads,
+                                        engine_kind, wisdom_path,
+                                        tune_trials));
       const ServeResult& r = results.back();
       std::printf("  %-22s %6.1f req/s  p50 %6.2f ms  p99 %6.2f ms  "
-                  "batches %llu (fused jobs %llu), plans %llu\n",
+                  "batches %llu (fused jobs %llu), plans %llu, engine %s%s\n",
                   r.name.c_str(), r.rps, r.p50_ms, r.p99_ms,
                   static_cast<unsigned long long>(r.batches),
                   static_cast<unsigned long long>(r.batched_jobs),
-                  static_cast<unsigned long long>(r.plan_builds));
+                  static_cast<unsigned long long>(r.plan_builds),
+                  r.engine.c_str(), r.tuned ? " (tuned)" : "");
     }
     write_json(out_path, tag, smoke, exec_threads, results);
     std::printf("bench_serve: wrote %s\n", out_path.c_str());

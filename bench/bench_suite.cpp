@@ -36,6 +36,7 @@
 #include "obs/obs.hpp"
 #include "trajectory/phantom.hpp"
 #include "trajectory/trajectory.hpp"
+#include "tune/autotuner.hpp"
 
 using namespace jigsaw;
 
@@ -153,6 +154,64 @@ void bench_gridder(const EngineSpec& spec, std::int64_t n, std::int64_t m,
     Entry e;
     e.name = base + "forward/" + spec.name + size_suffix(n, m);
     e.dim = D;
+    e.n = n;
+    e.m = m;
+    e.counters = counted_run([&] { g->forward(grid, fwd); });
+    e.seconds = time_best([&] { g->forward(grid, fwd); }, 0.1, 3);
+    e.checksum = core::norm2(fwd.values);
+    out.push_back(std::move(e));
+  }
+}
+
+/// The tuned configuration: resolve engine=auto with an in-memory tuner
+/// (fresh trials each run — this IS the tuner benchmark), then time the
+/// winner like any other engine. The resolved engine is machine-dependent,
+/// so bench_compare.py exempts "/auto" entries from the work-counter gate;
+/// the checksum gate still applies because trial candidates are exact
+/// double-precision engines only.
+void bench_auto(std::int64_t n, std::int64_t m, int width,
+                std::vector<Entry>& out) {
+  core::GridderOptions opt;
+  opt.kind = core::GridderKind::Auto;
+  opt.width = width;
+  opt.tile = 8;
+  tune::Autotuner tuner(tune::TunerConfig{});  // in-memory, trials enabled
+  const auto key = tune::TuneKey::of(2, n, m, opt, /*coils=*/1, /*threads=*/1);
+  Timer tune_timer;
+  const auto decision = tuner.decide(key, opt);
+  const double tune_seconds = tune_timer.seconds();
+  const auto resolved = tune::Autotuner::apply(decision, opt);
+  std::printf("auto: %s -> %s (tile %d, %.1f ms of trials)\n",
+              key.label().c_str(), core::to_string(decision.kind).c_str(),
+              decision.tile, 1e3 * tune_seconds);
+
+  auto g = core::make_gridder<2>(n, resolved);
+  const auto in = random_samples<2>(m, 42 + static_cast<std::uint64_t>(n));
+  core::Grid<2> grid(g->grid_size());
+  const auto stats = tuner.stats();
+  {
+    Entry e;
+    e.name = "grid2d/adjoint/auto" + size_suffix(n, m);
+    e.dim = 2;
+    e.n = n;
+    e.m = m;
+    e.counters = counted_run([&] { g->adjoint(in, grid); });
+    e.seconds = time_best([&] { g->adjoint(in, grid); }, 0.1, 3);
+    e.checksum = core::norm2(
+        std::vector<c64>(grid.data(), grid.data() + grid.total()));
+    e.extra = {{"tune_seconds", tune_seconds},
+               {"tune_trials", static_cast<double>(stats.trials)},
+               {"resolved_engine_code",
+                static_cast<double>(static_cast<int>(decision.kind))}};
+    out.push_back(std::move(e));
+  }
+  {
+    core::SampleSet<2> fwd;
+    fwd.coords = in.coords;
+    fwd.values.assign(in.coords.size(), c64{});
+    Entry e;
+    e.name = "grid2d/forward/auto" + size_suffix(n, m);
+    e.dim = 2;
     e.n = n;
     e.m = m;
     e.counters = counted_run([&] { g->forward(grid, fwd); });
@@ -416,6 +475,10 @@ int main(int argc, char** argv) {
     bench_gridder<3>(spec, n3, m3, /*width=*/4, entries);
     std::printf("done: gridders/%s\n", spec.name);
   }
+
+  // The tuned configuration (engine=auto) on the main 2D problem.
+  bench_auto(smoke ? 64 : 128, smoke ? 32768 : 131072, /*width=*/6, entries);
+  std::printf("done: auto\n");
 
   // NuFFT with phase breakdown (slice-dice engine).
   bench_nufft<2>(smoke ? 64 : 128, smoke ? 32768 : 131072, 6, entries);

@@ -15,6 +15,10 @@
 #      BENCH_baseline.json — fails on >15% slowdown, any checksum drift,
 #      or any work-counter drift (see scripts/bench_compare.py); the JSON
 #      is schema-validated with counters required
+#   4b. jigsaw_tune smoke — calibrates two tiny geometries into a fresh
+#      wisdom store, schema-validates it, then reruns with --expect-hits:
+#      a cold process must serve both decisions from the reloaded store
+#      with zero new trials (the wisdom persistence round-trip)
 #   5. bench_suite --smoke from the OFF build compared against the same
 #      baseline — the overhead guard: a disabled observability layer must
 #      bench within the ordinary noise threshold
@@ -71,6 +75,20 @@ echo "=== serve throughput smoke + schema gate ==="
 ./build/bench/bench_serve --smoke --tag ci-serve \
   --out build/BENCH_ci-serve.json
 python3 scripts/validate_bench.py build/BENCH_ci-serve.json
+
+echo "=== autotuner smoke + wisdom persistence gate ==="
+# Calibrate two tiny geometries into a throwaway wisdom store, validate the
+# store's schema, then rerun the same geometries from a cold process:
+# --expect-hits fails the stage unless every decision came from the reloaded
+# store with zero new trials — the persistence round-trip, end to end.
+# (--expect-hits must follow the positionals: boolean flags would otherwise
+# swallow the next token as their value.)
+TUNE_WISDOM=build/ci_wisdom.json
+rm -f "${TUNE_WISDOM}"
+./build/tools/jigsaw_tune --wisdom "${TUNE_WISDOM}" 48x4000 64x8192
+python3 scripts/validate_bench.py "${TUNE_WISDOM}"
+./build/tools/jigsaw_tune --wisdom "${TUNE_WISDOM}" 48x4000 64x8192 \
+  --expect-hits
 
 echo "=== observability overhead guard (obs OFF) ==="
 ./build-noobs/bench/bench_suite --smoke --tag ci-noobs \

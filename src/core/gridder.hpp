@@ -47,6 +47,9 @@ enum class GridderKind {
   Jigsaw,
   Sparse,
   FloatSerial,  // single-precision (the paper's GPU numeric configuration)
+  Auto,         // defer the choice to the autotuner (src/tune/); sites that
+                // know the sample count resolve it against wisdom/trials,
+                // make_gridder falls back to SliceDice
 };
 
 std::string to_string(GridderKind k);

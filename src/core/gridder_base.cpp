@@ -57,12 +57,14 @@ std::string to_string(GridderKind k) {
     case GridderKind::Jigsaw: return "jigsaw";
     case GridderKind::Sparse: return "sparse-matrix";
     case GridderKind::FloatSerial: return "serial-f32";
+    case GridderKind::Auto: return "auto";
   }
   return "unknown";
 }
 
 std::string gridder_kind_names() {
-  return "serial, output-driven, binning, slice-dice, jigsaw, sparse, float";
+  return "serial, output-driven, binning, slice-dice, jigsaw, sparse, float, "
+         "auto";
 }
 
 GridderKind parse_gridder_kind(const std::string& s) {
@@ -73,6 +75,7 @@ GridderKind parse_gridder_kind(const std::string& s) {
   if (s == "jigsaw") return GridderKind::Jigsaw;
   if (s == "sparse" || s == "sparse-matrix") return GridderKind::Sparse;
   if (s == "float" || s == "serial-f32") return GridderKind::FloatSerial;
+  if (s == "auto" || s == "tuned") return GridderKind::Auto;
   throw std::invalid_argument("unknown engine '" + s +
                               "', valid: " + gridder_kind_names());
 }

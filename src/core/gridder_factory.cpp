@@ -27,6 +27,15 @@ std::unique_ptr<Gridder<D>> make_gridder(std::int64_t n,
       return std::make_unique<SparseGridder<D>>(n, options);
     case GridderKind::FloatSerial:
       return std::make_unique<FloatGridder<D>>(n, options);
+    case GridderKind::Auto: {
+      // The factory has no sample count (the tuner's key needs M), so Auto
+      // here is a static fallback to the paper engine. Call sites that know
+      // the geometry — the CLI, the serve plan pool, jigsaw_tune — resolve
+      // Auto through tune::Autotuner before reaching this function.
+      GridderOptions resolved = options;
+      resolved.kind = GridderKind::SliceDice;
+      return std::make_unique<SliceDiceGridder<D>>(n, resolved);
+    }
   }
   throw std::invalid_argument("jigsaw: unknown gridder kind");
 }

@@ -47,6 +47,12 @@ ReconOutcome make_outcome(Status status, std::string message,
 }  // namespace
 
 ServeEngine::ServeEngine(const ServeConfig& config) : config_(config) {
+  // Built before the dispatcher starts: an unwritable wisdom path must fail
+  // engine construction (daemon startup), not the first auto request.
+  tune::TunerConfig tuner_config;
+  tuner_config.wisdom_path = config_.wisdom_path;
+  tuner_config.enable_trials = config_.tune_trials;
+  tuner_ = std::make_unique<tune::Autotuner>(std::move(tuner_config));
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -436,6 +442,21 @@ std::shared_ptr<core::BatchedNufft<2>> ServeEngine::plan_for(
   options.sanitize = robustness::SanitizePolicy::None;
   options.soft_error = {};
   options.threads = 1;
+  if (options.kind == core::GridderKind::Auto) {
+    // Resolve Auto against the shared tuner. The tune key uses a 1-thread
+    // budget: intra-transform threading stays off in the pool (parallelism
+    // comes from the lanes), so the tuned engine must win single-threaded.
+    const tune::TuneKey tkey = tune::TuneKey::of(
+        2, p.job.n, static_cast<std::int64_t>(p.key.m), options,
+        /*coils=*/1, /*threads=*/1);
+    options = tuner_->tuned_options(tkey, options);
+    options.threads = 1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++counts_.tuned_plans;
+    }
+    obs::add("serve.tuned_plans", 1);
+  }
   auto plan = std::make_shared<core::BatchedNufft<2>>(
       p.job.n, p.job.samples.coords, options,
       std::max(1u, config_.exec_threads));
@@ -528,7 +549,8 @@ std::string ServeEngine::statsz_json() const {
   os << "    \"batched_jobs\": " << c.batched_jobs << ",\n";
   os << "    \"plan_builds\": " << c.plan_builds << ",\n";
   os << "    \"plan_hits\": " << c.plan_hits << ",\n";
-  os << "    \"plan_evictions\": " << c.plan_evictions << "\n";
+  os << "    \"plan_evictions\": " << c.plan_evictions << ",\n";
+  os << "    \"tuned_plans\": " << c.tuned_plans << "\n";
   os << "  },\n";
   // The obs CounterRegistry snapshot (empty maps under JIGSAW_OBS=OFF).
   const obs::Snapshot snap = obs::snapshot();

@@ -49,6 +49,7 @@
 #include "core/batch.hpp"
 #include "core/sample_set.hpp"
 #include "serve/protocol.hpp"
+#include "tune/autotuner.hpp"
 
 namespace jigsaw::serve {
 
@@ -69,6 +70,8 @@ struct ServeConfig {
                                       // peer that stops reading is cut off
                                       // instead of stalling the dispatcher
                                       // (< 0 = unbounded)
+  std::string wisdom_path;      // autotuner wisdom store ("" = in-memory)
+  bool tune_trials = true;      // false: cost-model only for cold Auto keys
 };
 
 /// A parsed, validated-enough-to-try reconstruction job.
@@ -106,6 +109,7 @@ struct EngineCounts {
   std::uint64_t plan_builds = 0;      // geometry-pool misses
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_evictions = 0;
+  std::uint64_t tuned_plans = 0;      // plan builds that resolved engine=auto
   std::size_t queue_depth = 0;
   std::size_t inflight = 0;
   bool draining = false;
@@ -142,6 +146,10 @@ class ServeEngine {
 
   EngineCounts counts() const;
   const ServeConfig& config() const { return config_; }
+
+  /// The engine's autotuner (resolves GridderKind::Auto at plan build).
+  /// Shares the engine's wisdom store; safe to query concurrently.
+  tune::Autotuner& tuner() { return *tuner_; }
 
   /// JSON snapshot of counts + obs counters/gauges (the /statsz body).
   std::string statsz_json() const;
@@ -192,8 +200,12 @@ class ServeEngine {
   EngineCounts counts_;
 
   // Plan pool: dispatcher-thread-only (no lock needed beyond the queue's).
+  // Keyed on the ORIGINAL options signature (Auto included), so a burst of
+  // engine=auto requests still resolves to one pooled plan; the tuner's
+  // substitution happens inside plan_for() at construction time.
   std::map<GeometryKey, PlanEntry> plans_;
   std::uint64_t plan_tick_ = 0;
+  std::unique_ptr<tune::Autotuner> tuner_;  // created in the constructor
 
   std::thread dispatcher_;
 };

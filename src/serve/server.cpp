@@ -21,7 +21,7 @@ void close_quietly(int fd) {
 }  // namespace
 
 ReconJob job_from_wire(const ReconRequestWire& wire) {
-  if (wire.engine > static_cast<std::uint32_t>(core::GridderKind::FloatSerial)) {
+  if (wire.engine > static_cast<std::uint32_t>(core::GridderKind::Auto)) {
     throw ProtocolError("unknown engine code " + std::to_string(wire.engine));
   }
   if (wire.sanitize >

@@ -1,0 +1,322 @@
+#include "tune/autotuner.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tune/cost_model.hpp"
+#include "common/timer.hpp"
+#include "core/grid.hpp"
+#include "core/sample_set.hpp"
+#include "obs/obs.hpp"
+
+namespace jigsaw::tune {
+namespace {
+
+// Calibration problems are representative, not full-size: trial cost must be
+// amortizable by a single real reconstruction. The caps keep a 2D trial
+// session in the tens of milliseconds.
+constexpr std::int64_t kTrialMaxSamples = 32768;
+constexpr std::int64_t kTrialMaxN = 128;
+// Sparse (CSR) setup materializes M*W^d weights; skip the candidate when
+// that table alone would dwarf the trial problem.
+constexpr double kSparseWeightCap = 2.0e6;
+
+struct Candidate {
+  core::GridderKind kind;
+  int tile;
+  unsigned threads;
+};
+
+std::vector<Candidate> candidate_list(const TuneKey& key, int base_tile) {
+  std::vector<Candidate> out;
+  out.push_back({core::GridderKind::Serial, base_tile, 1});
+  std::vector<unsigned> thread_variants{1};
+  if (key.threads > 1) thread_variants.push_back(key.threads);
+  for (const unsigned t : thread_variants) {
+    for (const int tile : {4, 8, 16}) {
+      // The slice-dice virtual tile must cover the window (T >= W).
+      if (tile < key.width) continue;
+      out.push_back({core::GridderKind::SliceDice, tile, t});
+    }
+    for (const int tile : {8, 16}) {
+      out.push_back({core::GridderKind::Binning, tile, t});
+    }
+  }
+  const double weights =
+      static_cast<double>(std::min(key.m, kTrialMaxSamples)) *
+      std::pow(static_cast<double>(key.width), key.dims);
+  if (weights <= kSparseWeightCap) {
+    out.push_back({core::GridderKind::Sparse, base_tile, 1});
+  }
+  // OutputDriven is deliberately absent: O(M * G^d) makes it the Sec. II-C
+  // strawman, never a winner, and its trial alone would cost more than the
+  // whole session. Jigsaw/FloatSerial are excluded because Auto must not
+  // change numerics (see cost_model.cpp).
+  return out;
+}
+
+template <int D>
+double grid_rel_l2(const core::Grid<D>& got, const core::Grid<D>& want) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::int64_t i = 0; i < want.total(); ++i) {
+    num += std::norm(got[i] - want[i]);
+    den += std::norm(want[i]);
+  }
+  return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+/// Writability preflight: the existing file, or — for a yet-to-be-created
+/// one — its directory. Catches read-only stores before any trial time is
+/// spent (and before the CLI has gridded anything).
+bool path_writable(const std::string& path) {
+  if (::access(path.c_str(), W_OK) == 0) return true;
+  if (::access(path.c_str(), F_OK) == 0) return false;  // exists, not ours
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  return ::access(dir.c_str(), W_OK) == 0;
+}
+
+}  // namespace
+
+const char* to_string(DecisionSource s) {
+  switch (s) {
+    case DecisionSource::kWisdom: return "wisdom";
+    case DecisionSource::kTrial: return "trial";
+    case DecisionSource::kCostModel: return "cost-model";
+  }
+  return "?";
+}
+
+Autotuner::Autotuner(TunerConfig config) : config_(std::move(config)) {
+  if (config_.wisdom_path.empty()) return;
+  const auto loaded = wisdom_.load(config_.wisdom_path);
+  stats_.wisdom_entries = loaded.entries;
+  if (loaded.corrupt || loaded.skipped > 0) {
+    const std::uint64_t bad =
+        static_cast<std::uint64_t>(loaded.skipped) + (loaded.corrupt ? 1 : 0);
+    stats_.wisdom_corrupt = bad;
+    obs::add("tune.wisdom_corrupt", bad);
+  }
+  if (config_.enable_trials && !path_writable(config_.wisdom_path)) {
+    throw std::runtime_error("wisdom path not writable: " +
+                             config_.wisdom_path);
+  }
+}
+
+core::GridderOptions Autotuner::apply(const TuneDecision& decision,
+                                      core::GridderOptions base) {
+  base.kind = decision.kind;
+  base.tile = decision.tile;
+  base.threads = decision.threads;
+  return base;
+}
+
+core::GridderOptions Autotuner::tuned_options(
+    const TuneKey& key, const core::GridderOptions& base) {
+  return apply(decide(key, base), base);
+}
+
+TunerStats Autotuner::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+TuneDecision Autotuner::decide(const TuneKey& key,
+                               const core::GridderOptions& base) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (const auto it = memo_.find(key); it != memo_.end()) {
+        ++stats_.hits;
+        obs::add("tune.hits", 1);
+        return it->second;
+      }
+      if (const WisdomEntry* e = wisdom_.find(key); e != nullptr) {
+        TuneDecision d;
+        d.kind = e->kind;
+        d.tile = e->tile;
+        d.threads = e->exec_threads;
+        d.trial_ms = e->trial_ms;
+        d.source = DecisionSource::kWisdom;
+        memo_[key] = d;
+        ++stats_.hits;
+        obs::add("tune.hits", 1);
+        return d;
+      }
+      if (in_progress_.count(key) == 0) break;
+      cv_.wait(lock);  // another thread is tuning this key; reuse its result
+    }
+    in_progress_.insert(key);
+    ++stats_.misses;
+    obs::add("tune.misses", 1);
+  }
+
+  TuneDecision decision;
+  try {
+    decision = tune_cold(key, base);  // trials run without the lock held
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_progress_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  memo_[key] = decision;
+  if (decision.source == DecisionSource::kTrial &&
+      !config_.wisdom_path.empty()) {
+    WisdomEntry entry;
+    entry.key = key;
+    entry.kind = decision.kind;
+    entry.tile = decision.tile;
+    entry.exec_threads = decision.threads;
+    entry.trial_ms = decision.trial_ms;
+    wisdom_.put(entry);
+    try {
+      wisdom_.save(config_.wisdom_path);
+      ++stats_.wisdom_saves;
+      obs::add("tune.wisdom_saves", 1);
+    } catch (...) {
+      in_progress_.erase(key);
+      cv_.notify_all();
+      throw;
+    }
+  }
+  in_progress_.erase(key);
+  cv_.notify_all();
+  return decision;
+}
+
+TuneDecision Autotuner::tune_cold(const TuneKey& key,
+                                  const core::GridderOptions& base) {
+  if (config_.enable_trials) {
+    try {
+      switch (key.dims) {
+        case 1: return run_trials<1>(key, base);
+        case 2: return run_trials<2>(key, base);
+        case 3: return run_trials<3>(key, base);
+        default: break;  // untrialable dims: fall through to the model
+      }
+    } catch (const std::exception&) {
+      // A trial harness failure (engine rejected the geometry, allocation
+      // failure on an oversized candidate) must not sink the request — the
+      // model always has an answer.
+    }
+  }
+  const CostModelChoice choice = cost_model_decide(key);
+  TuneDecision d;
+  d.kind = choice.kind;
+  d.tile = choice.tile;
+  d.threads = choice.threads;
+  d.trial_ms = 0.0;
+  d.source = DecisionSource::kCostModel;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cost_model;
+  }
+  obs::add("tune.cost_model", 1);
+  return d;
+}
+
+template <int D>
+TuneDecision Autotuner::run_trials(const TuneKey& key,
+                                   const core::GridderOptions& base) {
+  const std::int64_t n = std::min(key.n, kTrialMaxN);
+  const std::int64_t m = std::max<std::int64_t>(
+      1, std::min(key.m, kTrialMaxSamples));
+
+  // Deterministic synthetic problem: seeded by the key, so every process
+  // that tunes a given geometry times the exact same workload.
+  Rng rng(key.hash());
+  core::SampleSet<D> samples;
+  samples.coords.resize(static_cast<std::size_t>(m));
+  samples.values.resize(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    auto& c = samples.coords[static_cast<std::size_t>(i)];
+    for (int d = 0; d < D; ++d) {
+      c[static_cast<std::size_t>(d)] = rng.uniform(-0.5, 0.5);
+    }
+    samples.values[static_cast<std::size_t>(i)] =
+        c64{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+
+  core::GridderOptions trial_base = base;
+  trial_base.width = key.width;
+  trial_base.sigma = key.sigma;
+  trial_base.sanitize = robustness::SanitizePolicy::None;
+  trial_base.soft_error = {};
+
+  // Serial oracle: reference grid every candidate must reproduce.
+  core::GridderOptions oracle_options = trial_base;
+  oracle_options.kind = core::GridderKind::Serial;
+  oracle_options.threads = 1;
+  auto oracle = core::make_gridder<D>(n, oracle_options);
+  core::Grid<D> reference(oracle->grid_size());
+  oracle->adjoint(samples, reference);
+
+  std::uint64_t timed = 0;
+  std::uint64_t rejected = 0;
+  TuneDecision best;
+  double best_s = 1e300;
+  core::Grid<D> grid(oracle->grid_size());
+  for (const Candidate& cand : candidate_list(key, base.tile)) {
+    core::GridderOptions options = trial_base;
+    options.kind = cand.kind;
+    options.tile = cand.tile;
+    options.threads = cand.threads;
+    std::unique_ptr<core::Gridder<D>> gridder;
+    try {
+      gridder = core::make_gridder<D>(n, options);
+      gridder->adjoint(samples, grid);
+    } catch (const std::exception&) {
+      ++rejected;
+      continue;  // a candidate the engine rejects is not a winner
+    }
+    if (grid_rel_l2<D>(grid, reference) > config_.tolerance) {
+      ++rejected;
+      continue;
+    }
+    const double s = time_best([&] { gridder->adjoint(samples, grid); },
+                               config_.trial_seconds, config_.trial_reps);
+    ++timed;
+    if (s < best_s) {
+      best_s = s;
+      best.kind = cand.kind;
+      best.tile = cand.tile;
+      best.threads = cand.threads;
+    }
+  }
+  if (timed == 0) {
+    throw std::runtime_error("autotuner: no candidate passed validation");
+  }
+  best.trial_ms = best_s * 1e3;
+  best.source = DecisionSource::kTrial;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions;
+    stats_.trials += timed;
+    stats_.rejected += rejected;
+  }
+  obs::add("tune.sessions", 1);
+  obs::add("tune.trials", timed);
+  if (rejected > 0) obs::add("tune.rejected", rejected);
+  return best;
+}
+
+template TuneDecision Autotuner::run_trials<1>(const TuneKey&,
+                                               const core::GridderOptions&);
+template TuneDecision Autotuner::run_trials<2>(const TuneKey&,
+                                               const core::GridderOptions&);
+template TuneDecision Autotuner::run_trials<3>(const TuneKey&,
+                                               const core::GridderOptions&);
+
+}  // namespace jigsaw::tune

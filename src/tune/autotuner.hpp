@@ -1,0 +1,116 @@
+// Autotuner: geometry-keyed engine selection with persistent wisdom.
+//
+// Given a TuneKey (the geometry equivalence class) the tuner resolves
+// GridderKind::Auto to a concrete (engine, tile, threads) configuration,
+// in priority order:
+//
+//   1. in-process memo / loaded wisdom  -> tune.hits, zero work
+//   2. calibration trials (when enabled) -> tune.misses + tune.trials:
+//      short timed adjoint runs of every candidate config on a capped,
+//      deterministic synthetic problem of the key's shape, each validated
+//      against the serial oracle grid (relative L2 within `tolerance`);
+//      the fastest correct config wins, is memoized, and — when a wisdom
+//      path is configured — persisted via WisdomStore's atomic rewrite
+//   3. the analytic cost model (trials disabled / untrialable dims)
+//      -> tune.misses + tune.cost_model; memoized but NOT persisted, so a
+//      later trial-enabled process still gets to measure
+//
+// Concurrency: decide() has plan-cache-style once semantics — concurrent
+// queries for the same cold key block on a condition variable while exactly
+// one caller runs the trials; everyone then returns the same decision
+// (asserted by test_tune's 8-thread suite). Trials run outside the lock.
+//
+// Every outcome is mirrored to obs counters under tune.* and to an
+// OBS-OFF-safe TunerStats the tests assert against.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/gridder.hpp"
+#include "tune/key.hpp"
+#include "tune/wisdom.hpp"
+
+namespace jigsaw::tune {
+
+struct TunerConfig {
+  std::string wisdom_path;      // "" = in-memory only (no persistence)
+  bool enable_trials = true;    // false = cost-model fallback for cold keys
+  double trial_seconds = 0.03;  // per-candidate timing budget
+  int trial_reps = 3;           // per-candidate repetitions (best-of)
+  double tolerance = 1e-9;      // max relative L2 deviation vs serial oracle
+};
+
+enum class DecisionSource { kWisdom, kTrial, kCostModel };
+const char* to_string(DecisionSource s);
+
+struct TuneDecision {
+  core::GridderKind kind = core::GridderKind::SliceDice;
+  int tile = 8;
+  unsigned threads = 1;
+  double trial_ms = 0.0;  // winning candidate's best rep (0 for cost model)
+  DecisionSource source = DecisionSource::kCostModel;
+};
+
+/// Point-in-time totals (monotonic), available with JIGSAW_OBS=OFF; each is
+/// mirrored to the obs counter named in the comment.
+struct TunerStats {
+  std::uint64_t hits = 0;           // tune.hits   (memo or wisdom)
+  std::uint64_t misses = 0;         // tune.misses (cold keys)
+  std::uint64_t sessions = 0;       // tune.sessions (trial sessions run)
+  std::uint64_t trials = 0;         // tune.trials (candidate configs timed)
+  std::uint64_t rejected = 0;       // tune.rejected (failed oracle check)
+  std::uint64_t cost_model = 0;     // tune.cost_model (model fallbacks)
+  std::uint64_t wisdom_entries = 0; // entries loaded from the wisdom file
+  std::uint64_t wisdom_corrupt = 0; // tune.wisdom_corrupt (docs + entries)
+  std::uint64_t wisdom_saves = 0;   // tune.wisdom_saves
+};
+
+class Autotuner {
+ public:
+  /// Loads the wisdom file (when configured). A corrupt file is recovered
+  /// from silently (counted in stats().wisdom_corrupt); an UNWRITABLE
+  /// wisdom path with trials enabled throws std::runtime_error immediately
+  /// ("wisdom path not writable: ...") — failing before trial time is
+  /// spent, not after.
+  explicit Autotuner(TunerConfig config = {});
+
+  Autotuner(const Autotuner&) = delete;
+  Autotuner& operator=(const Autotuner&) = delete;
+
+  /// Resolve `key` to a concrete configuration. Thread-safe; a cold key is
+  /// tuned exactly once per process. `base` supplies the fields trials must
+  /// respect (kernel type, width, sigma, table oversampling).
+  TuneDecision decide(const TuneKey& key, const core::GridderOptions& base);
+
+  /// decide() + apply(): `base` with kind/tile/threads substituted.
+  core::GridderOptions tuned_options(const TuneKey& key,
+                                     const core::GridderOptions& base);
+
+  static core::GridderOptions apply(const TuneDecision& decision,
+                                    core::GridderOptions base);
+
+  TunerStats stats() const;
+  const TunerConfig& config() const { return config_; }
+
+ private:
+  template <int D>
+  TuneDecision run_trials(const TuneKey& key,
+                          const core::GridderOptions& base);
+  TuneDecision tune_cold(const TuneKey& key,
+                         const core::GridderOptions& base);
+
+  const TunerConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<TuneKey, TuneDecision> memo_;
+  std::set<TuneKey> in_progress_;
+  WisdomStore wisdom_;
+  TunerStats stats_;
+};
+
+}  // namespace jigsaw::tune

@@ -1,0 +1,82 @@
+#include "tune/cost_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace jigsaw::tune {
+namespace {
+
+double pow_d(double base, int d) {
+  double r = 1.0;
+  for (int i = 0; i < d; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+double cost_model_cost(core::GridderKind kind, const TuneKey& key, int tile) {
+  const double m = static_cast<double>(key.m);
+  const double w = static_cast<double>(key.width);
+  const double g = std::llround(key.sigma * static_cast<double>(key.n));
+  const double p = static_cast<double>(key.threads < 1 ? 1 : key.threads);
+  const double wd = pow_d(w, key.dims);
+
+  switch (kind) {
+    case core::GridderKind::Serial:
+      return m * wd;
+    case core::GridderKind::SliceDice:
+      // Two-part coordinate decomposition per sample plus the parallel
+      // window walk; ~5% bookkeeping overhead keeps serial the winner on a
+      // one-thread budget, where it genuinely is.
+      return m * key.dims + m * wd * 1.05 / p;
+    case core::GridderKind::Binning: {
+      const double dup =
+          pow_d((static_cast<double>(tile) + w) / static_cast<double>(tile),
+                key.dims);
+      return m + m * wd * dup / p;
+    }
+    case core::GridderKind::Sparse:
+      // CSR setup costs ~3x one application and amortizes over plan reuse
+      // (assume 8 executions per plan, the batch/CG usage pattern).
+      return m * wd * (1.0 + 3.0 / 8.0);
+    case core::GridderKind::OutputDriven:
+      return m * pow_d(g, key.dims) / p;
+    case core::GridderKind::Jigsaw:
+    case core::GridderKind::FloatSerial:
+    case core::GridderKind::Auto:
+      // Approximate-arithmetic engines and the sentinel are never picked by
+      // the model: they change numerics, not just speed.
+      return std::numeric_limits<double>::infinity();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+CostModelChoice cost_model_decide(const TuneKey& key) {
+  const core::GridderKind kinds[] = {
+      core::GridderKind::Serial, core::GridderKind::SliceDice,
+      core::GridderKind::Binning, core::GridderKind::Sparse};
+  const int tiles[] = {8, 16};
+
+  CostModelChoice best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto kind : kinds) {
+    for (const int tile : tiles) {
+      const double cost = cost_model_cost(kind, key, tile);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best.kind = kind;
+        best.tile = tile;
+        best.threads = key.threads < 1 ? 1 : key.threads;
+      }
+      // Tile size only enters the binning estimate; one pass suffices for
+      // the tile-free engines.
+      if (kind != core::GridderKind::Binning &&
+          kind != core::GridderKind::SliceDice) {
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace jigsaw::tune

@@ -1,0 +1,38 @@
+// Analytic cost model — the trial-free fallback for cold geometry keys.
+//
+// When calibration trials are disabled (serve daemons that must not burn
+// dispatcher time, --no-trials offline runs) or impossible (dims the trial
+// harness does not cover), the tuner falls back to closed-form work
+// estimates derived from the same interpolation/boundary-check counts the
+// obs layer validates against the engines (see docs/tuning.md for the
+// formulas and test_obs_counters for the counter oracles):
+//
+//   serial         M * W^d                      (single-threaded by design)
+//   slice-dice     M*d split + M * W^d / P      (paper Sec. III; no presort)
+//   binning        M presort + dup * M * W^d / P,  dup = ((T + W) / T)^d
+//   sparse         M * W^d * (1 + setup/reuse)  (CSR setup amortized)
+//   output-driven  M * G^d / P                  (the Sec. II-C strawman)
+//
+// P = thread budget, T = tile size, G = sigma*N. The estimates are relative
+// (arbitrary unit): only their order matters.
+#pragma once
+
+#include "core/gridder.hpp"
+#include "tune/key.hpp"
+
+namespace jigsaw::tune {
+
+/// Relative cost of running engine `kind` (tile size `tile` where it
+/// applies) on geometry `key` with `key.threads` threads.
+double cost_model_cost(core::GridderKind kind, const TuneKey& key, int tile);
+
+struct CostModelChoice {
+  core::GridderKind kind = core::GridderKind::SliceDice;
+  int tile = 8;
+  unsigned threads = 1;
+};
+
+/// Cheapest (engine, tile, threads) configuration under the model.
+CostModelChoice cost_model_decide(const TuneKey& key);
+
+}  // namespace jigsaw::tune

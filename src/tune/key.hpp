@@ -1,0 +1,50 @@
+// Geometry key for the autotuning subsystem.
+//
+// A TuneKey names an equivalence class of gridding problems: everything the
+// engine-selection decision depends on (grid size, sample count, kernel
+// width, oversampling, dimensionality, coil count, thread budget) and
+// nothing it doesn't — deliberately NOT the trajectory hash the serve
+// scheduler keys its plan pool on, so one wisdom entry covers every
+// trajectory of the same shape. The hash is the same FNV-1a the serve
+// layer uses for its plan keys (see serve/engine.cpp), applied to a packed
+// canonical encoding of the fields.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "core/gridder.hpp"
+
+namespace jigsaw::tune {
+
+struct TuneKey {
+  int dims = 2;            // 1, 2 or 3
+  std::int64_t n = 128;    // base grid side N (oversampled side is sigma*N)
+  std::int64_t m = 0;      // non-uniform sample count M
+  int width = 6;           // interpolation kernel width W
+  double sigma = 2.0;      // grid oversampling factor
+  int coils = 1;
+  unsigned threads = 1;    // thread budget the tuned config may use
+
+  auto operator<=>(const TuneKey&) const = default;
+
+  /// FNV-1a over the packed canonical field encoding.
+  std::uint64_t hash() const;
+
+  /// hash() as 16 lowercase hex digits — the "key" field of a wisdom entry.
+  std::string hex() const;
+
+  /// Human-readable form, e.g. "2d/n128/m65536/w6/s2/c1/t4".
+  std::string label() const;
+
+  /// Build a key from a gridding configuration plus the geometry the
+  /// options struct does not carry.
+  static TuneKey of(int dims, std::int64_t n, std::int64_t m,
+                    const core::GridderOptions& options, int coils,
+                    unsigned threads);
+};
+
+std::uint64_t fnv1a(const void* data, std::size_t len);
+
+}  // namespace jigsaw::tune

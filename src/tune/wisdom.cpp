@@ -1,0 +1,344 @@
+#include "tune/wisdom.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace jigsaw::tune {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader — just enough for wisdom documents
+// (objects, arrays, strings without exotic escapes, numbers, true/false/
+// null). Any syntax violation throws; the loader maps that to corrupt=true.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object } type =
+      Type::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("wisdom json: " + std::string(what) +
+                             " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        v.str = string();
+        return v;
+      }
+      case 't': return literal("true", JsonValue::Type::Bool, true);
+      case 'f': return literal("false", JsonValue::Type::Bool, false);
+      case 'n': return literal("null", JsonValue::Type::Null, false);
+      default: return number();
+    }
+  }
+
+  JsonValue literal(const char* word, JsonValue::Type type, bool b) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) fail("bad literal");
+    pos_ += len;
+    JsonValue v;
+    v.type = type;
+    v.b = b;
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    try {
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      const std::string key = string();
+      expect(':');
+      v.obj.emplace(key, value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected , or }");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected , or ]");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Fetch an integral field; returns false when missing, non-numeric, or not
+/// an exact integer.
+bool get_i64(const JsonValue& obj, const std::string& key, std::int64_t* out) {
+  const JsonValue* v = obj.get(key);
+  if (v == nullptr || v->type != JsonValue::Type::Number) return false;
+  const double d = v->num;
+  if (d != std::floor(d) || std::fabs(d) > 9.0e15) return false;
+  *out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+bool get_f64(const JsonValue& obj, const std::string& key, double* out) {
+  const JsonValue* v = obj.get(key);
+  if (v == nullptr || v->type != JsonValue::Type::Number) return false;
+  *out = v->num;
+  return true;
+}
+
+bool get_str(const JsonValue& obj, const std::string& key, std::string* out) {
+  const JsonValue* v = obj.get(key);
+  if (v == nullptr || v->type != JsonValue::Type::String) return false;
+  *out = v->str;
+  return true;
+}
+
+/// One wisdom entry from its JSON object. Returns false (skip, keep the
+/// rest of the file) on any missing/mistyped field, unknown engine name, or
+/// a stored key that does not match the hash of the stored fields.
+bool parse_entry(const JsonValue& e, WisdomEntry* out) {
+  if (e.type != JsonValue::Type::Object) return false;
+  std::int64_t dims = 0, n = 0, m = 0, width = 0, coils = 0, threads = 0;
+  std::int64_t tile = 0, exec_threads = 0;
+  double sigma = 0.0, trial_ms = 0.0;
+  std::string key_hex, engine;
+  if (!get_i64(e, "dims", &dims) || !get_i64(e, "n", &n) ||
+      !get_i64(e, "m", &m) || !get_i64(e, "width", &width) ||
+      !get_f64(e, "sigma", &sigma) || !get_i64(e, "coils", &coils) ||
+      !get_i64(e, "threads", &threads) || !get_i64(e, "tile", &tile) ||
+      !get_i64(e, "exec_threads", &exec_threads) ||
+      !get_str(e, "key", &key_hex) || !get_str(e, "engine", &engine)) {
+    return false;
+  }
+  get_f64(e, "trial_ms", &trial_ms);  // informational; optional
+  if (dims < 1 || dims > 3 || n < 2 || m < 1 || width < 1 || coils < 1 ||
+      threads < 1 || tile < 1 || exec_threads < 1 || sigma <= 1.0) {
+    return false;
+  }
+  WisdomEntry entry;
+  entry.key.dims = static_cast<int>(dims);
+  entry.key.n = n;
+  entry.key.m = m;
+  entry.key.width = static_cast<int>(width);
+  entry.key.sigma = sigma;
+  entry.key.coils = static_cast<int>(coils);
+  entry.key.threads = static_cast<unsigned>(threads);
+  try {
+    entry.kind = core::parse_gridder_kind(engine);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  if (entry.kind == core::GridderKind::Auto) return false;  // never a decision
+  entry.tile = static_cast<int>(tile);
+  entry.exec_threads = static_cast<unsigned>(exec_threads);
+  entry.trial_ms = trial_ms;
+  // The stored hex is a checksum of the fields: a mismatch means the entry
+  // was hand-edited or torn — drop it rather than serving a wrong decision.
+  if (key_hex != entry.key.hex()) return false;
+  *out = entry;
+  return true;
+}
+
+}  // namespace
+
+WisdomStore::LoadResult WisdomStore::load(const std::string& path) {
+  entries_.clear();
+  LoadResult result;
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return result;  // absent file: empty store, not corrupt
+  result.file_present = true;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue doc;
+  try {
+    doc = JsonParser(text).parse();
+  } catch (const std::exception&) {
+    result.corrupt = true;
+    return result;
+  }
+  std::string kind;
+  std::int64_t version = 0;
+  const JsonValue* entries = doc.get("entries");
+  if (doc.type != JsonValue::Type::Object ||
+      !get_str(doc, "kind", &kind) || kind != "jigsaw-wisdom" ||
+      !get_i64(doc, "schema_version", &version) ||
+      version != kWisdomSchemaVersion || entries == nullptr ||
+      entries->type != JsonValue::Type::Array) {
+    result.corrupt = true;
+    return result;
+  }
+  for (const JsonValue& e : entries->arr) {
+    WisdomEntry entry;
+    if (parse_entry(e, &entry)) {
+      entries_[entry.key] = entry;
+      ++result.entries;
+    } else {
+      ++result.skipped;
+    }
+  }
+  return result;
+}
+
+void WisdomStore::save(const std::string& path) const {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("wisdom path not writable: " + path);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"kind\": \"jigsaw-wisdom\",\n");
+  std::fprintf(f, "  \"schema_version\": %d,\n", kWisdomSchemaVersion);
+  std::fprintf(f, "  \"entries\": [\n");
+  std::size_t i = 0;
+  for (const auto& [key, e] : entries_) {
+    std::fprintf(
+        f,
+        "    {\"key\": \"%s\", \"dims\": %d, \"n\": %lld, \"m\": %lld, "
+        "\"width\": %d, \"sigma\": %.17g, \"coils\": %d, \"threads\": %u, "
+        "\"engine\": \"%s\", \"tile\": %d, \"exec_threads\": %u, "
+        "\"trial_ms\": %.6g, \"source\": \"trial\"}%s\n",
+        key.hex().c_str(), key.dims, static_cast<long long>(key.n),
+        static_cast<long long>(key.m), key.width, key.sigma, key.coils,
+        key.threads, core::to_string(e.kind).c_str(), e.tile, e.exec_threads,
+        e.trial_ms, ++i == entries_.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  const bool write_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!write_ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("wisdom path not writable: " + path);
+  }
+}
+
+std::string WisdomStore::default_path() {
+  if (const char* env = std::getenv("JIGSAW_WISDOM");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  if (const char* home = std::getenv("HOME");
+      home != nullptr && home[0] != '\0') {
+    return std::string(home) + "/.jigsaw_wisdom.json";
+  }
+  return ".jigsaw_wisdom.json";
+}
+
+}  // namespace jigsaw::tune

@@ -1,0 +1,79 @@
+// Persistent wisdom store for autotuning decisions (FFTW-wisdom-style).
+//
+// One JSON document per file:
+//
+//   {
+//     "kind": "jigsaw-wisdom",
+//     "schema_version": 1,
+//     "entries": [
+//       {"key": "<16 hex digits of TuneKey::hash()>",
+//        "dims": 2, "n": 64, "m": 32768, "width": 6, "sigma": 2,
+//        "coils": 1, "threads": 2,
+//        "engine": "slice-and-dice", "tile": 8, "exec_threads": 2,
+//        "trial_ms": 1.37, "source": "trial"}, ...
+//     ]
+//   }
+//
+// The schema lives in scripts/wisdom_schema.json and is validated by
+// scripts/validate_bench.py. Robustness contract:
+//   * load() never throws on bad content — an unparseable / wrong-kind /
+//     wrong-version file reports corrupt=true and leaves the store empty
+//     (the tuner re-tunes and the next save() overwrites the wreck);
+//     individually damaged entries (bad engine name, key/field mismatch)
+//     are skipped and counted, keeping the intact ones.
+//   * save() is an atomic rewrite: write <path>.tmp.<pid>, then rename(2)
+//     over the destination, so a concurrent reader sees either the old or
+//     the new document, never a torn one. I/O failure throws.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/gridder.hpp"
+#include "tune/key.hpp"
+
+namespace jigsaw::tune {
+
+inline constexpr int kWisdomSchemaVersion = 1;
+
+struct WisdomEntry {
+  TuneKey key;
+  core::GridderKind kind = core::GridderKind::SliceDice;
+  int tile = 8;
+  unsigned exec_threads = 1;  // thread count the winning config ran with
+  double trial_ms = 0.0;      // winning calibration time (best rep)
+};
+
+class WisdomStore {
+ public:
+  struct LoadResult {
+    bool file_present = false;
+    bool corrupt = false;       // document-level damage: nothing loaded
+    std::size_t entries = 0;    // entries accepted
+    std::size_t skipped = 0;    // entries individually rejected
+  };
+
+  /// Replace the in-memory contents with the document at `path`.
+  LoadResult load(const std::string& path);
+
+  /// Atomic rewrite of `path`. Throws std::runtime_error on I/O failure
+  /// ("wisdom path not writable: ...").
+  void save(const std::string& path) const;
+
+  void put(const WisdomEntry& entry) { entries_[entry.key] = entry; }
+  const WisdomEntry* find(const TuneKey& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return entries_.size(); }
+  const std::map<TuneKey, WisdomEntry>& entries() const { return entries_; }
+
+  /// $JIGSAW_WISDOM, else ~/.jigsaw_wisdom.json, else ./.jigsaw_wisdom.json.
+  static std::string default_path();
+
+ private:
+  std::map<TuneKey, WisdomEntry> entries_;
+};
+
+}  // namespace jigsaw::tune

@@ -79,6 +79,8 @@ TEST(EngineParse, AcceptsEveryListedName) {
   EXPECT_EQ(core::parse_gridder_kind("sparse-matrix"), GridderKind::Sparse);
   EXPECT_EQ(core::parse_gridder_kind("float"), GridderKind::FloatSerial);
   EXPECT_EQ(core::parse_gridder_kind("serial-f32"), GridderKind::FloatSerial);
+  EXPECT_EQ(core::parse_gridder_kind("auto"), GridderKind::Auto);
+  EXPECT_EQ(core::parse_gridder_kind("tuned"), GridderKind::Auto);
 }
 
 TEST(EngineParse, UnknownNameThrowsWithOneLineDiagnostic) {
@@ -110,7 +112,7 @@ TEST(EngineParse, ListedNamesRoundTripThroughParser) {
     ++count;
     start = end + 2;
   }
-  EXPECT_EQ(count, 7);
+  EXPECT_EQ(count, 8);  // seven concrete engines + the "auto" sentinel
 }
 
 TEST(Pgm, WritesValidHeaderAndPayload) {

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <complex>
 #include <future>
 #include <thread>
 #include <vector>
@@ -228,6 +230,58 @@ TEST(ServeSession, SameGeometryBurstPlansExactlyOnce) {
   // The acceptance invariant: one plan build for the whole burst.
   EXPECT_EQ(c.plan_builds, 1u);
   EXPECT_EQ(c.plan_hits, static_cast<std::uint64_t>(c.batches - 1));
+}
+
+TEST(ServeSession, AutoEngineBurstTunesOncePlansOnce) {
+  const std::int64_t n = 32;
+  const auto coords = traj();
+  ServeConfig config;
+  // Cost-model resolution: deterministic and instant, so the test asserts
+  // the wiring (tuner consulted at plan build, plan pool keyed on the
+  // ORIGINAL auto options) rather than trial timings.
+  config.tune_trials = false;
+  ServeSession session(config);
+
+  constexpr int kBurst = 12;
+  std::vector<std::future<ReconOutcome>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    ReconJob job = make_job(n, coords);
+    job.options.kind = core::GridderKind::Auto;
+    job.client_tag = static_cast<std::uint64_t>(i);
+    futures.push_back(session.submit(std::move(job)));
+  }
+  for (auto& f : futures) {
+    const ReconOutcome outcome = f.get();
+    EXPECT_EQ(outcome.status, Status::kOk) << outcome.message;
+    EXPECT_EQ(outcome.image.size(), static_cast<std::size_t>(n * n));
+  }
+  const EngineCounts c = session.counts();
+  EXPECT_EQ(c.ok, static_cast<std::uint64_t>(kBurst));
+  // The acceptance invariant: the whole same-geometry burst resolved
+  // through the tuner exactly once and built exactly one plan.
+  EXPECT_EQ(c.plan_builds, 1u);
+  EXPECT_EQ(c.tuned_plans, 1u);
+  const tune::TunerStats stats = session.engine().tuner().stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.cost_model, 1u);
+
+  // The tuned result must be numerically identical to a direct recon: the
+  // tuner may only pick engines that match the serial oracle.
+  ReconJob direct = make_job(n, coords);
+  core::NufftPlan<2> plan(n, coords, direct.options);
+  const auto expected = plan.adjoint(direct.samples.values);
+  ReconJob tuned_job = make_job(n, coords);
+  tuned_job.options.kind = core::GridderKind::Auto;
+  const ReconOutcome outcome = session.recon(std::move(tuned_job));
+  ASSERT_EQ(outcome.status, Status::kOk) << outcome.message;
+  ASSERT_EQ(outcome.image.size(), expected.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    num += std::norm(outcome.image[i] - expected[i]);
+    den += std::norm(expected[i]);
+  }
+  EXPECT_LE(std::sqrt(num / den), 1e-12);
 }
 
 TEST(ServeSession, PlanBuildsEqualsDistinctGeometries) {

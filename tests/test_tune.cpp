@@ -1,0 +1,380 @@
+// Autotuner subsystem tests: TuneKey hashing, wisdom persistence (round
+// trip, corrupt-file recovery, per-entry rejection), the decide() pipeline
+// (trials -> wisdom -> cost model), once-semantics under concurrent cold
+// queries, and the GridderKind::Auto factory fallback.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gridder.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/cost_model.hpp"
+#include "tune/key.hpp"
+#include "tune/wisdom.hpp"
+
+namespace jigsaw::tune {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return "/tmp/jigsaw_wisdom_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::trunc);
+  f << content;
+}
+
+/// Small geometry + tiny timing budget so trial-enabled tests stay fast.
+TunerConfig fast_config(const std::string& wisdom_path = "") {
+  TunerConfig config;
+  config.wisdom_path = wisdom_path;
+  config.trial_seconds = 0.002;
+  config.trial_reps = 1;
+  return config;
+}
+
+TuneKey small_key() {
+  TuneKey key;
+  key.dims = 2;
+  key.n = 24;
+  key.m = 600;
+  key.width = 4;
+  key.sigma = 2.0;
+  return key;
+}
+
+core::GridderOptions small_base() {
+  core::GridderOptions options;
+  options.kind = core::GridderKind::Auto;
+  options.width = 4;
+  return options;
+}
+
+struct TempFile {
+  explicit TempFile(const char* tag) : path(temp_path(tag)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  const std::string path;
+};
+
+// ------------------------------------------------------------------ TuneKey
+
+TEST(TuneKey, HashIsStableAndFieldSensitive) {
+  const TuneKey a = small_key();
+  TuneKey b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.m += 1;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.sigma = 1.25;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(TuneKey, HexIsSixteenLowercaseDigits) {
+  const std::string hex = small_key().hex();
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(TuneKey, OfCopiesKernelGeometryFromOptions) {
+  core::GridderOptions options;
+  options.width = 5;
+  options.sigma = 1.5;
+  const TuneKey key = TuneKey::of(3, 48, 9000, options, 2, 4);
+  EXPECT_EQ(key.dims, 3);
+  EXPECT_EQ(key.n, 48);
+  EXPECT_EQ(key.m, 9000);
+  EXPECT_EQ(key.width, 5);
+  EXPECT_DOUBLE_EQ(key.sigma, 1.5);
+  EXPECT_EQ(key.coils, 2);
+  EXPECT_EQ(key.threads, 4u);
+  EXPECT_EQ(key.label(), "3d/n48/m9000/w5/s1.5/c2/t4");
+}
+
+// -------------------------------------------------------------- WisdomStore
+
+TEST(WisdomStore, SaveLoadRoundTripPreservesEntries) {
+  const TempFile file("roundtrip");
+  WisdomStore store;
+  WisdomEntry entry;
+  entry.key = small_key();
+  entry.kind = core::GridderKind::Binning;
+  entry.tile = 16;
+  entry.exec_threads = 2;
+  entry.trial_ms = 1.25;
+  store.put(entry);
+  store.save(file.path);
+
+  WisdomStore reloaded;
+  const auto result = reloaded.load(file.path);
+  EXPECT_TRUE(result.file_present);
+  EXPECT_FALSE(result.corrupt);
+  EXPECT_EQ(result.entries, 1u);
+  EXPECT_EQ(result.skipped, 0u);
+  const WisdomEntry* found = reloaded.find(small_key());
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind, core::GridderKind::Binning);
+  EXPECT_EQ(found->tile, 16);
+  EXPECT_EQ(found->exec_threads, 2u);
+  EXPECT_DOUBLE_EQ(found->trial_ms, 1.25);
+}
+
+TEST(WisdomStore, MissingFileIsNotCorrupt) {
+  WisdomStore store;
+  const auto result = store.load(temp_path("never_written"));
+  EXPECT_FALSE(result.file_present);
+  EXPECT_FALSE(result.corrupt);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(WisdomStore, TruncatedDocumentRecoversEmpty) {
+  const TempFile file("truncated");
+  // A crash mid-write without the atomic rename would look like this.
+  write_file(file.path,
+             "{\"kind\": \"jigsaw-wisdom\", \"schema_version\": 1, "
+             "\"entries\": [{\"key\": \"00");
+  WisdomStore store;
+  const auto result = store.load(file.path);
+  EXPECT_TRUE(result.file_present);
+  EXPECT_TRUE(result.corrupt);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(WisdomStore, WrongKindAndVersionAreCorrupt) {
+  const TempFile file("wrongmeta");
+  write_file(file.path,
+             "{\"kind\": \"not-wisdom\", \"schema_version\": 1, "
+             "\"entries\": []}");
+  WisdomStore store;
+  EXPECT_TRUE(store.load(file.path).corrupt);
+
+  write_file(file.path,
+             "{\"kind\": \"jigsaw-wisdom\", \"schema_version\": 999, "
+             "\"entries\": []}");
+  EXPECT_TRUE(store.load(file.path).corrupt);
+}
+
+TEST(WisdomStore, DamagedEntriesAreSkippedIntactOnesKept) {
+  const TempFile file("mixed");
+  const TuneKey good = small_key();
+  std::ostringstream doc;
+  doc << "{\"kind\": \"jigsaw-wisdom\", \"schema_version\": 1, "
+      << "\"entries\": [";
+  // Intact entry.
+  doc << "{\"key\": \"" << good.hex() << "\", \"dims\": 2, \"n\": 24, "
+      << "\"m\": 600, \"width\": 4, \"sigma\": 2, \"coils\": 1, "
+      << "\"threads\": 1, \"engine\": \"slice-and-dice\", \"tile\": 8, "
+      << "\"exec_threads\": 1, \"trial_ms\": 0.5, \"source\": \"trial\"}, ";
+  // "auto" is a request, never a persisted decision: rejected.
+  doc << "{\"key\": \"" << good.hex() << "\", \"dims\": 2, \"n\": 25, "
+      << "\"m\": 600, \"width\": 4, \"sigma\": 2, \"coils\": 1, "
+      << "\"threads\": 1, \"engine\": \"auto\", \"tile\": 8, "
+      << "\"exec_threads\": 1}, ";
+  // Key checksum does not match the recomputed field hash: rejected.
+  doc << "{\"key\": \"0000000000000000\", \"dims\": 2, \"n\": 26, "
+      << "\"m\": 600, \"width\": 4, \"sigma\": 2, \"coils\": 1, "
+      << "\"threads\": 1, \"engine\": \"serial\", \"tile\": 8, "
+      << "\"exec_threads\": 1}]}";
+  write_file(file.path, doc.str());
+
+  WisdomStore store;
+  const auto result = store.load(file.path);
+  EXPECT_TRUE(result.file_present);
+  EXPECT_FALSE(result.corrupt);
+  EXPECT_EQ(result.entries, 1u);
+  EXPECT_EQ(result.skipped, 2u);
+  ASSERT_NE(store.find(good), nullptr);
+  EXPECT_EQ(store.find(good)->kind, core::GridderKind::SliceDice);
+}
+
+TEST(WisdomStore, SaveToUnwritablePathThrows) {
+  WisdomStore store;
+  try {
+    store.save("/nonexistent-dir/wisdom.json");
+    FAIL() << "must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("wisdom path not writable:"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------- Autotuner
+
+TEST(Autotuner, TrialDecisionPersistsAndReloadsWithZeroTrials) {
+  const TempFile file("persist");
+  const TuneKey key = small_key();
+  const core::GridderOptions base = small_base();
+
+  TuneDecision first;
+  {
+    Autotuner tuner(fast_config(file.path));
+    first = tuner.decide(key, base);
+    EXPECT_EQ(first.source, DecisionSource::kTrial);
+    EXPECT_NE(first.kind, core::GridderKind::Auto);
+    const TunerStats stats = tuner.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.sessions, 1u);
+    EXPECT_GE(stats.trials, 2u);  // at least serial + one alternative
+    EXPECT_EQ(stats.wisdom_saves, 1u);
+
+    // Second decide in the same process: pure memo hit, no new session.
+    const TuneDecision again = tuner.decide(key, base);
+    EXPECT_EQ(again.kind, first.kind);
+    EXPECT_EQ(tuner.stats().hits, 1u);
+    EXPECT_EQ(tuner.stats().sessions, 1u);
+  }
+
+  // A cold process with the same wisdom path must not re-tune.
+  Autotuner reloaded(fast_config(file.path));
+  const TuneDecision warm = reloaded.decide(key, base);
+  EXPECT_EQ(warm.source, DecisionSource::kWisdom);
+  EXPECT_EQ(warm.kind, first.kind);
+  EXPECT_EQ(warm.tile, first.tile);
+  const TunerStats stats = reloaded.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.sessions, 0u);
+  EXPECT_EQ(stats.trials, 0u);
+  EXPECT_EQ(stats.wisdom_entries, 1u);
+}
+
+TEST(Autotuner, CorruptWisdomFileIsRecoveredAndOverwritten) {
+  const TempFile file("corrupt");
+  write_file(file.path, "this is not json {{{");
+
+  Autotuner tuner(fast_config(file.path));
+  EXPECT_GE(tuner.stats().wisdom_corrupt, 1u);
+  EXPECT_EQ(tuner.stats().wisdom_entries, 0u);
+
+  // Tuning still works, and the save repairs the file on disk.
+  const TuneDecision decision = tuner.decide(small_key(), small_base());
+  EXPECT_EQ(decision.source, DecisionSource::kTrial);
+  WisdomStore repaired;
+  const auto result = repaired.load(file.path);
+  EXPECT_FALSE(result.corrupt);
+  EXPECT_EQ(result.entries, 1u);
+}
+
+TEST(Autotuner, CostModelFallbackWhenTrialsDisabled) {
+  const TempFile file("costmodel");
+  TunerConfig config = fast_config(file.path);
+  config.enable_trials = false;
+  Autotuner tuner(config);
+
+  const TuneDecision decision = tuner.decide(small_key(), small_base());
+  EXPECT_EQ(decision.source, DecisionSource::kCostModel);
+  EXPECT_NE(decision.kind, core::GridderKind::Auto);
+  const TunerStats stats = tuner.stats();
+  EXPECT_EQ(stats.cost_model, 1u);
+  EXPECT_EQ(stats.sessions, 0u);
+  EXPECT_EQ(stats.trials, 0u);
+  // Model decisions are memoized but never persisted: a trial-enabled
+  // process must still get to measure this key.
+  EXPECT_EQ(stats.wisdom_saves, 0u);
+  std::ifstream f(file.path);
+  EXPECT_FALSE(f.good());
+
+  const TuneDecision again = tuner.decide(small_key(), small_base());
+  EXPECT_EQ(again.kind, decision.kind);
+  EXPECT_EQ(tuner.stats().hits, 1u);
+}
+
+TEST(Autotuner, UnwritableWisdomPathFailsConstruction) {
+  try {
+    Autotuner tuner(fast_config("/nonexistent-dir/wisdom.json"));
+    FAIL() << "must throw before any trial time is spent";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "wisdom path not writable: /nonexistent-dir/wisdom.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Autotuner, EightConcurrentColdQueriesRunOneTrialSession) {
+  Autotuner tuner(fast_config());  // in-memory only
+  const TuneKey key = small_key();
+  const core::GridderOptions base = small_base();
+
+  constexpr int kThreads = 8;
+  std::vector<TuneDecision> decisions(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { decisions[static_cast<std::size_t>(i)] =
+                     tuner.decide(key, base); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const TuneDecision& d : decisions) {
+    EXPECT_EQ(d.kind, decisions[0].kind);
+    EXPECT_EQ(d.tile, decisions[0].tile);
+    EXPECT_EQ(d.threads, decisions[0].threads);
+  }
+  const TunerStats stats = tuner.stats();
+  // The once-semantics invariant: exactly one caller ran the trials.
+  EXPECT_EQ(stats.sessions, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(Autotuner, ApplySubstitutesDecisionAndPreservesBase) {
+  core::GridderOptions base;
+  base.kind = core::GridderKind::Auto;
+  base.width = 5;
+  base.sigma = 1.5;
+  base.table_oversampling = 64;
+  base.exact_weights = true;
+
+  TuneDecision decision;
+  decision.kind = core::GridderKind::Binning;
+  decision.tile = 16;
+  decision.threads = 2;
+  const core::GridderOptions tuned = Autotuner::apply(decision, base);
+  EXPECT_EQ(tuned.kind, core::GridderKind::Binning);
+  EXPECT_EQ(tuned.tile, 16);
+  EXPECT_EQ(tuned.threads, 2u);
+  EXPECT_EQ(tuned.width, 5);
+  EXPECT_DOUBLE_EQ(tuned.sigma, 1.5);
+  EXPECT_EQ(tuned.table_oversampling, 64);
+  EXPECT_TRUE(tuned.exact_weights);
+}
+
+// --------------------------------------------------------------- cost model
+
+TEST(CostModel, PicksAConcreteEngineForEveryDim) {
+  for (int dims = 1; dims <= 3; ++dims) {
+    TuneKey key = small_key();
+    key.dims = dims;
+    const CostModelChoice choice = cost_model_decide(key);
+    EXPECT_NE(choice.kind, core::GridderKind::Auto) << "dims=" << dims;
+    EXPECT_GE(choice.tile, 1) << "dims=" << dims;
+  }
+}
+
+// ------------------------------------------------------------ Auto factory
+
+TEST(AutoFactory, MakeGridderResolvesAutoWithoutTuner) {
+  // Sites that cannot consult a tuner (no sample count at hand) still get a
+  // working engine: the factory's documented static SliceDice fallback.
+  core::GridderOptions options;
+  options.kind = core::GridderKind::Auto;
+  options.width = 4;
+  const auto gridder = core::make_gridder<2>(32, options);
+  ASSERT_NE(gridder, nullptr);
+}
+
+}  // namespace
+}  // namespace jigsaw::tune

@@ -1,7 +1,7 @@
 // jigsaw_cli — command-line front end to the library.
 //
 //   jigsaw_cli recon    --n 128 --traj radial --samples 50000
-//                       [--engine slice-dice] [--kernel kaiser-bessel]
+//                       [--engine slice-dice|auto] [--kernel kaiser-bessel]
 //                       [--width 6] [--sigma 2.0] [--table 32]
 //                       [--density ramp|pipe-menon|none] [--iters K]
 //                       [--coils C] [--coil-threads T]   multi-coil CG-SENSE
@@ -12,6 +12,10 @@
 //                       [--out recon.pgm]
 //   jigsaw_cli grid     --n 128 --traj radial --samples 50000
 //                       [--engine ...]       time one gridding pass + stats
+//
+// --engine auto defers the choice to the autotuner (src/tune/): wisdom from
+// --wisdom <path> (default ~/.jigsaw_wisdom.json) or fresh calibration
+// trials (--no-trials forces the analytic cost model instead).
 //   jigsaw_cli simulate --n 128 --samples 50000 [--3d] [--z-binned]
 //                       run the JIGSAW cycle simulator + synthesis estimate
 //   jigsaw_cli info     list engines, kernels, trajectories
@@ -36,6 +40,7 @@
 #include "robustness/fault_injection.hpp"
 #include "trajectory/phantom.hpp"
 #include "trajectory/trajectory.hpp"
+#include "tune/autotuner.hpp"
 
 using namespace jigsaw;
 
@@ -81,6 +86,29 @@ core::GridderOptions options_from(const CliArgs& args) {
   return opt;
 }
 
+/// Resolve --engine auto against the autotuner once the sample count is
+/// known. No-op for a concrete engine. Prints the decision so scripts can
+/// assert on it; an unwritable --wisdom path throws out of the Autotuner
+/// constructor and exits 1 through main()'s catch.
+core::GridderOptions resolve_auto(core::GridderOptions opt, const CliArgs& args,
+                                  std::int64_t n, std::int64_t m) {
+  if (opt.kind != core::GridderKind::Auto) return opt;
+  tune::TunerConfig config;
+  config.wisdom_path = args.get("wisdom", tune::WisdomStore::default_path());
+  config.enable_trials = !args.has("no-trials");
+  tune::Autotuner tuner(config);
+  const auto key = tune::TuneKey::of(2, n, m, opt, /*coils=*/1, /*threads=*/1);
+  const auto decision = tuner.decide(key, opt);
+  const auto stats = tuner.stats();
+  std::printf("auto: %s -> engine=%s tile=%d threads=%u source=%s "
+              "(trials=%llu, wisdom=%s)\n",
+              key.label().c_str(), core::to_string(decision.kind).c_str(),
+              decision.tile, decision.threads, tune::to_string(decision.source),
+              static_cast<unsigned long long>(stats.trials),
+              config.wisdom_path.c_str());
+  return tune::Autotuner::apply(decision, opt);
+}
+
 /// Fault-injection spec from the --drop-spokes/--noise-spikes/--inject-nan/
 /// --perturb-coords/--seed flags (all fractions default to 0 = off).
 robustness::FaultSpec fault_spec_from(const CliArgs& args,
@@ -99,7 +127,7 @@ int cmd_recon(const CliArgs& args) {
   const std::int64_t n = args.get_int("n", 128);
   const std::int64_t m = args.get_int("samples", 50000);
   const auto traj_type = parse_traj(args.get("traj", "radial"));
-  const auto opt = options_from(args);
+  auto opt = options_from(args);
   std::vector<Coord<2>> coords;
   std::vector<c64> kdata;
   if (args.has("input")) {
@@ -151,6 +179,7 @@ int cmd_recon(const CliArgs& args) {
     std::printf("k-space data saved to %s\n", args.get("save").c_str());
   }
 
+  opt = resolve_auto(opt, args, n, static_cast<std::int64_t>(coords.size()));
   core::NufftPlan<2> plan(n, coords, opt);
 
   // Multi-coil CG-SENSE path: synthetic birdcage maps, per-coil acquisition
@@ -258,7 +287,8 @@ int cmd_grid(const CliArgs& args) {
   in.coords = coords;
   in.values.assign(coords.size(), c64(0.01, 0.0));
 
-  const auto opt = options_from(args);
+  const auto opt = resolve_auto(options_from(args), args, n,
+                                static_cast<std::int64_t>(coords.size()));
   auto g = core::make_gridder<2>(n, opt);
   core::Grid<2> grid(g->grid_size());
   const double secs = time_best([&] { g->adjoint(in, grid); });
@@ -283,6 +313,11 @@ int cmd_simulate(const CliArgs& args) {
   const std::int64_t m = args.get_int("samples", 50000);
   auto opt = options_from(args);
   const bool three_d = args.has("3d");
+  // The cycle simulator models the fixed JIGSAW datapath; "auto" would be
+  // circular here, so it simulates the slice-and-dice configuration.
+  if (opt.kind == core::GridderKind::Auto) {
+    opt.kind = core::GridderKind::SliceDice;
+  }
 
   if (!three_d) {
     sim::CycleSim sim2d(n, opt, false);
@@ -334,7 +369,7 @@ int cmd_info() {
   std::printf("jigsaw_nufft 1.0.0 — Slice-and-Dice NuFFT library "
               "(IPDPS 2021 reproduction)\n\n");
   std::printf("engines:      serial, output-driven, binning, slice-dice, "
-              "jigsaw (fixed point), sparse, float\n");
+              "jigsaw (fixed point), sparse, float, auto (tuned)\n");
   std::printf("kernels:      kaiser-bessel, gaussian, bspline, triangle, "
               "sinc-hann\n");
   std::printf("trajectories: radial, spiral, rosette, random, cartesian\n");
@@ -343,22 +378,49 @@ int cmd_info() {
   return 0;
 }
 
+void print_help(std::FILE* out) {
+  std::fprintf(out,
+               "usage: jigsaw_cli <recon|grid|simulate|info> [--flags]\n\n"
+               "  recon     reconstruct a phantom (or --input CSV) image\n"
+               "  grid      time one gridding pass and report work counters\n"
+               "  simulate  run the JIGSAW cycle simulator + ASIC estimate\n"
+               "  info      list engines, kernels, trajectories\n\n"
+               "common flags:\n"
+               "  --engine %s\n"
+               "            (auto picks the fastest engine for the geometry\n"
+               "             via the autotuner — see docs/tuning.md)\n"
+               "  --wisdom <path>   autotuner wisdom store\n"
+               "                    (default $JIGSAW_WISDOM or "
+               "~/.jigsaw_wisdom.json)\n"
+               "  --no-trials       skip calibration trials; use the cost "
+               "model\n"
+               "  --n N --samples M --traj radial|spiral|rosette|random|"
+               "cartesian\n"
+               "  --kernel kaiser-bessel|gaussian|bspline|triangle|sinc-hann\n"
+               "  --width W --sigma S --table L --tile T --iters K\n",
+               core::gridder_kind_names().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: jigsaw_cli <recon|grid|simulate|info> [--flags]\n");
+    print_help(stderr);
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_help(stdout);
+    return 0;
+  }
   const std::vector<std::string> flags = {
       "n",      "samples", "traj",  "engine",        "kernel",
       "width",  "sigma",   "table", "tile",          "exact-weights",
       "density", "iters",  "out",   "3d",            "z-binned",
       "input",  "save",    "sanitize",  "drop-spokes",  "noise-spikes",
       "inject-nan", "perturb-coords", "bitflip-rate", "bitflip-bit",
-      "seed",   "coils",   "coil-threads", "trace-json", "counters"};
+      "seed",   "coils",   "coil-threads", "trace-json", "counters",
+      "wisdom", "no-trials"};
   try {
     CliArgs args(argc - 1, argv + 1, flags);
     const std::string trace_path = args.get("trace-json", "");

@@ -1,0 +1,136 @@
+// jigsaw_tune — offline autotuner calibration.
+//
+//   jigsaw_tune [--wisdom <path>] [--dims 2] [--width 6] [--sigma 2.0]
+//               [--threads 1] [--no-trials] [--expect-hits] [--show]
+//               NxM [NxM ...]
+//
+// Each positional argument names a geometry as <grid side>x<sample count>
+// (e.g. 64x8192). For every geometry the tuner resolves the key — from
+// wisdom when present, otherwise by running calibration trials — and the
+// decision is persisted to the wisdom store, so a later `jigsaw_cli
+// --engine auto --wisdom <path>` (or jigsaw_serve --wisdom) starts warm.
+//
+//   --expect-hits  exit 1 unless EVERY geometry resolved from wisdom with
+//                  zero trials (the ci.sh reload assertion)
+//   --show         print the wisdom store and exit (no tuning)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/gridder.hpp"
+#include "tune/autotuner.hpp"
+
+using namespace jigsaw;
+
+namespace {
+
+/// Parse "<n>x<m>" (e.g. "64x8192"). Throws std::invalid_argument.
+void parse_geometry(const std::string& spec, std::int64_t* n,
+                    std::int64_t* m) {
+  const auto x = spec.find('x');
+  std::size_t n_end = 0;
+  std::size_t m_end = 0;
+  if (x == std::string::npos || x == 0 || x + 1 >= spec.size()) {
+    throw std::invalid_argument("bad geometry '" + spec +
+                                "', expected <n>x<m> (e.g. 64x8192)");
+  }
+  try {
+    *n = std::stoll(spec.substr(0, x), &n_end);
+    *m = std::stoll(spec.substr(x + 1), &m_end);
+  } catch (const std::exception&) {
+    n_end = 0;  // fall through to the common diagnostic
+  }
+  if (n_end != x || m_end != spec.size() - x - 1 || *n < 2 || *m < 1) {
+    throw std::invalid_argument("bad geometry '" + spec +
+                                "', expected <n>x<m> (e.g. 64x8192)");
+  }
+}
+
+int show_wisdom(const std::string& path) {
+  tune::WisdomStore store;
+  const auto loaded = store.load(path);
+  if (!loaded.file_present) {
+    std::printf("%s: no wisdom file\n", path.c_str());
+    return 0;
+  }
+  if (loaded.corrupt) {
+    std::printf("%s: corrupt (will be re-tuned and rewritten on next use)\n",
+                path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu entries (%zu damaged entries skipped)\n", path.c_str(),
+              store.size(), loaded.skipped);
+  for (const auto& [key, e] : store.entries()) {
+    std::printf("  %-28s -> engine=%s tile=%d threads=%u trial_ms=%.3f\n",
+                key.label().c_str(), core::to_string(e.kind).c_str(), e.tile,
+                e.exec_threads, e.trial_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"wisdom", "dims", "width", "sigma", "threads",
+                        "no-trials", "expect-hits", "show"});
+    const std::string wisdom_path =
+        args.get("wisdom", tune::WisdomStore::default_path());
+    if (args.has("show")) return show_wisdom(wisdom_path);
+    if (args.positional().empty()) {
+      std::fprintf(stderr,
+                   "usage: jigsaw_tune [--wisdom <path>] [--expect-hits] "
+                   "[--show] NxM [NxM ...]\n");
+      return 2;
+    }
+
+    core::GridderOptions base;  // kernel/width/sigma defaults match the CLI
+    base.width = static_cast<int>(args.get_int("width", 6));
+    base.sigma = args.get_double("sigma", 2.0);
+    const int dims = static_cast<int>(args.get_int("dims", 2));
+    const auto threads =
+        static_cast<unsigned>(args.get_int("threads", 1));
+
+    tune::TunerConfig config;
+    config.wisdom_path = wisdom_path;
+    config.enable_trials = !args.has("no-trials");
+    tune::Autotuner tuner(config);
+
+    for (const std::string& spec : args.positional()) {
+      std::int64_t n = 0;
+      std::int64_t m = 0;
+      parse_geometry(spec, &n, &m);
+      const auto key = tune::TuneKey::of(dims, n, m, base, /*coils=*/1,
+                                         threads);
+      const auto d = tuner.decide(key, base);
+      std::printf("%-28s -> engine=%s tile=%d threads=%u source=%s "
+                  "trial_ms=%.3f\n",
+                  key.label().c_str(), core::to_string(d.kind).c_str(),
+                  d.tile, d.threads, tune::to_string(d.source), d.trial_ms);
+    }
+
+    const auto stats = tuner.stats();
+    std::printf("tune: %llu hits, %llu misses, %llu trials in %llu sessions"
+                " (%llu rejected), wisdom=%s\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.trials),
+                static_cast<unsigned long long>(stats.sessions),
+                static_cast<unsigned long long>(stats.rejected),
+                wisdom_path.c_str());
+    if (args.has("expect-hits") && (stats.misses > 0 || stats.trials > 0)) {
+      std::fprintf(stderr,
+                   "error: expected every geometry in wisdom, but saw %llu "
+                   "misses / %llu trials\n",
+                   static_cast<unsigned long long>(stats.misses),
+                   static_cast<unsigned long long>(stats.trials));
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
