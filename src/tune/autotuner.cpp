@@ -32,18 +32,29 @@ struct Candidate {
   unsigned threads;
 };
 
-std::vector<Candidate> candidate_list(const TuneKey& key, int base_tile) {
+std::vector<Candidate> candidate_list(const TuneKey& key,
+                                      const TuneKey& trial_key,
+                                      int base_tile) {
+  // A candidate must be constructible at the REAL geometry — that is what
+  // the caller builds after the decision, and what wisdom persists — AND at
+  // the capped trial geometry we actually time. Checking only the trial
+  // grid (e.g. N capped to 128, G=256) would let a tile win that the real
+  // grid (say N=130, G=260) rejects at plan construction.
+  const auto ok = [&](core::GridderKind kind, int tile) {
+    return config_constructible(kind, key, tile) &&
+           config_constructible(kind, trial_key, tile);
+  };
   std::vector<Candidate> out;
   out.push_back({core::GridderKind::Serial, base_tile, 1});
   std::vector<unsigned> thread_variants{1};
   if (key.threads > 1) thread_variants.push_back(key.threads);
   for (const unsigned t : thread_variants) {
     for (const int tile : {4, 8, 16}) {
-      // The slice-dice virtual tile must cover the window (T >= W).
-      if (tile < key.width) continue;
+      if (!ok(core::GridderKind::SliceDice, tile)) continue;
       out.push_back({core::GridderKind::SliceDice, tile, t});
     }
     for (const int tile : {8, 16}) {
+      if (!ok(core::GridderKind::Binning, tile)) continue;
       out.push_back({core::GridderKind::Binning, tile, t});
     }
   }
@@ -71,17 +82,21 @@ double grid_rel_l2(const core::Grid<D>& got, const core::Grid<D>& want) {
   return den == 0.0 ? std::sqrt(num) : std::sqrt(num / den);
 }
 
-/// Writability preflight: the existing file, or — for a yet-to-be-created
-/// one — its directory. Catches read-only stores before any trial time is
+/// Writability preflight. WisdomStore::save writes <path>.tmp.<pid> and
+/// rename(2)s it over <path>, so the CONTAINING DIRECTORY must be writable
+/// in every case — a writable file inside a read-only directory still
+/// cannot be saved. Catches read-only stores before any trial time is
 /// spent (and before the CLI has gridded anything).
 bool path_writable(const std::string& path) {
-  if (::access(path.c_str(), W_OK) == 0) return true;
-  if (::access(path.c_str(), F_OK) == 0) return false;  // exists, not ours
   const auto slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : (slash == 0 ? "/" : path.substr(0, slash));
-  return ::access(dir.c_str(), W_OK) == 0;
+  if (::access(dir.c_str(), W_OK) != 0) return false;
+  // An existing read-only file is somebody else's: refuse to clobber it
+  // even though rename(2) technically could.
+  return ::access(path.c_str(), F_OK) != 0 ||
+         ::access(path.c_str(), W_OK) == 0;
 }
 
 }  // namespace
@@ -232,6 +247,9 @@ TuneDecision Autotuner::run_trials(const TuneKey& key,
   const std::int64_t n = std::min(key.n, kTrialMaxN);
   const std::int64_t m = std::max<std::int64_t>(
       1, std::min(key.m, kTrialMaxSamples));
+  TuneKey trial_key = key;  // the geometry the trials actually construct
+  trial_key.n = n;
+  trial_key.m = m;
 
   // Deterministic synthetic problem: seeded by the key, so every process
   // that tunes a given geometry times the exact same workload.
@@ -267,7 +285,7 @@ TuneDecision Autotuner::run_trials(const TuneKey& key,
   TuneDecision best;
   double best_s = 1e300;
   core::Grid<D> grid(oracle->grid_size());
-  for (const Candidate& cand : candidate_list(key, base.tile)) {
+  for (const Candidate& cand : candidate_list(key, trial_key, base.tile)) {
     core::GridderOptions options = trial_base;
     options.kind = cand.kind;
     options.tile = cand.tile;

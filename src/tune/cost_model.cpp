@@ -12,7 +12,32 @@ double pow_d(double base, int d) {
   return r;
 }
 
+std::int64_t oversampled_side(const TuneKey& key) {
+  return std::llround(key.sigma * static_cast<double>(key.n));
+}
+
 }  // namespace
+
+bool config_constructible(core::GridderKind kind, const TuneKey& key,
+                          int tile) {
+  const std::int64_t g = oversampled_side(key);
+  if (g < key.width) return false;  // gridder_base precondition
+  switch (kind) {
+    case core::GridderKind::SliceDice:
+      // slice_dice_gridder: T >= W and T | G.
+      return tile >= key.width && tile >= 1 && g % tile == 0;
+    case core::GridderKind::Binning: {
+      // binning_gridder: B | G, G > W, and enough tiles that a window
+      // never wraps onto the same tile twice.
+      if (tile < 1 || g % tile != 0 || g <= key.width) return false;
+      return g / tile >= (key.width - 1) / tile + 2;
+    }
+    case core::GridderKind::OutputDriven:
+      return g > key.width;
+    default:
+      return true;  // serial/sparse: tile-free, base precondition only
+  }
+}
 
 double cost_model_cost(core::GridderKind kind, const TuneKey& key, int tile) {
   const double m = static_cast<double>(key.m);
@@ -55,25 +80,33 @@ CostModelChoice cost_model_decide(const TuneKey& key) {
   const core::GridderKind kinds[] = {
       core::GridderKind::Serial, core::GridderKind::SliceDice,
       core::GridderKind::Binning, core::GridderKind::Sparse};
-  const int tiles[] = {8, 16};
+  const int tiles[] = {4, 8, 16, 32};
+  const unsigned threads = key.threads < 1 ? 1 : key.threads;
 
+  // Serial is the unconditional fallback: tile-free and constructible
+  // wherever anything is, so a geometry no tiled engine fits (e.g. an
+  // oversampled side none of the candidate tiles divides) still resolves
+  // instead of hard-failing at plan construction.
   CostModelChoice best;
-  double best_cost = std::numeric_limits<double>::infinity();
+  best.kind = core::GridderKind::Serial;
+  best.tile = 8;  // informational; serial ignores it
+  best.threads = threads;
+  double best_cost = cost_model_cost(best.kind, key, best.tile);
   for (const auto kind : kinds) {
+    if (kind == core::GridderKind::Serial) continue;
     for (const int tile : tiles) {
+      if (!config_constructible(kind, key, tile)) continue;
       const double cost = cost_model_cost(kind, key, tile);
       if (cost < best_cost) {
         best_cost = cost;
         best.kind = kind;
         best.tile = tile;
-        best.threads = key.threads < 1 ? 1 : key.threads;
+        best.threads = threads;
       }
-      // Tile size only enters the binning estimate; one pass suffices for
-      // the tile-free engines.
-      if (kind != core::GridderKind::Binning &&
-          kind != core::GridderKind::SliceDice) {
-        break;
-      }
+      // Tile size only enters the binning estimate; the first
+      // constructible tile suffices for slice-and-dice, and sparse is
+      // tile-free entirely.
+      if (kind != core::GridderKind::Binning) break;
     }
   }
   return best;

@@ -22,6 +22,16 @@
 
 namespace jigsaw::tune {
 
+/// True when engine `kind` with tile size `tile` can actually be
+/// constructed for the key's oversampled grid G = round(sigma * N) —
+/// mirrors the constructor JIGSAW_REQUIREs of each engine (T >= W for
+/// slice-and-dice, tile | G, the binning wrap limit). Both the trial
+/// candidate list and the cost model filter through this so Auto never
+/// hands back a configuration that throws at plan-construction time on
+/// the REAL geometry (trials run on a capped one).
+bool config_constructible(core::GridderKind kind, const TuneKey& key,
+                          int tile);
+
 /// Relative cost of running engine `kind` (tile size `tile` where it
 /// applies) on geometry `key` with `key.threads` threads.
 double cost_model_cost(core::GridderKind kind, const TuneKey& key, int tile);

@@ -297,6 +297,21 @@ WisdomStore::LoadResult WisdomStore::load(const std::string& path) {
 }
 
 void WisdomStore::save(const std::string& path) const {
+  // Merge-on-write: other processes sharing this wisdom file hold only
+  // their own entries in memory, so rewriting from ours alone would drop
+  // every key they tuned since we loaded. Re-read the current document and
+  // overlay the local entries (local decisions win on key conflicts).
+  // There is still a read->rename window between two simultaneous savers,
+  // but losing an update now requires both to tune the SAME key inside it,
+  // not merely different keys.
+  std::map<TuneKey, WisdomEntry> merged;
+  {
+    WisdomStore disk;
+    disk.load(path);  // absent/corrupt -> empty: nothing worth keeping
+    merged = std::move(disk.entries_);
+  }
+  for (const auto& [key, entry] : entries_) merged[key] = entry;
+
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
   std::FILE* f = std::fopen(tmp.c_str(), "w");
@@ -308,7 +323,7 @@ void WisdomStore::save(const std::string& path) const {
   std::fprintf(f, "  \"schema_version\": %d,\n", kWisdomSchemaVersion);
   std::fprintf(f, "  \"entries\": [\n");
   std::size_t i = 0;
-  for (const auto& [key, e] : entries_) {
+  for (const auto& [key, e] : merged) {
     std::fprintf(
         f,
         "    {\"key\": \"%s\", \"dims\": %d, \"n\": %lld, \"m\": %lld, "
@@ -318,7 +333,7 @@ void WisdomStore::save(const std::string& path) const {
         key.hex().c_str(), key.dims, static_cast<long long>(key.n),
         static_cast<long long>(key.m), key.width, key.sigma, key.coils,
         key.threads, core::to_string(e.kind).c_str(), e.tile, e.exec_threads,
-        e.trial_ms, ++i == entries_.size() ? "" : ",");
+        e.trial_ms, ++i == merged.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   const bool write_ok = std::ferror(f) == 0;

@@ -21,9 +21,12 @@
 //     (the tuner re-tunes and the next save() overwrites the wreck);
 //     individually damaged entries (bad engine name, key/field mismatch)
 //     are skipped and counted, keeping the intact ones.
-//   * save() is an atomic rewrite: write <path>.tmp.<pid>, then rename(2)
-//     over the destination, so a concurrent reader sees either the old or
-//     the new document, never a torn one. I/O failure throws.
+//   * save() is an atomic merge-and-rewrite: re-read the on-disk document,
+//     overlay the in-memory entries (local wins per key), write
+//     <path>.tmp.<pid>, then rename(2) over the destination — a concurrent
+//     reader sees either the old or the new document, never a torn one,
+//     and concurrent tuners of DIFFERENT keys do not drop each other's
+//     entries. I/O failure throws.
 #pragma once
 
 #include <cstdint>
@@ -57,8 +60,9 @@ class WisdomStore {
   /// Replace the in-memory contents with the document at `path`.
   LoadResult load(const std::string& path);
 
-  /// Atomic rewrite of `path`. Throws std::runtime_error on I/O failure
-  /// ("wisdom path not writable: ...").
+  /// Atomic merge-and-rewrite of `path`: on-disk entries for keys this
+  /// store does not hold are preserved. Throws std::runtime_error on I/O
+  /// failure ("wisdom path not writable: ...").
   void save(const std::string& path) const;
 
   void put(const WisdomEntry& entry) { entries_[entry.key] = entry; }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -198,6 +199,43 @@ TEST(WisdomStore, DamagedEntriesAreSkippedIntactOnesKept) {
   EXPECT_EQ(store.find(good)->kind, core::GridderKind::SliceDice);
 }
 
+TEST(WisdomStore, SaveMergesEntriesAlreadyOnDisk) {
+  const TempFile file("merge");
+  // Process A persists its key.
+  TuneKey key_a = small_key();
+  WisdomStore a;
+  WisdomEntry ea;
+  ea.key = key_a;
+  ea.kind = core::GridderKind::Serial;
+  ea.tile = 8;
+  a.put(ea);
+  a.save(file.path);
+
+  // Process B, which never saw A's entry, tunes a different key and a
+  // conflicting copy of A's key. Its save must keep A's foreign key and
+  // win the conflict with its own (newer) decision.
+  TuneKey key_b = small_key();
+  key_b.n = 32;
+  WisdomStore b;
+  WisdomEntry eb;
+  eb.key = key_b;
+  eb.kind = core::GridderKind::Binning;
+  eb.tile = 16;
+  b.put(eb);
+  WisdomEntry conflict = ea;
+  conflict.kind = core::GridderKind::SliceDice;
+  b.put(conflict);
+  b.save(file.path);
+
+  WisdomStore reloaded;
+  const auto result = reloaded.load(file.path);
+  EXPECT_EQ(result.entries, 2u);
+  ASSERT_NE(reloaded.find(key_a), nullptr);
+  EXPECT_EQ(reloaded.find(key_a)->kind, core::GridderKind::SliceDice);
+  ASSERT_NE(reloaded.find(key_b), nullptr);
+  EXPECT_EQ(reloaded.find(key_b)->kind, core::GridderKind::Binning);
+}
+
 TEST(WisdomStore, SaveToUnwritablePathThrows) {
   WisdomStore store;
   try {
@@ -330,6 +368,33 @@ TEST(Autotuner, EightConcurrentColdQueriesRunOneTrialSession) {
   EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads));
 }
 
+TEST(Autotuner, TrialDecisionIsConstructibleAtRealGeometry) {
+  // N=130 oversamples to G=260: tiles 8/16 divide the CAPPED trial grid
+  // (N=128, G=256) but not the real one. The winner must still be
+  // constructible at the real N — the capped-trial bug handed back a tile
+  // the real plan construction then rejected.
+  TuneKey key;
+  key.dims = 2;
+  key.n = 130;
+  key.m = 4000;
+  key.width = 6;
+  key.sigma = 2.0;
+
+  core::GridderOptions base;
+  base.kind = core::GridderKind::Auto;
+  base.width = 6;
+
+  Autotuner tuner(fast_config());
+  const TuneDecision decision = tuner.decide(key, base);
+  EXPECT_EQ(decision.source, DecisionSource::kTrial);
+  const auto tuned = Autotuner::apply(decision, base);
+  std::unique_ptr<core::Gridder<2>> gridder;
+  ASSERT_NO_THROW(gridder = core::make_gridder<2>(key.n, tuned))
+      << "engine=" << core::to_string(decision.kind)
+      << " tile=" << decision.tile;
+  ASSERT_NE(gridder, nullptr);
+}
+
 TEST(Autotuner, ApplySubstitutesDecisionAndPreservesBase) {
   core::GridderOptions base;
   base.kind = core::GridderKind::Auto;
@@ -362,6 +427,43 @@ TEST(CostModel, PicksAConcreteEngineForEveryDim) {
     EXPECT_NE(choice.kind, core::GridderKind::Auto) << "dims=" << dims;
     EXPECT_GE(choice.tile, 1) << "dims=" << dims;
   }
+}
+
+TEST(CostModel, DecisionIsConstructibleWhenDefaultTilesAreNot) {
+  // G=260: neither 8 nor 16 divides it, and slice-dice needs T >= W=6.
+  // The unfiltered model used to return slice-dice tile=8 here, which
+  // threw at plan construction under --engine auto --no-trials.
+  TuneKey key;
+  key.dims = 2;
+  key.n = 130;
+  key.m = 4000;
+  key.width = 6;
+  key.sigma = 2.0;
+  key.threads = 4;
+
+  const CostModelChoice choice = cost_model_decide(key);
+  EXPECT_TRUE(config_constructible(choice.kind, key, choice.tile))
+      << "engine=" << core::to_string(choice.kind)
+      << " tile=" << choice.tile;
+  core::GridderOptions options;
+  options.kind = choice.kind;
+  options.tile = choice.tile;
+  options.width = key.width;
+  options.sigma = key.sigma;
+  EXPECT_NO_THROW(core::make_gridder<2>(key.n, options));
+}
+
+TEST(CostModel, ConstructibilityMirrorsEngineRequirements) {
+  TuneKey key = small_key();  // N=24, sigma=2 -> G=48, W=4
+  EXPECT_TRUE(config_constructible(core::GridderKind::SliceDice, key, 8));
+  EXPECT_FALSE(config_constructible(core::GridderKind::SliceDice, key, 2))
+      << "T < W must be rejected";
+  EXPECT_FALSE(config_constructible(core::GridderKind::SliceDice, key, 5))
+      << "T must divide G";
+  EXPECT_TRUE(config_constructible(core::GridderKind::Binning, key, 8));
+  EXPECT_FALSE(config_constructible(core::GridderKind::Binning, key, 5))
+      << "B must divide G";
+  EXPECT_TRUE(config_constructible(core::GridderKind::Serial, key, 1));
 }
 
 // ------------------------------------------------------------ Auto factory

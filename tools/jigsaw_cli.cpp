@@ -19,6 +19,7 @@
 //   jigsaw_cli simulate --n 128 --samples 50000 [--3d] [--z-binned]
 //                       run the JIGSAW cycle simulator + synthesis estimate
 //   jigsaw_cli info     list engines, kernels, trajectories
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -97,7 +98,21 @@ core::GridderOptions resolve_auto(core::GridderOptions opt, const CliArgs& args,
   config.wisdom_path = args.get("wisdom", tune::WisdomStore::default_path());
   config.enable_trials = !args.has("no-trials");
   tune::Autotuner tuner(config);
-  const auto key = tune::TuneKey::of(2, n, m, opt, /*coils=*/1, /*threads=*/1);
+  // Key the decision on the execution shape the CLI will actually run.
+  // Multi-coil recon parallelizes across min(coils, --coil-threads) plan
+  // lanes (SenseOperator::for_each_coil), each applying this gridder; the
+  // per-gridder thread budget is what remains of the --coil-threads budget
+  // once those lanes are occupied.
+  const int coils = static_cast<int>(args.get_int("coils", 1));
+  unsigned threads = 1;
+  if (coils > 1) {
+    const auto coil_threads = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("coil-threads", 1)));
+    const unsigned lanes =
+        std::min(coil_threads, static_cast<unsigned>(coils));
+    threads = std::max(1u, coil_threads / lanes);
+  }
+  const auto key = tune::TuneKey::of(2, n, m, opt, coils, threads);
   const auto decision = tuner.decide(key, opt);
   const auto stats = tuner.stats();
   std::printf("auto: %s -> engine=%s tile=%d threads=%u source=%s "
