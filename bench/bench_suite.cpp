@@ -51,6 +51,11 @@ struct Entry {
   std::vector<std::pair<std::string, double>> phases;
   double checksum = 0.0;
   std::vector<std::pair<std::string, double>> extra;
+  // Non-empty only on autotuned ("/auto/") entries: the concrete engine the
+  // tuner resolved to, in kEngines spelling ("-simd" suffix for vectorized
+  // winners). Lets bench_compare.py work-gate the entry against that
+  // engine's own baseline counters instead of exempting it wholesale.
+  std::string resolved_engine;
   // Registry counter deltas for ONE invocation of the workload (captured
   // outside the timing loop — time_best's rep count varies run to run, so
   // counting inside it would make these nondeterministic).
@@ -81,18 +86,38 @@ struct EngineSpec {
   const char* name;
   core::GridderKind kind;
   bool model_faithful;
+  bool simd = false;
 };
 
+// The vectorized twins ride along unconditionally: on a host without vector
+// units the runtime dispatcher resolves them to the staged scalar kernel
+// table, so the entries stay comparable (identical work counters) if slower.
 const EngineSpec kEngines[] = {
     {"serial", core::GridderKind::Serial, false},
+    {"serial-simd", core::GridderKind::Serial, false, true},
     {"output-driven", core::GridderKind::OutputDriven, false},
     {"binning", core::GridderKind::Binning, false},
+    {"binning-simd", core::GridderKind::Binning, false, true},
     {"slice-dice", core::GridderKind::SliceDice, false},
+    {"slice-dice-simd", core::GridderKind::SliceDice, false, true},
     {"slice-dice-model", core::GridderKind::SliceDice, true},
     {"sparse", core::GridderKind::Sparse, false},
     {"float", core::GridderKind::FloatSerial, false},
     {"jigsaw", core::GridderKind::Jigsaw, false},
 };
+
+/// The bench-local name of the engine a tuning decision resolved to —
+/// kEngines spelling ("slice-dice", not "slice-and-dice"), "-simd" suffix
+/// for vectorized winners. bench_compare.py uses this to work-gate /auto/
+/// entries against the matching concrete entry's counters.
+std::string bench_engine_name(core::GridderKind kind, bool simd) {
+  for (const EngineSpec& spec : kEngines) {
+    if (spec.kind == kind && !spec.model_faithful && !spec.simd) {
+      return std::string(spec.name) + (simd ? "-simd" : "");
+    }
+  }
+  return core::to_string(kind);
+}
 
 template <int D>
 core::SampleSet<D> random_samples(std::int64_t m, std::uint64_t seed) {
@@ -122,6 +147,7 @@ void bench_gridder(const EngineSpec& spec, std::int64_t n, std::int64_t m,
   core::GridderOptions opt;
   opt.kind = spec.kind;
   opt.model_faithful_checks = spec.model_faithful;
+  opt.simd = spec.simd;
   opt.width = width;
   opt.tile = 8;
   auto g = core::make_gridder<D>(n, opt);
@@ -181,9 +207,11 @@ void bench_auto(std::int64_t n, std::int64_t m, int width,
   const auto decision = tuner.decide(key, opt);
   const double tune_seconds = tune_timer.seconds();
   const auto resolved = tune::Autotuner::apply(decision, opt);
+  const std::string resolved_name =
+      bench_engine_name(decision.kind, decision.simd);
   std::printf("auto: %s -> %s (tile %d, %.1f ms of trials)\n",
-              key.label().c_str(), core::to_string(decision.kind).c_str(),
-              decision.tile, 1e3 * tune_seconds);
+              key.label().c_str(), resolved_name.c_str(), decision.tile,
+              1e3 * tune_seconds);
 
   auto g = core::make_gridder<2>(n, resolved);
   const auto in = random_samples<2>(m, 42 + static_cast<std::uint64_t>(n));
@@ -202,7 +230,9 @@ void bench_auto(std::int64_t n, std::int64_t m, int width,
     e.extra = {{"tune_seconds", tune_seconds},
                {"tune_trials", static_cast<double>(stats.trials)},
                {"resolved_engine_code",
-                static_cast<double>(static_cast<int>(decision.kind))}};
+                static_cast<double>(static_cast<int>(decision.kind))},
+               {"resolved_simd", decision.simd ? 1.0 : 0.0}};
+    e.resolved_engine = resolved_name;
     out.push_back(std::move(e));
   }
   {
@@ -211,6 +241,7 @@ void bench_auto(std::int64_t n, std::int64_t m, int width,
     fwd.values.assign(in.coords.size(), c64{});
     Entry e;
     e.name = "grid2d/forward/auto" + size_suffix(n, m);
+    e.resolved_engine = resolved_name;
     e.dim = 2;
     e.n = n;
     e.m = m;
@@ -382,6 +413,10 @@ void write_json(const std::string& path, const std::string& tag, bool smoke,
     std::fprintf(f, "      \"dim\": %d, \"n\": %lld, \"m\": %lld,\n", e.dim,
                  static_cast<long long>(e.n), static_cast<long long>(e.m));
     std::fprintf(f, "      \"seconds\": %.9g,\n", e.seconds);
+    if (!e.resolved_engine.empty()) {
+      std::fprintf(f, "      \"resolved_engine\": \"%s\",\n",
+                   e.resolved_engine.c_str());
+    }
     if (!e.phases.empty()) {
       std::fprintf(f, "      \"phases\": {");
       for (std::size_t p = 0; p < e.phases.size(); ++p) {

@@ -19,11 +19,18 @@ Exit status 1 when:
     means the algorithm now does different work. The gate only engages
     when both files were produced by JIGSAW_OBS=ON builds and both entries
     carry counters; an OFF-build candidate is reported, never failed.
-    Benchmarks whose name contains "/auto/" are exempt from this gate: the
+    Benchmarks whose name contains "/auto/" get an indirect gate: the
     autotuner resolves them to whichever engine measured fastest on the
-    producing machine, so the grid.<engine>.* counter families legitimately
-    differ between hosts (and between runs when timings cross over). Their
-    checksum gate still applies — every engine must produce the same grid.
+    producing machine, so their counters cannot be compared against the
+    baseline's auto entry (hosts and runs legitimately pick different
+    winners). When the candidate entry records "resolved_engine", the gate
+    instead compares its counters against the BASELINE entry of that
+    concrete engine's scalar twin at the same problem size — a SIMD winner
+    must do bit-identical logical work to its scalar twin, so e.g. an auto
+    entry resolved to "binning-simd" is checked against ".../binning/...".
+    Candidates without resolved_engine (pre-SIMD producers) keep the old
+    wholesale exemption. The checksum gate always applies — every engine
+    must produce the same grid.
 
 New benchmarks in the candidate are reported but never fail the run, so
 adding coverage does not require a simultaneous baseline refresh.
@@ -94,11 +101,30 @@ def main():
                 f"(rel drift {drift:.3g})")
 
         # Autotuned entries run on whichever engine won the calibration
-        # trials on the producing machine, so their per-engine work
-        # counters are machine-dependent; only the checksum gates them.
+        # trials on the producing machine, so their work counters cannot be
+        # diffed against the baseline's own auto entry. When the candidate
+        # says which engine it resolved to, gate against that engine's
+        # scalar twin in the baseline instead (SIMD variants perform
+        # identical logical work); otherwise fall back to exempting.
         tuned_entry = "/auto/" in name
-        if work_gate and not tuned_entry and "counters" in b and "counters" in c:
-            bc, cc = b["counters"], c["counters"]
+        ref_counters = b.get("counters")
+        if tuned_entry:
+            resolved = c.get("resolved_engine")
+            if resolved:
+                scalar = resolved[:-len("-simd")] if resolved.endswith("-simd") else resolved
+                ref_name = name.replace("/auto/", f"/{scalar}/")
+                ref_entry = base.get(ref_name)
+                if ref_entry is None or "counters" not in ref_entry:
+                    notes.append(f"NOTE      {name}: resolved to {resolved} but "
+                                 f"baseline has no counters for {ref_name}; "
+                                 "work gate skipped")
+                    ref_counters = None
+                else:
+                    ref_counters = ref_entry["counters"]
+            else:
+                ref_counters = None
+        if work_gate and ref_counters is not None and "counters" in c:
+            bc, cc = ref_counters, c["counters"]
             for key in sorted(set(bc) | set(cc)):
                 if not key.startswith(WORK_PREFIXES):
                     continue

@@ -8,6 +8,9 @@
 #   3. ASan+UBSan build (JIGSAW_SANITIZE=ON), tier-1 tests — includes the
 #      thread-invariance, plan-cache, and counter-shard concurrency suites,
 #      so the lock-free counter paths run sanitized on every CI pass
+#   3a. the SIMD kernel/differential/thread-invariance suites rerun from
+#      the ASan build with JIGSAW_SIMD=scalar — sanitized coverage for the
+#      portable staged-scalar dispatch path, not just the host's best ISA
 #   3b. TSan build (JIGSAW_TSAN=ON) of the serve/deadline suites — the
 #      service layer's dispatcher + connection threads and the deadline
 #      token run under ThreadSanitizer on every CI pass
@@ -53,6 +56,15 @@ echo "=== ASan+UBSan build + ctest ==="
 cmake -B build-asan -S . -DJIGSAW_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"${JOBS}"
 ctest --test-dir build-asan "${TEST_ARGS[@]}"
+
+echo "=== ASan+UBSan SIMD kernel suites, forced-scalar dispatch ==="
+# The tier-1 ASan pass above already ran the SIMD suites under whichever
+# ISA the dispatcher picked on this machine; rerun them with
+# JIGSAW_SIMD=scalar so the portable staged-scalar kernel table (the path
+# hosts without vector units take, and the wrapped-edge fallback every ISA
+# shares) gets sanitizer coverage on every CI run too.
+JIGSAW_SIMD=scalar ctest --test-dir build-asan --output-on-failure \
+  -j"${JOBS}" -R 'Simd|Differential|ThreadInvariance'
 
 echo "=== TSan build + serve/deadline concurrency suites ==="
 # The service layer is the most thread-heavy subsystem (dispatcher thread,

@@ -73,6 +73,10 @@ def check(value, schema, path, errors):
 # a decision, and must never be persisted).
 WISDOM_ENGINES = {"serial", "output-driven", "binning", "slice-and-dice",
                   "jigsaw", "sparse-matrix", "serial-f32"}
+# Engines with a vectorized twin: the only ones a wisdom entry may mark
+# "simd": true ("engine" stays the concrete scalar name; the flag selects
+# the SIMD kernel table at plan time). Matches core::gridder_kind_has_simd.
+WISDOM_SIMD_ENGINES = {"serial", "binning", "slice-and-dice"}
 WISDOM_KEY_HEX = 16
 
 
@@ -88,6 +92,10 @@ def check_wisdom(doc, errors):
         if engine not in WISDOM_ENGINES:
             errors.append(f"$.entries[{i}].engine: \"{engine}\" is not a "
                           f"concrete engine (valid: {sorted(WISDOM_ENGINES)})")
+        if e.get("simd") and engine not in WISDOM_SIMD_ENGINES:
+            errors.append(f"$.entries[{i}].simd: true, but \"{engine}\" has "
+                          f"no SIMD variant (valid: "
+                          f"{sorted(WISDOM_SIMD_ENGINES)})")
         key = e.get("key", "")
         if not (isinstance(key, str) and len(key) == WISDOM_KEY_HEX
                 and all(c in "0123456789abcdef" for c in key)):

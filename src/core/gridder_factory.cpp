@@ -12,6 +12,13 @@ namespace jigsaw::core {
 template <int D>
 std::unique_ptr<Gridder<D>> make_gridder(std::int64_t n,
                                          const GridderOptions& options) {
+  // Auto is exempt: its static fallback (SliceDice) honors the flag.
+  if (options.simd && options.kind != GridderKind::Auto &&
+      !gridder_kind_has_simd(options.kind)) {
+    throw std::invalid_argument("engine '" + to_string(options.kind) +
+                                "' has no SIMD variant (valid: serial-simd, "
+                                "slice-dice-simd, binning-simd)");
+  }
   switch (options.kind) {
     case GridderKind::Serial:
       return std::make_unique<SerialGridder<D>>(n, options);

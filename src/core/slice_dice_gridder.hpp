@@ -31,6 +31,7 @@
 #include "common/timer.hpp"
 #include "core/gridder.hpp"
 #include "core/window.hpp"
+#include "kernels/simd/simd.hpp"
 
 namespace jigsaw::core {
 
@@ -112,6 +113,35 @@ class SliceDiceGridder final : public Gridder<D> {
     }
   }
 
+  /// SIMD variant of select_dim: the scalar loop looks weights up at
+  /// gint = dec.tile*t + fl - k for k = 0..W-1 — the same W distances in
+  /// descending grid order. Gather them ascending with the vector LUT path
+  /// (bit-identical indices) and hand them out reversed. Column/tile
+  /// bookkeeping is unchanged. `wbuf` needs the micro-kernel weight
+  /// capacity (see kernels/simd/kernel_table.hpp).
+  void select_dim_simd(const kernels::simd::KernelTable& K,
+                       const kernels::simd::LutView& lv, double tau,
+                       DimSelect* sel, double* wbuf) const {
+    const int w = this->options_.width;
+    const std::int64_t t = this->options_.tile;
+    const double u = grid_coord(tau, this->g_);
+    const double us = u + static_cast<double>(w) * 0.5;
+    const Decomposed dec = decompose(us, static_cast<int>(t));
+    const auto fl = static_cast<std::int64_t>(dec.relative);
+    K.lut_weights(lv, u, dec.tile * t + fl - (w - 1), w, wbuf);
+    for (int k = 0; k < w; ++k) {
+      std::int64_t c = fl - k;
+      std::int64_t q = dec.tile;
+      if (c < 0) {  // tile wrap: relative coordinate below column index
+        c += t;
+        q -= 1;
+      }
+      sel[k].column = c;
+      sel[k].tile = pos_mod(q, ntiles_);
+      sel[k].weight = wbuf[w - 1 - k];
+    }
+  }
+
   void accumulate(std::int64_t addr, c64 v, bool use_atomics) {
     c64& slot = dice_[static_cast<std::size_t>(addr)];
     if (use_atomics) {
@@ -132,15 +162,30 @@ class SliceDiceGridder final : public Gridder<D> {
     const std::int64_t tile_count = pow_dim<D>(ntiles_);
     const auto m = static_cast<std::int64_t>(in.size());
     const bool parallel = this->options_.threads > 1;
+    // SIMD variant: only the per-dimension weight gather vectorizes — the
+    // dice accumulation is strided (and atomic under threads > 1), so it
+    // stays scalar and the thread-invariance contract is untouched.
+    const bool use_simd =
+        this->options_.simd && !this->options_.exact_weights;
+    const kernels::simd::KernelTable* K =
+        use_simd ? &kernels::simd::table() : nullptr;
+    const kernels::simd::LutView lv =
+        use_simd ? kernels::simd::lut_view(*this->lut_)
+                 : kernels::simd::LutView{};
 
     auto work = [&](std::int64_t begin, std::int64_t end, unsigned) {
       DimSelect sel[3][64];
+      double wbuf[64 + kernels::simd::kWeightLanes];
       for (std::int64_t j = begin; j < end; ++j) {
         const c64 f = in.values[static_cast<std::size_t>(j)];
         for (int d = 0; d < D; ++d) {
-          select_dim(in.coords[static_cast<std::size_t>(j)]
-                              [static_cast<std::size_t>(d)],
-                     sel[d]);
+          const double tau = in.coords[static_cast<std::size_t>(j)]
+                                      [static_cast<std::size_t>(d)];
+          if (K != nullptr) {
+            select_dim_simd(*K, lv, tau, sel[d], wbuf);
+          } else {
+            select_dim(tau, sel[d]);
+          }
         }
         if constexpr (D == 1) {
           for (int kx = 0; kx < w; ++kx) {

@@ -1,0 +1,189 @@
+// AVX2 + FMA micro-kernels (4 doubles / 2 complex per vector).
+//
+// LUT indices keep KernelLut's exact rounding — |dist| * L + 0.5 with the
+// multiply and add as separate ops (truncating convert, double-domain clamp
+// commutes with the truncation because the clamp bound is an integer) — so
+// gathered weights are bit-identical to the scalar engines. FMA is used
+// only in the accumulations, where the rel-L2 contract applies.
+#if defined(__x86_64__) || defined(__i386__)
+
+// GCC builds the unmasked gather intrinsics on _mm256_undefined_pd(), which
+// -W(maybe-)uninitialized flags at every inline site (GCC PR105593).
+// Nothing is actually read uninitialized.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include "kernels/simd/kernel_table.hpp"
+
+namespace jigsaw::kernels::simd {
+namespace {
+
+inline __m256d abs_pd(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+/// Gather 4 LUT weights for 4 signed distances.
+inline __m256d gather4(const LutView& lut, __m256d dist) {
+  const __m256d t = _mm256_add_pd(
+      _mm256_mul_pd(abs_pd(dist), _mm256_set1_pd(lut.scale)),
+      _mm256_set1_pd(0.5));
+  const __m256d clamped =
+      _mm256_min_pd(t, _mm256_set1_pd(static_cast<double>(lut.last)));
+  const __m128i idx = _mm256_cvttpd_epi32(clamped);
+  return _mm256_i32gather_pd(lut.table, idx, 8);
+}
+
+void lut_weights(const LutView& lut, double u, std::int64_t g0, int w,
+                 double* wt) {
+  // (g0 - u) + o is exact for every lane (all quantities are multiples of
+  // ulp(u) with small magnitude), hence identical to the scalar
+  // (g0 + o) - u.
+  const __m256d base = _mm256_add_pd(
+      _mm256_set1_pd(static_cast<double>(g0) - u),
+      _mm256_setr_pd(0.0, 1.0, 2.0, 3.0));
+  for (int o = 0; o < w; o += 4) {
+    const __m256d dist =
+        _mm256_add_pd(base, _mm256_set1_pd(static_cast<double>(o)));
+    _mm256_storeu_pd(wt + o, gather4(lut, dist));  // capacity contract
+  }
+}
+
+/// [wt[k], wt[k], wt[k+1], wt[k+1]] — weights duplicated across re/im.
+inline __m256d dup2(const double* wt) {
+  return _mm256_permute4x64_pd(_mm256_castpd128_pd256(_mm_loadu_pd(wt)),
+                               0x50);
+}
+
+void axpy(c64* out, const double* wt, int w, c64 f) {
+  auto* o = reinterpret_cast<double*>(out);
+  const __m256d fv = _mm256_setr_pd(f.real(), f.imag(), f.real(), f.imag());
+  int k = 0;
+  for (; k + 2 <= w; k += 2) {
+    __m256d acc = _mm256_loadu_pd(o + 2 * k);
+    acc = _mm256_fmadd_pd(dup2(wt + k), fv, acc);
+    _mm256_storeu_pd(o + 2 * k, acc);
+  }
+  if (k < w) {  // odd tail: one complex, exact-length 128-bit ops
+    __m128d acc = _mm_loadu_pd(o + 2 * k);
+    acc = _mm_fmadd_pd(_mm_set1_pd(wt[k]), _mm256_castpd256_pd128(fv), acc);
+    _mm_storeu_pd(o + 2 * k, acc);
+  }
+}
+
+c64 dot(const c64* in, const double* wt, int w) {
+  const auto* p = reinterpret_cast<const double*>(in);
+  __m256d acc = _mm256_setzero_pd();
+  int k = 0;
+  for (; k + 2 <= w; k += 2) {
+    acc = _mm256_fmadd_pd(dup2(wt + k), _mm256_loadu_pd(p + 2 * k), acc);
+  }
+  __m128d lo = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                          _mm256_extractf128_pd(acc, 1));
+  if (k < w) {
+    lo = _mm_fmadd_pd(_mm_set1_pd(wt[k]), _mm_loadu_pd(p + 2 * k), lo);
+  }
+  double buf[2];
+  _mm_storeu_pd(buf, lo);
+  return {buf[0], buf[1]};
+}
+
+c64 bin_point(const BinSoa& soa, const LutView& lut, int dims,
+              const std::int64_t* p, std::int64_t g, int w,
+              std::uint64_t* interp) {
+  const std::size_t m = soa.size();
+  const __m256d gv = _mm256_set1_pd(static_cast<double>(g));
+  const __m256d wv = _mm256_set1_pd(static_cast<double>(w));
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc_re = zero;
+  __m256d acc_im = zero;
+  std::uint64_t hits = 0;
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    __m256d mask = _mm256_cmp_pd(zero, zero, _CMP_EQ_OQ);  // all lanes on
+    __m256d wt = _mm256_set1_pd(1.0);
+    for (int d = 0; d < dims; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const __m256d g0 = _mm256_loadu_pd(soa.g0[ds].data() + j);
+      // pos_mod(p - g0, g): raw offset in (-g, 2g), one fold per side.
+      __m256d o = _mm256_sub_pd(_mm256_set1_pd(static_cast<double>(p[d])),
+                                g0);
+      const __m256d neg = _mm256_cmp_pd(o, zero, _CMP_LT_OQ);
+      o = _mm256_add_pd(o, _mm256_and_pd(neg, gv));
+      const __m256d hi = _mm256_cmp_pd(o, gv, _CMP_GE_OQ);
+      o = _mm256_sub_pd(o, _mm256_and_pd(hi, gv));
+      mask = _mm256_and_pd(mask, _mm256_cmp_pd(o, wv, _CMP_LT_OQ));
+      // Rejected lanes still gather (their index clamps into the table);
+      // the mask zeroes their weight before accumulation.
+      const __m256d dist = _mm256_sub_pd(
+          _mm256_add_pd(g0, o), _mm256_loadu_pd(soa.u[ds].data() + j));
+      wt = _mm256_mul_pd(wt, gather4(lut, dist));
+    }
+    wt = _mm256_and_pd(wt, mask);
+    acc_re = _mm256_fmadd_pd(wt, _mm256_loadu_pd(soa.re.data() + j), acc_re);
+    acc_im = _mm256_fmadd_pd(wt, _mm256_loadu_pd(soa.im.data() + j), acc_im);
+    hits += static_cast<unsigned>(
+        __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(mask))));
+  }
+  double rbuf[4];
+  double ibuf[4];
+  _mm256_storeu_pd(rbuf, acc_re);
+  _mm256_storeu_pd(ibuf, acc_im);
+  double re = ((rbuf[0] + rbuf[1]) + (rbuf[2] + rbuf[3]));
+  double im = ((ibuf[0] + ibuf[1]) + (ibuf[2] + ibuf[3]));
+  // Scalar tail: same arithmetic as the scalar table.
+  const double gd = static_cast<double>(g);
+  const double wd = static_cast<double>(w);
+  for (; j < m; ++j) {
+    double wt = 1.0;
+    bool inside = true;
+    for (int d = 0; d < dims; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const double g0 = soa.g0[ds][j];
+      double o = static_cast<double>(p[d]) - g0;
+      if (o < 0.0) o += gd;
+      if (o >= gd) o -= gd;
+      if (o >= wd) {
+        inside = false;
+        break;
+      }
+      const double dist = (g0 + o) - soa.u[ds][j];
+      const double a = dist < 0.0 ? -dist : dist;
+      std::int32_t i = static_cast<std::int32_t>(a * lut.scale + 0.5);
+      if (i > lut.last) i = lut.last;
+      wt *= lut.table[i];
+    }
+    if (!inside) continue;
+    re += wt * soa.re[j];
+    im += wt * soa.im[j];
+    ++hits;
+  }
+  *interp += hits;
+  return {re, im};
+}
+
+#include "kernels/simd/window_body.inc"
+
+constexpr KernelTable kTable{"avx2", lut_weights, axpy, dot,
+                             scatter, gather, bin_point};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx2_table() { return &kTable; }
+}  // namespace detail
+
+}  // namespace jigsaw::kernels::simd
+
+#else  // non-x86: not compiled in
+
+#include "kernels/simd/kernel_table.hpp"
+
+namespace jigsaw::kernels::simd::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace jigsaw::kernels::simd::detail
+
+#endif

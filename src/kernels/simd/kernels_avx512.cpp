@@ -1,0 +1,199 @@
+// AVX-512 micro-kernels (8 doubles / 4 complex per vector; F+DQ+VL).
+//
+// Same numeric contract as the AVX2 table: bit-identical LUT weights
+// (separate mul/add before the truncating convert, integer clamp bound),
+// FMA only in the accumulations. Tails use mask registers instead of the
+// AVX2 table's 128-bit fixups.
+#if defined(__x86_64__) || defined(__i386__)
+
+// GCC builds the unmasked AVX-512 intrinsics on _mm512_undefined_pd(),
+// which -Wmaybe-uninitialized flags at every inline site (GCC PR105593).
+// Nothing is actually read uninitialized.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include "kernels/simd/kernel_table.hpp"
+
+namespace jigsaw::kernels::simd {
+namespace {
+
+/// Gather 8 LUT weights for 8 signed distances.
+inline __m512d gather8(const LutView& lut, __m512d dist) {
+  const __m512d t = _mm512_add_pd(
+      _mm512_mul_pd(_mm512_abs_pd(dist), _mm512_set1_pd(lut.scale)),
+      _mm512_set1_pd(0.5));
+  const __m512d clamped =
+      _mm512_min_pd(t, _mm512_set1_pd(static_cast<double>(lut.last)));
+  const __m256i idx = _mm512_cvttpd_epi32(clamped);
+  return _mm512_i32gather_pd(idx, lut.table, 8);
+}
+
+void lut_weights(const LutView& lut, double u, std::int64_t g0, int w,
+                 double* wt) {
+  const __m512d base = _mm512_add_pd(
+      _mm512_set1_pd(static_cast<double>(g0) - u),
+      _mm512_setr_pd(0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0));
+  for (int o = 0; o < w; o += 8) {
+    const __m512d dist =
+        _mm512_add_pd(base, _mm512_set1_pd(static_cast<double>(o)));
+    _mm512_storeu_pd(wt + o, gather8(lut, dist));  // capacity contract
+  }
+}
+
+/// Duplicate 4 weights across re/im lanes: [w0,w0,w1,w1,w2,w2,w3,w3].
+inline __m512d dup4(__m256d wts) {
+  const __m512i idx = _mm512_setr_epi64(0, 0, 1, 1, 2, 2, 3, 3);
+  // zext (not cast): the permute only reads lanes 0..3, and a defined upper
+  // half keeps -Wmaybe-uninitialized quiet.
+  return _mm512_permutexvar_pd(idx, _mm512_zextpd256_pd512(wts));
+}
+
+void axpy(c64* out, const double* wt, int w, c64 f) {
+  auto* o = reinterpret_cast<double*>(out);
+  const double fpair[2] = {f.real(), f.imag()};
+  const __m512d fv = _mm512_broadcast_f64x2(_mm_loadu_pd(fpair));
+  int k = 0;
+  for (; k + 4 <= w; k += 4) {
+    __m512d acc = _mm512_loadu_pd(o + 2 * k);
+    acc = _mm512_fmadd_pd(dup4(_mm256_loadu_pd(wt + k)), fv, acc);
+    _mm512_storeu_pd(o + 2 * k, acc);
+  }
+  const int rem = w - k;  // 0..3 complex values
+  if (rem > 0) {
+    const auto wmask = static_cast<__mmask8>((1u << rem) - 1u);
+    const auto cmask = static_cast<__mmask8>((1u << (2 * rem)) - 1u);
+    // maskz weight load: dead lanes contribute exact zeros, and the masked
+    // store never touches grid memory past the window row.
+    const __m512d wv = dup4(_mm256_maskz_loadu_pd(wmask, wt + k));
+    __m512d acc = _mm512_maskz_loadu_pd(cmask, o + 2 * k);
+    acc = _mm512_fmadd_pd(wv, fv, acc);
+    _mm512_mask_storeu_pd(o + 2 * k, cmask, acc);
+  }
+}
+
+c64 dot(const c64* in, const double* wt, int w) {
+  const auto* p = reinterpret_cast<const double*>(in);
+  __m512d acc = _mm512_setzero_pd();
+  int k = 0;
+  for (; k + 4 <= w; k += 4) {
+    acc = _mm512_fmadd_pd(dup4(_mm256_loadu_pd(wt + k)),
+                          _mm512_loadu_pd(p + 2 * k), acc);
+  }
+  const int rem = w - k;
+  if (rem > 0) {
+    const auto wmask = static_cast<__mmask8>((1u << rem) - 1u);
+    const auto cmask = static_cast<__mmask8>((1u << (2 * rem)) - 1u);
+    acc = _mm512_fmadd_pd(dup4(_mm256_maskz_loadu_pd(wmask, wt + k)),
+                          _mm512_maskz_loadu_pd(cmask, p + 2 * k), acc);
+  }
+  // Pairwise reduce keeping re/im lanes separate.
+  __m256d lo = _mm256_add_pd(_mm512_castpd512_pd256(acc),
+                             _mm512_extractf64x4_pd(acc, 1));
+  __m128d v = _mm_add_pd(_mm256_castpd256_pd128(lo),
+                         _mm256_extractf128_pd(lo, 1));
+  double buf[2];
+  _mm_storeu_pd(buf, v);
+  return {buf[0], buf[1]};
+}
+
+c64 bin_point(const BinSoa& soa, const LutView& lut, int dims,
+              const std::int64_t* p, std::int64_t g, int w,
+              std::uint64_t* interp) {
+  const std::size_t m = soa.size();
+  const __m512d gv = _mm512_set1_pd(static_cast<double>(g));
+  const __m512d wv = _mm512_set1_pd(static_cast<double>(w));
+  const __m512d zero = _mm512_setzero_pd();
+  __m512d acc_re = zero;
+  __m512d acc_im = zero;
+  std::uint64_t hits = 0;
+  std::size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    __mmask8 mask = 0xFF;
+    __m512d wt = _mm512_set1_pd(1.0);
+    for (int d = 0; d < dims; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const __m512d g0 = _mm512_loadu_pd(soa.g0[ds].data() + j);
+      __m512d o = _mm512_sub_pd(_mm512_set1_pd(static_cast<double>(p[d])),
+                                g0);
+      const __mmask8 neg = _mm512_cmp_pd_mask(o, zero, _CMP_LT_OQ);
+      o = _mm512_mask_add_pd(o, neg, o, gv);
+      const __mmask8 hi = _mm512_cmp_pd_mask(o, gv, _CMP_GE_OQ);
+      o = _mm512_mask_sub_pd(o, hi, o, gv);
+      mask &= _mm512_cmp_pd_mask(o, wv, _CMP_LT_OQ);
+      const __m512d dist = _mm512_sub_pd(
+          _mm512_add_pd(g0, o), _mm512_loadu_pd(soa.u[ds].data() + j));
+      wt = _mm512_mul_pd(wt, gather8(lut, dist));
+    }
+    wt = _mm512_maskz_mov_pd(mask, wt);
+    acc_re =
+        _mm512_fmadd_pd(wt, _mm512_loadu_pd(soa.re.data() + j), acc_re);
+    acc_im =
+        _mm512_fmadd_pd(wt, _mm512_loadu_pd(soa.im.data() + j), acc_im);
+    hits += static_cast<unsigned>(__builtin_popcount(mask));
+  }
+  double rbuf[8];
+  double ibuf[8];
+  _mm512_storeu_pd(rbuf, acc_re);
+  _mm512_storeu_pd(ibuf, acc_im);
+  double re = 0.0;
+  double im = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    re += rbuf[i];
+    im += ibuf[i];
+  }
+  const double gd = static_cast<double>(g);
+  const double wd = static_cast<double>(w);
+  for (; j < m; ++j) {
+    double wt = 1.0;
+    bool inside = true;
+    for (int d = 0; d < dims; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const double g0 = soa.g0[ds][j];
+      double o = static_cast<double>(p[d]) - g0;
+      if (o < 0.0) o += gd;
+      if (o >= gd) o -= gd;
+      if (o >= wd) {
+        inside = false;
+        break;
+      }
+      const double dist = (g0 + o) - soa.u[ds][j];
+      const double a = dist < 0.0 ? -dist : dist;
+      std::int32_t i = static_cast<std::int32_t>(a * lut.scale + 0.5);
+      if (i > lut.last) i = lut.last;
+      wt *= lut.table[i];
+    }
+    if (!inside) continue;
+    re += wt * soa.re[j];
+    im += wt * soa.im[j];
+    ++hits;
+  }
+  *interp += hits;
+  return {re, im};
+}
+
+#include "kernels/simd/window_body.inc"
+
+constexpr KernelTable kTable{"avx512", lut_weights, axpy, dot,
+                             scatter, gather, bin_point};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx512_table() { return &kTable; }
+}  // namespace detail
+
+}  // namespace jigsaw::kernels::simd
+
+#else  // non-x86: not compiled in
+
+#include "kernels/simd/kernel_table.hpp"
+
+namespace jigsaw::kernels::simd::detail {
+const KernelTable* avx512_table() { return nullptr; }
+}  // namespace jigsaw::kernels::simd::detail
+
+#endif

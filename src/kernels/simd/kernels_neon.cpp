@@ -1,0 +1,138 @@
+// NEON micro-kernels for aarch64 (2 doubles / 1 complex per vector).
+//
+// NEON has no gather, so the LUT index path stays scalar (it is already
+// bit-identical to the engines); the win is the complex axpy/dot FMA and
+// the two-sample-wide boundary fold in bin_point. Same rel-L2 contract as
+// the x86 tables.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "kernels/simd/kernel_table.hpp"
+
+namespace jigsaw::kernels::simd {
+namespace {
+
+inline double lut_entry(const LutView& lut, double dist) {
+  const double a = dist < 0.0 ? -dist : dist;
+  std::int32_t i = static_cast<std::int32_t>(a * lut.scale + 0.5);
+  if (i > lut.last) i = lut.last;
+  return lut.table[i];
+}
+
+void lut_weights(const LutView& lut, double u, std::int64_t g0, int w,
+                 double* wt) {
+  const double base = static_cast<double>(g0) - u;
+  const int cap = weight_capacity(w);
+  for (int o = 0; o < cap; ++o) {
+    wt[o] = lut_entry(lut, base + static_cast<double>(o));
+  }
+}
+
+void axpy(c64* out, const double* wt, int w, c64 f) {
+  auto* o = reinterpret_cast<double*>(out);
+  const float64x2_t fv = {f.real(), f.imag()};
+  for (int k = 0; k < w; ++k) {
+    float64x2_t acc = vld1q_f64(o + 2 * k);
+    acc = vfmaq_n_f64(acc, fv, wt[k]);
+    vst1q_f64(o + 2 * k, acc);
+  }
+}
+
+c64 dot(const c64* in, const double* wt, int w) {
+  const auto* p = reinterpret_cast<const double*>(in);
+  float64x2_t acc = vdupq_n_f64(0.0);
+  for (int k = 0; k < w; ++k) {
+    acc = vfmaq_n_f64(acc, vld1q_f64(p + 2 * k), wt[k]);
+  }
+  return {vgetq_lane_f64(acc, 0), vgetq_lane_f64(acc, 1)};
+}
+
+c64 bin_point(const BinSoa& soa, const LutView& lut, int dims,
+              const std::int64_t* p, std::int64_t g, int w,
+              std::uint64_t* interp) {
+  const double gd = static_cast<double>(g);
+  const double wd = static_cast<double>(w);
+  const float64x2_t gv = vdupq_n_f64(gd);
+  const float64x2_t wv = vdupq_n_f64(wd);
+  const std::size_t m = soa.size();
+  float64x2_t acc_re = vdupq_n_f64(0.0);
+  float64x2_t acc_im = vdupq_n_f64(0.0);
+  std::uint64_t hits = 0;
+  std::size_t j = 0;
+  for (; j + 2 <= m; j += 2) {
+    uint64x2_t mask = vdupq_n_u64(~0ULL);
+    float64x2_t wt = vdupq_n_f64(1.0);
+    for (int d = 0; d < dims; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const float64x2_t g0 = vld1q_f64(soa.g0[ds].data() + j);
+      // pos_mod(p - g0, g): raw offset in (-g, 2g), one fold per side.
+      float64x2_t o =
+          vsubq_f64(vdupq_n_f64(static_cast<double>(p[d])), g0);
+      const uint64x2_t neg = vcltzq_f64(o);
+      o = vbslq_f64(neg, vaddq_f64(o, gv), o);
+      const uint64x2_t hi = vcgeq_f64(o, gv);
+      o = vbslq_f64(hi, vsubq_f64(o, gv), o);
+      mask = vandq_u64(mask, vcltq_f64(o, wv));
+      const float64x2_t dist =
+          vsubq_f64(vaddq_f64(g0, o), vld1q_f64(soa.u[ds].data() + j));
+      // No gather on NEON: look the two lanes up scalar.
+      const float64x2_t wd2 = {lut_entry(lut, vgetq_lane_f64(dist, 0)),
+                               lut_entry(lut, vgetq_lane_f64(dist, 1))};
+      wt = vmulq_f64(wt, wd2);
+    }
+    wt = vreinterpretq_f64_u64(
+        vandq_u64(vreinterpretq_u64_f64(wt), mask));
+    acc_re = vfmaq_f64(acc_re, wt, vld1q_f64(soa.re.data() + j));
+    acc_im = vfmaq_f64(acc_im, wt, vld1q_f64(soa.im.data() + j));
+    hits += (vgetq_lane_u64(mask, 0) != 0 ? 1 : 0) +
+            (vgetq_lane_u64(mask, 1) != 0 ? 1 : 0);
+  }
+  double re = vgetq_lane_f64(acc_re, 0) + vgetq_lane_f64(acc_re, 1);
+  double im = vgetq_lane_f64(acc_im, 0) + vgetq_lane_f64(acc_im, 1);
+  for (; j < m; ++j) {
+    double wt = 1.0;
+    bool inside = true;
+    for (int d = 0; d < dims; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      const double g0 = soa.g0[ds][j];
+      double o = static_cast<double>(p[d]) - g0;
+      if (o < 0.0) o += gd;
+      if (o >= gd) o -= gd;
+      if (o >= wd) {
+        inside = false;
+        break;
+      }
+      wt *= lut_entry(lut, (g0 + o) - soa.u[ds][j]);
+    }
+    if (!inside) continue;
+    re += wt * soa.re[j];
+    im += wt * soa.im[j];
+    ++hits;
+  }
+  *interp += hits;
+  return {re, im};
+}
+
+#include "kernels/simd/window_body.inc"
+
+constexpr KernelTable kTable{"neon", lut_weights, axpy, dot,
+                             scatter, gather, bin_point};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* neon_table() { return &kTable; }
+}  // namespace detail
+
+}  // namespace jigsaw::kernels::simd
+
+#else  // non-aarch64: not compiled in
+
+#include "kernels/simd/kernel_table.hpp"
+
+namespace jigsaw::kernels::simd::detail {
+const KernelTable* neon_table() { return nullptr; }
+}  // namespace jigsaw::kernels::simd::detail
+
+#endif

@@ -1,0 +1,82 @@
+// Portable scalar micro-kernels — the fallback every host can run, and the
+// reference the vectorized tables are differentially tested against. The
+// arithmetic (LUT index rounding, boundary folding) is kept line-for-line
+// equivalent to the scalar engines so a forced-scalar dispatch is exact.
+#include "kernels/simd/kernel_table.hpp"
+
+namespace jigsaw::kernels::simd {
+namespace {
+
+inline double lut_entry(const LutView& lut, double dist) {
+  const double a = dist < 0.0 ? -dist : dist;
+  std::int32_t i = static_cast<std::int32_t>(a * lut.scale + 0.5);
+  if (i > lut.last) i = lut.last;
+  return lut.table[i];
+}
+
+void lut_weights(const LutView& lut, double u, std::int64_t g0, int w,
+                 double* wt) {
+  const double base = static_cast<double>(g0) - u;
+  const int cap = weight_capacity(w);
+  for (int o = 0; o < cap; ++o) {
+    wt[o] = lut_entry(lut, base + static_cast<double>(o));
+  }
+}
+
+void axpy(c64* out, const double* wt, int w, c64 f) {
+  for (int o = 0; o < w; ++o) out[o] += wt[o] * f;
+}
+
+c64 dot(const c64* in, const double* wt, int w) {
+  c64 acc{};
+  for (int o = 0; o < w; ++o) acc += wt[o] * in[o];
+  return acc;
+}
+
+c64 bin_point(const BinSoa& soa, const LutView& lut, int dims,
+              const std::int64_t* p, std::int64_t g, int w,
+              std::uint64_t* interp) {
+  const double gd = static_cast<double>(g);
+  const double wd = static_cast<double>(w);
+  const std::size_t m = soa.size();
+  double acc_re = 0.0;
+  double acc_im = 0.0;
+  std::uint64_t hits = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    double wt = 1.0;
+    bool inside = true;
+    for (int d = 0; d < dims; ++d) {
+      const double g0 = soa.g0[static_cast<std::size_t>(d)][j];
+      // pos_mod(p - g0, g) in the double domain: the raw offset lies in
+      // (-g, 2g) (window starts reach at most one period off the grid), so
+      // one fold per side lands in [0, g) — exact integer arithmetic.
+      double o = static_cast<double>(p[d]) - g0;
+      if (o < 0.0) o += gd;
+      if (o >= gd) o -= gd;
+      if (o >= wd) {
+        inside = false;
+        break;
+      }
+      wt *= lut_entry(lut, (g0 + o) - soa.u[static_cast<std::size_t>(d)][j]);
+    }
+    if (!inside) continue;
+    acc_re += wt * soa.re[j];
+    acc_im += wt * soa.im[j];
+    ++hits;
+  }
+  *interp += hits;
+  return {acc_re, acc_im};
+}
+
+#include "kernels/simd/window_body.inc"
+
+constexpr KernelTable kTable{"scalar", lut_weights, axpy, dot,
+                             scatter, gather, bin_point};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* scalar_table() { return &kTable; }
+}  // namespace detail
+
+}  // namespace jigsaw::kernels::simd

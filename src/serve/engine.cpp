@@ -77,8 +77,11 @@ ServeEngine::GeometryKey ServeEngine::key_of(const ReconJob& job) {
   key.traj_hash = fnv1a(job.samples.coords.data(),
                         key.m * sizeof(Coord<2>));
   const auto& o = job.options;
+  // An even count of int32 fields keeps sizeof == sum-of-members: the
+  // struct is hashed as raw bytes, so a padding hole before the double
+  // would feed indeterminate bytes into the key (pad stays 0).
   struct {
-    std::int32_t kind, kernel, width, table, tile, exact;
+    std::int32_t kind, kernel, width, table, tile, exact, simd, pad;
     double sigma;
   } sig{static_cast<std::int32_t>(o.kind),
         static_cast<std::int32_t>(o.kernel),
@@ -86,7 +89,11 @@ ServeEngine::GeometryKey ServeEngine::key_of(const ReconJob& job) {
         o.table_oversampling,
         o.tile,
         o.exact_weights ? 1 : 0,
+        o.simd ? 1 : 0,
+        0,
         o.sigma};
+  static_assert(sizeof(sig) == 8 * sizeof(std::int32_t) + sizeof(double),
+                "options signature must have no padding bytes");
   key.options_sig = fnv1a(&sig, sizeof sig);
   return key;
 }

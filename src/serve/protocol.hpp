@@ -81,8 +81,14 @@ class FrameTooLarge : public ProtocolError {
 ///   u64 m, f64 coords[2*m], f64 values[2*m*coils]
 /// Values are per-coil blocks of m complex samples (coil-major).
 /// deadline_ms == 0 means unbounded.
+/// High bit of ReconRequestWire::engine selects the SIMD variant of the
+/// engine; the low bits remain a core::GridderKind. The wire layout is
+/// unchanged (pre-SIMD servers reject flagged codes as unknown engines).
+inline constexpr std::uint32_t kEngineSimdFlag = 0x80000000u;
+
 struct ReconRequestWire {
-  std::uint32_t engine = 3;   // core::GridderKind (3 = slice-dice)
+  std::uint32_t engine = 3;   // core::GridderKind (3 = slice-dice),
+                              // optionally OR-ed with kEngineSimdFlag
   std::uint32_t n = 128;      // base grid side
   std::uint32_t iters = 0;    // 0 = adjoint-only, >0 = CG iterations; with
                               // coils > 1 (where adjoint-only is undefined)

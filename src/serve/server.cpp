@@ -21,8 +21,16 @@ void close_quietly(int fd) {
 }  // namespace
 
 ReconJob job_from_wire(const ReconRequestWire& wire) {
-  if (wire.engine > static_cast<std::uint32_t>(core::GridderKind::Auto)) {
-    throw ProtocolError("unknown engine code " + std::to_string(wire.engine));
+  const bool simd = (wire.engine & kEngineSimdFlag) != 0;
+  const std::uint32_t engine_code = wire.engine & ~kEngineSimdFlag;
+  if (engine_code > static_cast<std::uint32_t>(core::GridderKind::Auto)) {
+    throw ProtocolError("unknown engine code " + std::to_string(engine_code));
+  }
+  const auto kind = static_cast<core::GridderKind>(engine_code);
+  if (simd && kind != core::GridderKind::Auto &&
+      !core::gridder_kind_has_simd(kind)) {
+    throw ProtocolError("engine '" + core::to_string(kind) +
+                        "' has no SIMD variant");
   }
   if (wire.sanitize >
       static_cast<std::uint32_t>(robustness::SanitizePolicy::Clamp)) {
@@ -41,7 +49,8 @@ ReconJob job_from_wire(const ReconRequestWire& wire) {
     throw ProtocolError("value count does not equal samples x coils");
   }
   ReconJob job;
-  job.options.kind = static_cast<core::GridderKind>(wire.engine);
+  job.options.kind = kind;
+  job.options.simd = simd;
   job.options.width = static_cast<int>(wire.kernel_width);
   job.options.sigma = wire.sigma;
   job.options.sanitize =

@@ -12,6 +12,7 @@
 #include "common/timer.hpp"
 #include "core/grid.hpp"
 #include "core/sample_set.hpp"
+#include "kernels/simd/simd.hpp"
 #include "obs/obs.hpp"
 
 namespace jigsaw::tune {
@@ -30,11 +31,12 @@ struct Candidate {
   core::GridderKind kind;
   int tile;
   unsigned threads;
+  bool simd = false;
 };
 
 std::vector<Candidate> candidate_list(const TuneKey& key,
                                       const TuneKey& trial_key,
-                                      int base_tile) {
+                                      int base_tile, bool simd_variants) {
   // A candidate must be constructible at the REAL geometry — that is what
   // the caller builds after the decision, and what wisdom persists — AND at
   // the capped trial geometry we actually time. Checking only the trial
@@ -45,24 +47,33 @@ std::vector<Candidate> candidate_list(const TuneKey& key,
            config_constructible(kind, trial_key, tile);
   };
   std::vector<Candidate> out;
-  out.push_back({core::GridderKind::Serial, base_tile, 1});
+  // Every scalar engine with a vectorized twin gets that twin as a
+  // first-class candidate (same tile/threads) when the host has an active
+  // SIMD ISA — the trial decides per geometry whether vectorization wins.
+  const auto push = [&](core::GridderKind kind, int tile, unsigned t) {
+    out.push_back({kind, tile, t, false});
+    if (simd_variants && core::gridder_kind_has_simd(kind)) {
+      out.push_back({kind, tile, t, true});
+    }
+  };
+  push(core::GridderKind::Serial, base_tile, 1);
   std::vector<unsigned> thread_variants{1};
   if (key.threads > 1) thread_variants.push_back(key.threads);
   for (const unsigned t : thread_variants) {
     for (const int tile : {4, 8, 16}) {
       if (!ok(core::GridderKind::SliceDice, tile)) continue;
-      out.push_back({core::GridderKind::SliceDice, tile, t});
+      push(core::GridderKind::SliceDice, tile, t);
     }
     for (const int tile : {8, 16}) {
       if (!ok(core::GridderKind::Binning, tile)) continue;
-      out.push_back({core::GridderKind::Binning, tile, t});
+      push(core::GridderKind::Binning, tile, t);
     }
   }
   const double weights =
       static_cast<double>(std::min(key.m, kTrialMaxSamples)) *
       std::pow(static_cast<double>(key.width), key.dims);
   if (weights <= kSparseWeightCap) {
-    out.push_back({core::GridderKind::Sparse, base_tile, 1});
+    out.push_back({core::GridderKind::Sparse, base_tile, 1, false});
   }
   // OutputDriven is deliberately absent: O(M * G^d) makes it the Sec. II-C
   // strawman, never a winner, and its trial alone would cost more than the
@@ -129,6 +140,7 @@ Autotuner::Autotuner(TunerConfig config) : config_(std::move(config)) {
 core::GridderOptions Autotuner::apply(const TuneDecision& decision,
                                       core::GridderOptions base) {
   base.kind = decision.kind;
+  base.simd = decision.simd;
   base.tile = decision.tile;
   base.threads = decision.threads;
   return base;
@@ -157,6 +169,7 @@ TuneDecision Autotuner::decide(const TuneKey& key,
       if (const WisdomEntry* e = wisdom_.find(key); e != nullptr) {
         TuneDecision d;
         d.kind = e->kind;
+        d.simd = e->simd;
         d.tile = e->tile;
         d.threads = e->exec_threads;
         d.trial_ms = e->trial_ms;
@@ -191,6 +204,7 @@ TuneDecision Autotuner::decide(const TuneKey& key,
     WisdomEntry entry;
     entry.key = key;
     entry.kind = decision.kind;
+    entry.simd = decision.simd;
     entry.tile = decision.tile;
     entry.exec_threads = decision.threads;
     entry.trial_ms = decision.trial_ms;
@@ -284,10 +298,18 @@ TuneDecision Autotuner::run_trials(const TuneKey& key,
   std::uint64_t rejected = 0;
   TuneDecision best;
   double best_s = 1e300;
+  // SIMD twins are only worth timing when the dispatcher resolved a vector
+  // ISA; exact_weights has no LUT to vectorize, so its trials stay scalar.
+  const bool simd_variants =
+      kernels::simd::active() != kernels::simd::Isa::Scalar &&
+      !trial_base.exact_weights;
+
   core::Grid<D> grid(oracle->grid_size());
-  for (const Candidate& cand : candidate_list(key, trial_key, base.tile)) {
+  for (const Candidate& cand :
+       candidate_list(key, trial_key, base.tile, simd_variants)) {
     core::GridderOptions options = trial_base;
     options.kind = cand.kind;
+    options.simd = cand.simd;
     options.tile = cand.tile;
     options.threads = cand.threads;
     std::unique_ptr<core::Gridder<D>> gridder;
@@ -308,6 +330,7 @@ TuneDecision Autotuner::run_trials(const TuneKey& key,
     if (s < best_s) {
       best_s = s;
       best.kind = cand.kind;
+      best.simd = cand.simd;
       best.tile = cand.tile;
       best.threads = cand.threads;
     }

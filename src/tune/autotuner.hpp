@@ -50,6 +50,7 @@ const char* to_string(DecisionSource s);
 
 struct TuneDecision {
   core::GridderKind kind = core::GridderKind::SliceDice;
+  bool simd = false;      // winning config uses the SIMD engine variant
   int tile = 8;
   unsigned threads = 1;
   double trial_ms = 0.0;  // winning candidate's best rep (0 for cost model)

@@ -208,6 +208,13 @@ bool get_str(const JsonValue& obj, const std::string& key, std::string* out) {
   return true;
 }
 
+bool get_bool(const JsonValue& obj, const std::string& key, bool* out) {
+  const JsonValue* v = obj.get(key);
+  if (v == nullptr || v->type != JsonValue::Type::Bool) return false;
+  *out = v->b;
+  return true;
+}
+
 /// One wisdom entry from its JSON object. Returns false (skip, keep the
 /// rest of the file) on any missing/mistyped field, unknown engine name, or
 /// a stored key that does not match the hash of the stored fields.
@@ -244,6 +251,10 @@ bool parse_entry(const JsonValue& e, WisdomEntry* out) {
     return false;
   }
   if (entry.kind == core::GridderKind::Auto) return false;  // never a decision
+  // Optional "simd" flag (absent in pre-SIMD files -> false). A true flag on
+  // an engine without a vectorized twin is a hand-edit/corruption: skip it.
+  get_bool(e, "simd", &entry.simd);
+  if (entry.simd && !core::gridder_kind_has_simd(entry.kind)) return false;
   entry.tile = static_cast<int>(tile);
   entry.exec_threads = static_cast<unsigned>(exec_threads);
   entry.trial_ms = trial_ms;
@@ -328,11 +339,13 @@ void WisdomStore::save(const std::string& path) const {
         f,
         "    {\"key\": \"%s\", \"dims\": %d, \"n\": %lld, \"m\": %lld, "
         "\"width\": %d, \"sigma\": %.17g, \"coils\": %d, \"threads\": %u, "
-        "\"engine\": \"%s\", \"tile\": %d, \"exec_threads\": %u, "
+        "\"engine\": \"%s\", \"simd\": %s, \"tile\": %d, "
+        "\"exec_threads\": %u, "
         "\"trial_ms\": %.6g, \"source\": \"trial\"}%s\n",
         key.hex().c_str(), key.dims, static_cast<long long>(key.n),
         static_cast<long long>(key.m), key.width, key.sigma, key.coils,
-        key.threads, core::to_string(e.kind).c_str(), e.tile, e.exec_threads,
+        key.threads, core::to_string(e.kind).c_str(),
+        e.simd ? "true" : "false", e.tile, e.exec_threads,
         e.trial_ms, ++i == merged.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");

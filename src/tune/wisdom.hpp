@@ -9,8 +9,8 @@
 //       {"key": "<16 hex digits of TuneKey::hash()>",
 //        "dims": 2, "n": 64, "m": 32768, "width": 6, "sigma": 2,
 //        "coils": 1, "threads": 2,
-//        "engine": "slice-and-dice", "tile": 8, "exec_threads": 2,
-//        "trial_ms": 1.37, "source": "trial"}, ...
+//        "engine": "slice-and-dice", "simd": false, "tile": 8,
+//        "exec_threads": 2, "trial_ms": 1.37, "source": "trial"}, ...
 //     ]
 //   }
 //
@@ -43,6 +43,10 @@ inline constexpr int kWisdomSchemaVersion = 1;
 struct WisdomEntry {
   TuneKey key;
   core::GridderKind kind = core::GridderKind::SliceDice;
+  bool simd = false;          // SIMD variant of the engine won the trials.
+                              // Replaying such an entry on a host without
+                              // vector units still works: the micro-kernel
+                              // dispatch falls back to its scalar table.
   int tile = 8;
   unsigned exec_threads = 1;  // thread count the winning config ran with
   double trial_ms = 0.0;      // winning calibration time (best rep)

@@ -131,6 +131,83 @@ TEST(WisdomStore, SaveLoadRoundTripPreservesEntries) {
   EXPECT_DOUBLE_EQ(found->trial_ms, 1.25);
 }
 
+TEST(WisdomStore, SimdFlagRoundTripsAndDefaultsToFalse) {
+  const TempFile file("simdflag");
+  WisdomStore store;
+  WisdomEntry entry;
+  entry.key = small_key();
+  entry.kind = core::GridderKind::Binning;
+  entry.simd = true;
+  entry.tile = 8;
+  store.put(entry);
+  store.save(file.path);
+
+  WisdomStore reloaded;
+  ASSERT_EQ(reloaded.load(file.path).entries, 1u);
+  ASSERT_NE(reloaded.find(small_key()), nullptr);
+  EXPECT_TRUE(reloaded.find(small_key())->simd);
+
+  // Pre-SIMD documents have no "simd" field: it must default to false, not
+  // reject the entry.
+  const TuneKey good = small_key();
+  std::ostringstream doc;
+  doc << "{\"kind\": \"jigsaw-wisdom\", \"schema_version\": 1, "
+      << "\"entries\": [{\"key\": \"" << good.hex() << "\", \"dims\": 2, "
+      << "\"n\": 24, \"m\": 600, \"width\": 4, \"sigma\": 2, \"coils\": 1, "
+      << "\"threads\": 1, \"engine\": \"slice-and-dice\", \"tile\": 8, "
+      << "\"exec_threads\": 1, \"trial_ms\": 0.5, \"source\": \"trial\"}]}";
+  write_file(file.path, doc.str());
+  WisdomStore legacy;
+  ASSERT_EQ(legacy.load(file.path).entries, 1u);
+  EXPECT_FALSE(legacy.find(good)->simd);
+}
+
+TEST(WisdomStore, SimdFlagOnNonSimdEngineIsRejected) {
+  // sparse has no vectorized twin: a simd=true entry for it is a hand-edit
+  // or corruption, skipped like any other damaged entry.
+  const TempFile file("simdbad");
+  const TuneKey good = small_key();
+  std::ostringstream doc;
+  doc << "{\"kind\": \"jigsaw-wisdom\", \"schema_version\": 1, "
+      << "\"entries\": [{\"key\": \"" << good.hex() << "\", \"dims\": 2, "
+      << "\"n\": 24, \"m\": 600, \"width\": 4, \"sigma\": 2, \"coils\": 1, "
+      << "\"threads\": 1, \"engine\": \"sparse\", \"simd\": true, "
+      << "\"tile\": 8, \"exec_threads\": 1}]}";
+  write_file(file.path, doc.str());
+  WisdomStore store;
+  const auto result = store.load(file.path);
+  EXPECT_EQ(result.entries, 0u);
+  EXPECT_EQ(result.skipped, 1u);
+}
+
+TEST(Autotuner, WisdomSimdEntryResolvesToSimdOptions) {
+  const TempFile file("simdwisdom");
+  const TuneKey key = small_key();
+  std::ostringstream doc;
+  doc << "{\"kind\": \"jigsaw-wisdom\", \"schema_version\": 1, "
+      << "\"entries\": [{\"key\": \"" << key.hex() << "\", \"dims\": "
+      << key.dims << ", \"n\": " << key.n << ", \"m\": " << key.m
+      << ", \"width\": " << key.width << ", \"sigma\": " << key.sigma
+      << ", \"coils\": " << key.coils << ", \"threads\": " << key.threads
+      << ", \"engine\": \"binning\", \"simd\": true, \"tile\": 8, "
+      << "\"exec_threads\": 1, \"trial_ms\": 0.5, \"source\": \"trial\"}]}";
+  write_file(file.path, doc.str());
+
+  TunerConfig config;
+  config.wisdom_path = file.path;
+  Autotuner tuner(config);
+  core::GridderOptions base;
+  base.kind = core::GridderKind::Auto;
+  base.width = key.width;
+  const TuneDecision d = tuner.decide(key, base);
+  EXPECT_EQ(d.source, DecisionSource::kWisdom);
+  EXPECT_EQ(d.kind, core::GridderKind::Binning);
+  EXPECT_TRUE(d.simd);
+  const core::GridderOptions opt = Autotuner::apply(d, base);
+  EXPECT_TRUE(opt.simd);
+  EXPECT_EQ(opt.kind, core::GridderKind::Binning);
+}
+
 TEST(WisdomStore, MissingFileIsNotCorrupt) {
   WisdomStore store;
   const auto result = store.load(temp_path("never_written"));

@@ -37,6 +37,7 @@
 #include "core/sense.hpp"
 #include "energy/asic_model.hpp"
 #include "jigsaw/cycle_sim.hpp"
+#include "kernels/simd/simd.hpp"
 #include "obs/obs.hpp"
 #include "robustness/fault_injection.hpp"
 #include "trajectory/phantom.hpp"
@@ -70,8 +71,13 @@ trajectory::TrajectoryType parse_traj(const std::string& s) {
 core::GridderOptions options_from(const CliArgs& args) {
   core::GridderOptions opt;
   // Misspelled engines exit 1 through main()'s catch with the one-line
-  // "unknown engine '<name>', valid: ..." message from the parser.
-  opt.kind = core::parse_gridder_kind(args.get("engine", "slice-dice"));
+  // "unknown engine '<name>', valid: ..." message from the parser. A
+  // "-simd" suffix (serial-simd, slice-dice-simd, binning-simd) selects the
+  // vectorized variant of the engine.
+  const core::GridderSpec spec =
+      core::parse_gridder_spec(args.get("engine", "slice-dice"));
+  opt.kind = spec.kind;
+  opt.simd = spec.simd;
   opt.kernel = parse_kernel(args.get("kernel", "kaiser-bessel"));
   opt.width = static_cast<int>(args.get_int("width", 6));
   opt.sigma = args.get_double("sigma", 2.0);
@@ -117,7 +123,9 @@ core::GridderOptions resolve_auto(core::GridderOptions opt, const CliArgs& args,
   const auto stats = tuner.stats();
   std::printf("auto: %s -> engine=%s tile=%d threads=%u source=%s "
               "(trials=%llu, wisdom=%s)\n",
-              key.label().c_str(), core::to_string(decision.kind).c_str(),
+              key.label().c_str(),
+              core::to_string(
+                  core::GridderSpec{decision.kind, decision.simd}).c_str(),
               decision.tile, decision.threads, tune::to_string(decision.source),
               static_cast<unsigned long long>(stats.trials),
               config.wisdom_path.c_str());
@@ -283,7 +291,8 @@ int cmd_recon(const CliArgs& args) {
   std::printf("recon: %s, %zu samples -> %lldx%lld (%s engine) in %.3f s\n",
               trajectory::to_string(traj_type).c_str(), coords.size(),
               static_cast<long long>(n), static_cast<long long>(n),
-              core::to_string(opt.kind).c_str(), secs);
+              core::to_string(core::GridderSpec{opt.kind, opt.simd}).c_str(),
+              secs);
   std::printf("NRMSD vs phantom: %.4f | SSIM: %.4f\n",
               core::nrmsd(mag, truth),
               core::ssim(mag, truth, static_cast<int>(n)));
@@ -311,7 +320,8 @@ int cmd_grid(const CliArgs& args) {
 
   std::printf("%s gridding of %zu samples onto %lld^2: %.4f s "
               "(%.1f ns/sample)\n",
-              core::to_string(opt.kind).c_str(), coords.size(),
+              core::to_string(core::GridderSpec{opt.kind, opt.simd}).c_str(),
+              coords.size(),
               static_cast<long long>(g->grid_size()), secs,
               1e9 * secs / static_cast<double>(coords.size()));
   std::printf("boundary checks %llu | samples processed %llu | "
@@ -385,9 +395,15 @@ int cmd_info() {
               "(IPDPS 2021 reproduction)\n\n");
   std::printf("engines:      serial, output-driven, binning, slice-dice, "
               "jigsaw (fixed point), sparse, float, auto (tuned)\n");
+  std::printf("              SIMD variants: serial-simd, slice-dice-simd, "
+              "binning-simd\n");
   std::printf("kernels:      kaiser-bessel, gaussian, bspline, triangle, "
               "sinc-hann\n");
   std::printf("trajectories: radial, spiral, rosette, random, cartesian\n");
+  std::printf("simd:         active=%s (supported: %s; override with "
+              "--simd or $JIGSAW_SIMD)\n",
+              kernels::simd::to_string(kernels::simd::active()),
+              kernels::simd::supported_names().c_str());
   std::printf("hardware:     T=8 (64 pipelines), W<=8, L<=64, grid<=1024^2, "
               "M+12 cycles @1 GHz\n");
   return 0;
@@ -404,6 +420,9 @@ void print_help(std::FILE* out) {
                "  --engine %s\n"
                "            (auto picks the fastest engine for the geometry\n"
                "             via the autotuner — see docs/tuning.md)\n"
+               "  --simd auto|scalar|avx2|avx512|neon\n"
+               "            force the micro-kernel ISA for *-simd engines\n"
+               "            (also $JIGSAW_SIMD; default auto-detects)\n"
                "  --wisdom <path>   autotuner wisdom store\n"
                "                    (default $JIGSAW_WISDOM or "
                "~/.jigsaw_wisdom.json)\n"
@@ -435,9 +454,12 @@ int main(int argc, char** argv) {
       "input",  "save",    "sanitize",  "drop-spokes",  "noise-spikes",
       "inject-nan", "perturb-coords", "bitflip-rate", "bitflip-bit",
       "seed",   "coils",   "coil-threads", "trace-json", "counters",
-      "wisdom", "no-trials"};
+      "wisdom", "no-trials", "simd"};
   try {
     CliArgs args(argc - 1, argv + 1, flags);
+    // ISA override before any gridding: an unknown mode or one this host
+    // cannot run exits 1 with the parser's one-line diagnostic.
+    if (args.has("simd")) kernels::simd::force(args.get("simd"));
     const std::string trace_path = args.get("trace-json", "");
     if (!trace_path.empty()) obs::trace_start();
 

@@ -47,8 +47,10 @@ int cmd_recon(const CliArgs& args) {
   const int count = static_cast<int>(args.get_int("count", 1));
 
   serve::ReconRequestWire req;
-  req.engine = static_cast<std::uint32_t>(
-      core::parse_gridder_kind(args.get("engine", "slice-dice")));
+  const core::GridderSpec spec =
+      core::parse_gridder_spec(args.get("engine", "slice-dice"));
+  req.engine = static_cast<std::uint32_t>(spec.kind) |
+               (spec.simd ? serve::kEngineSimdFlag : 0u);
   req.n = n;
   req.iters = static_cast<std::uint32_t>(args.get_int("iters", 0));
   req.coils = static_cast<std::uint32_t>(args.get_int("coils", 1));
