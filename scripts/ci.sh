@@ -11,9 +11,10 @@
 #   3a. the SIMD kernel/differential/thread-invariance suites rerun from
 #      the ASan build with JIGSAW_SIMD=scalar — sanitized coverage for the
 #      portable staged-scalar dispatch path, not just the host's best ISA
-#   3b. TSan build (JIGSAW_TSAN=ON) of the serve/deadline suites — the
-#      service layer's dispatcher + connection threads and the deadline
-#      token run under ThreadSanitizer on every CI pass
+#   3b. TSan build (JIGSAW_TSAN=ON) of the serve/deadline/router suites —
+#      the service layer's dispatcher + connection threads, the deadline
+#      token, and the router's forwarder + health-ping threads run under
+#      ThreadSanitizer on every CI pass
 #   4. bench_suite --smoke (obs ON) compared against the committed
 #      BENCH_baseline.json — fails on >15% slowdown, any checksum drift,
 #      or any work-counter drift (see scripts/bench_compare.py); the JSON
@@ -22,6 +23,11 @@
 #      wisdom store, schema-validates it, then reruns with --expect-hits:
 #      a cold process must serve both decisions from the reloaded store
 #      with zero new trials (the wisdom persistence round-trip)
+#   4c. router smoke — two jigsaw_serve workers (one TCP, one Unix socket)
+#      behind jigsaw_router on an ephemeral TCP port; interleaved requests
+#      across three geometry classes must all relay, each class must pin to
+#      exactly one worker (shard counts read from the router's stats JSON),
+#      and SIGTERM must drain router and workers to a clean exit 0
 #   5. bench_suite --smoke from the OFF build compared against the same
 #      baseline — the overhead guard: a disabled observability layer must
 #      bench within the ordinary noise threshold
@@ -66,15 +72,17 @@ echo "=== ASan+UBSan SIMD kernel suites, forced-scalar dispatch ==="
 JIGSAW_SIMD=scalar ctest --test-dir build-asan --output-on-failure \
   -j"${JOBS}" -R 'Simd|Differential|ThreadInvariance'
 
-echo "=== TSan build + serve/deadline concurrency suites ==="
+echo "=== TSan build + serve/deadline/router concurrency suites ==="
 # The service layer is the most thread-heavy subsystem (dispatcher thread,
-# per-connection readers, concurrent clients); run exactly those suites
-# under ThreadSanitizer. Bench/examples are skipped to keep the stage short.
+# per-connection readers, concurrent clients, and now the router's
+# forwarders + health pinger); run exactly those suites under
+# ThreadSanitizer. Bench/examples are skipped to keep the stage short.
 cmake -B build-tsan -S . -DJIGSAW_TSAN=ON \
   -DJIGSAW_BUILD_BENCH=OFF -DJIGSAW_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j"${JOBS}" --target test_serve test_deadline
+cmake --build build-tsan -j"${JOBS}" --target test_serve test_deadline \
+  test_router
 ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
-  -R 'Serve|Deadline'
+  -R 'Serve|Deadline|Router'
 
 echo "=== benchmark smoke + regression/work gate (obs ON) ==="
 ./build/bench/bench_suite --smoke --tag ci --out build/BENCH_ci.json
@@ -87,6 +95,11 @@ echo "=== serve throughput smoke + schema gate ==="
 ./build/bench/bench_serve --smoke --tag ci-serve \
   --out build/BENCH_ci-serve.json
 python3 scripts/validate_bench.py build/BENCH_ci-serve.json
+# Routed mode: a 2-worker fleet behind an in-process router. The validator
+# cross-checks the per-worker request shares against the run's totals.
+./build/bench/bench_serve --smoke --workers 2 --tag ci-routed \
+  --out build/BENCH_ci-routed.json
+python3 scripts/validate_bench.py build/BENCH_ci-routed.json
 
 echo "=== autotuner smoke + wisdom persistence gate ==="
 # Calibrate two tiny geometries into a throwaway wisdom store, validate the
@@ -101,6 +114,80 @@ rm -f "${TUNE_WISDOM}"
 python3 scripts/validate_bench.py "${TUNE_WISDOM}"
 ./build/tools/jigsaw_tune --wisdom "${TUNE_WISDOM}" 48x4000 64x8192 \
   --expect-hits
+
+echo "=== router smoke: sharded fleet + stats gate + graceful drain ==="
+# Two workers — one TCP, one Unix socket (the router mixes transports) —
+# behind jigsaw_router, everything on ephemeral ports parsed from the
+# daemons' own "listening on" lines so parallel CI runs never collide.
+# The stage runs in a subshell so its EXIT trap reaps the daemons even
+# when an assertion fails mid-stage.
+(
+  RSMOKE=build/router_smoke
+  rm -rf "${RSMOKE}" && mkdir -p "${RSMOKE}"
+  trap 'kill ${WA:-} ${WB:-} ${RT:-} 2>/dev/null || true' EXIT
+
+  wait_for_line() {  # <file> <pattern>: daemons print readiness to stdout
+    for _ in $(seq 1 100); do
+      grep -q "$2" "$1" 2>/dev/null && return 0
+      sleep 0.1
+    done
+    echo "timeout waiting for '$2' in $1" >&2
+    cat "$1" >&2 || true
+    return 1
+  }
+  bound_endpoint() { sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$1" | head -1; }
+
+  ./build/tools/jigsaw_serve --listen 127.0.0.1:0 --threads 2 \
+    > "${RSMOKE}/worker_a.log" 2>&1 &
+  WA=$!
+  ./build/tools/jigsaw_serve --socket "${RSMOKE}/worker_b.sock" --threads 2 \
+    > "${RSMOKE}/worker_b.log" 2>&1 &
+  WB=$!
+  wait_for_line "${RSMOKE}/worker_a.log" "listening on"
+  wait_for_line "${RSMOKE}/worker_b.log" "listening on"
+
+  ./build/tools/jigsaw_router --listen 127.0.0.1:0 \
+    "$(bound_endpoint "${RSMOKE}/worker_a.log")" \
+    "unix:${RSMOKE}/worker_b.sock" > "${RSMOKE}/router.log" 2>&1 &
+  RT=$!
+  wait_for_line "${RSMOKE}/router.log" "listening on"
+  RT_EP=$(bound_endpoint "${RSMOKE}/router.log")
+
+  # Three geometry classes (distinct N), four requests each, interleaved:
+  # rendezvous sharding must pin every class to exactly one worker.
+  for _ in 1 2 3 4; do
+    for n in 96 112 128; do
+      ./build/tools/jigsaw_client recon --endpoint "${RT_EP}" --n "${n}" \
+        --samples 4000 --engine slice-dice >/dev/null
+    done
+  done
+
+  ./build/tools/jigsaw_client stats --endpoint "${RT_EP}" \
+    > "${RSMOKE}/statsz.json"
+  python3 - "${RSMOKE}/statsz.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["router"] is True, doc
+req = doc["requests"]
+assert req["received"] == 12 and req["relayed"] == 12, req
+workers = doc["workers"]
+assert len(workers) == 2 and all(w["healthy"] for w in workers), workers
+shares = [w["forwarded"] for w in workers]
+# 4 requests per class, each class entirely on one worker => every share
+# is a multiple of 4 and the shares cover all 12 requests.
+assert sum(shares) == 12 and all(s % 4 == 0 for s in shares), shares
+print(f"router smoke: 12/12 relayed, shard split {shares}")
+PYEOF
+
+  # Graceful drain: SIGTERM each tier, require clean exits and the final
+  # counter lines proving nothing was dropped on the way down.
+  kill -TERM "${RT}" && wait "${RT}"
+  grep -q "received=12 relayed=12" "${RSMOKE}/router.log"
+  kill -TERM "${WA}" "${WB}" && wait "${WA}" && wait "${WB}"
+  grep -q "jigsaw_serve: done\." "${RSMOKE}/worker_a.log"
+  grep -q "jigsaw_serve: done\." "${RSMOKE}/worker_b.log"
+  trap - EXIT
+)
 
 echo "=== observability overhead guard (obs OFF) ==="
 ./build-noobs/bench/bench_suite --smoke --tag ci-noobs \

@@ -152,10 +152,26 @@ def main():
                           "record at least one closed-loop result")
         else:
             for i, r in enumerate(serve):
-                if isinstance(r, dict) and r.get("requests") and \
-                        not r.get("ok"):
+                if not isinstance(r, dict):
+                    continue
+                if r.get("requests") and not r.get("ok"):
                     errors.append(f"$.serve[{i}] ({r.get('name')}): "
                                   "no request completed OK")
+                # Routed results: the worker shares must add up to the run's
+                # totals — a mismatch means the router dropped or double-
+                # counted requests somewhere.
+                if "per_worker" in r:
+                    pw = r["per_worker"]
+                    if not pw:
+                        errors.append(f"$.serve[{i}] ({r.get('name')}): "
+                                      "per_worker present but empty")
+                    elif all(isinstance(w, dict) for w in pw):
+                        total = sum(w.get("requests", 0) for w in pw)
+                        if total != r.get("requests"):
+                            errors.append(
+                                f"$.serve[{i}] ({r.get('name')}): per-worker "
+                                f"requests sum to {total}, expected "
+                                f"{r.get('requests')}")
 
     if args.require_counters and not errors:
         if not doc.get("obs_enabled"):

@@ -2,7 +2,6 @@
 
 #include <errno.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -16,27 +15,11 @@ namespace {
 constexpr std::size_t kMaxReplyBody = 1ull << 30;
 }  // namespace
 
-ServeClient::ServeClient(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof addr.sun_path) {
-    throw std::runtime_error("serve: socket path too long: " + socket_path);
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("serve: socket() failed: ") +
-                             std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("serve: connect(" + socket_path +
-                             ") failed: " + std::strerror(err));
-  }
-}
+ServeClient::ServeClient(const std::string& endpoint_spec)
+    : ServeClient(parse_endpoint(endpoint_spec)) {}
+
+ServeClient::ServeClient(const Endpoint& endpoint)
+    : fd_(connect_endpoint(endpoint)) {}
 
 ServeClient::~ServeClient() {
   if (fd_ >= 0) ::close(fd_);
@@ -85,8 +68,12 @@ void ServeClient::send_raw_header(std::uint32_t type, std::uint64_t body_len) {
   std::memcpy(header + 0, &magic, 4);
   std::memcpy(header + 4, &type, 4);
   std::memcpy(header + 8, &body_len, 8);
-  const std::uint8_t* p = header;
-  std::size_t len = sizeof header;
+  send_raw_bytes({header, header + sizeof header});
+}
+
+void ServeClient::send_raw_bytes(const std::vector<std::uint8_t>& bytes) {
+  const std::uint8_t* p = bytes.data();
+  std::size_t len = bytes.size();
   while (len > 0) {
     const ssize_t w = ::send(fd_, p, len, MSG_NOSIGNAL);
     if (w < 0) {
@@ -98,5 +85,7 @@ void ServeClient::send_raw_header(std::uint32_t type, std::uint64_t body_len) {
     len -= static_cast<std::size_t>(w);
   }
 }
+
+void ServeClient::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
 
 }  // namespace jigsaw::serve

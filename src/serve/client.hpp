@@ -1,9 +1,11 @@
-// ServeClient: a blocking Unix-domain-socket client for jigsaw_serve.
+// ServeClient: a blocking client for jigsaw_serve / jigsaw_router.
 //
-// One client owns one connection. recon() and statsz() are synchronous
-// request/reply round-trips; raw-frame helpers exist for protocol tests
-// (malformed bodies, oversized headers) and are not part of the stable
-// surface.
+// One client owns one connection to an endpoint — "unix:/path" (or a bare
+// absolute path) or "host:port", parsed by serve/transport.hpp; the JSRV
+// framed protocol is identical on either transport. recon() and statsz()
+// are synchronous request/reply round-trips; raw-frame helpers exist for
+// protocol tests (malformed bodies, oversized headers, mid-frame
+// disconnects) and are not part of the stable surface.
 #pragma once
 
 #include <cstdint>
@@ -11,13 +13,17 @@
 #include <vector>
 
 #include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 
 namespace jigsaw::serve {
 
 class ServeClient {
  public:
-  /// Connect to the daemon's socket. Throws std::runtime_error on failure.
-  explicit ServeClient(const std::string& socket_path);
+  /// Connect to `endpoint_spec` (see parse_endpoint). Throws
+  /// std::invalid_argument on a malformed spec, std::runtime_error on
+  /// connection failure.
+  explicit ServeClient(const std::string& endpoint_spec);
+  explicit ServeClient(const Endpoint& endpoint);
   ~ServeClient();
 
   ServeClient(const ServeClient&) = delete;
@@ -34,6 +40,12 @@ class ServeClient {
   void send_raw(MsgType type, const std::vector<std::uint8_t>& body);
   /// Send only a frame header advertising `body_len` bytes (never sent).
   void send_raw_header(std::uint32_t type, std::uint64_t body_len);
+  /// Send arbitrary bytes mid-stream (e.g. part of an advertised body
+  /// before disconnecting).
+  void send_raw_bytes(const std::vector<std::uint8_t>& bytes);
+  /// Half-close the write side: the server sees EOF after the bytes sent
+  /// so far — the mid-frame-disconnect probe.
+  void shutdown_write();
   /// Block until one reply frame arrives.
   ReconReplyWire recv_recon_reply();
 

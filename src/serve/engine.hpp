@@ -54,7 +54,10 @@
 namespace jigsaw::serve {
 
 struct ServeConfig {
-  std::string socket_path;      // used by ReconServer only
+  std::string socket_path;      // ReconServer: AF_UNIX socket file ("" = off)
+  std::string listen;           // ReconServer: TCP "host:port" ("" = off);
+                                // bind 127.0.0.1 unless another interface
+                                // is named explicitly
   std::size_t max_queue = 64;   // admission queue capacity (jobs)
   std::size_t max_batch = 8;    // same-geometry jobs fused per dispatch
   std::size_t max_plans = 16;   // resident geometry plans (LRU-evicted)

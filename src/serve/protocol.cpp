@@ -120,14 +120,37 @@ void write_all(int fd, const void* data, std::size_t len, int timeout_ms) {
 }
 
 /// Read exactly `len` bytes. Returns false on EOF with zero bytes read when
-/// `eof_ok`; EOF mid-read always throws (truncated frame).
-bool read_all(int fd, void* data, std::size_t len, bool eof_ok) {
+/// `eof_ok`; EOF mid-read always throws (truncated frame). When a deadline
+/// is given, every wait is bounded by the time remaining to it and running
+/// out raises RecvTimeout (timeout_ms only labels the message).
+bool read_all(int fd, void* data, std::size_t len, bool eof_ok,
+              const std::chrono::steady_clock::time_point* deadline = nullptr,
+              int timeout_ms = -1) {
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t r = ::recv(fd, p + got, len - got, 0);
+    if (deadline != nullptr) {
+      const auto left_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              *deadline - std::chrono::steady_clock::now())
+              .count();
+      if (left_ms <= 0) throw RecvTimeout(timeout_ms);
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(
+          &pfd, 1, static_cast<int>(std::min<std::int64_t>(left_ms, 100)));
+      if (ready < 0 && errno != EINTR) {
+        throw std::runtime_error(std::string("serve: poll failed: ") +
+                                 std::strerror(errno));
+      }
+      if (ready <= 0) continue;  // re-check the deadline, then recv
+    }
+    const ssize_t r = ::recv(fd, p + got, len - got,
+                             deadline != nullptr ? MSG_DONTWAIT : 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (deadline != nullptr && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        continue;  // poll raced a consumer; wait again
+      }
       throw std::runtime_error(std::string("serve: recv failed: ") +
                                std::strerror(errno));
     }
@@ -299,9 +322,19 @@ void send_frame(int fd, MsgType type, const std::uint8_t* body,
   if (len > 0) write_all(fd, body, len, timeout_ms);
 }
 
-bool recv_frame(int fd, Frame& out, std::size_t max_body) {
+bool recv_frame(int fd, Frame& out, std::size_t max_body, int timeout_ms) {
+  std::chrono::steady_clock::time_point deadline_storage;
+  const std::chrono::steady_clock::time_point* deadline = nullptr;
+  if (timeout_ms >= 0) {
+    deadline_storage = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+    deadline = &deadline_storage;
+  }
   std::uint8_t header[16];
-  if (!read_all(fd, header, sizeof header, /*eof_ok=*/true)) return false;
+  if (!read_all(fd, header, sizeof header, /*eof_ok=*/true, deadline,
+                timeout_ms)) {
+    return false;
+  }
   std::uint32_t magic, type_u32;
   std::uint64_t body_len;
   std::memcpy(&magic, header + 0, 4);
@@ -323,7 +356,8 @@ bool recv_frame(int fd, Frame& out, std::size_t max_body) {
   out.type = static_cast<MsgType>(type_u32);
   out.body.resize(static_cast<std::size_t>(body_len));
   if (body_len > 0) {
-    read_all(fd, out.body.data(), out.body.size(), /*eof_ok=*/false);
+    read_all(fd, out.body.data(), out.body.size(), /*eof_ok=*/false, deadline,
+             timeout_ms);
   }
   return true;
 }

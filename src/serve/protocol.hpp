@@ -146,9 +146,23 @@ inline void send_frame(int fd, MsgType type,
   send_frame(fd, type, body.data(), body.size(), timeout_ms);
 }
 
+/// A bounded recv_frame ran out of wall clock. Distinct from ProtocolError:
+/// the peer did nothing wrong, it is just too slow — the caller decides
+/// whether that terminates the request (router: ERROR, never hang).
+class RecvTimeout : public std::runtime_error {
+ public:
+  explicit RecvTimeout(int timeout_ms)
+      : std::runtime_error("serve: recv timed out after " +
+                           std::to_string(timeout_ms) + " ms") {}
+};
+
 /// Read one frame. Returns false on clean EOF before any header byte.
 /// Throws ProtocolError on bad magic / unknown type / truncation and
 /// FrameTooLarge when body_len > max_body (body unread — close afterwards).
-bool recv_frame(int fd, Frame& out, std::size_t max_body);
+/// When timeout_ms >= 0 the WHOLE frame must arrive within that many
+/// milliseconds of wall clock or RecvTimeout is thrown (the stream may then
+/// be mid-frame — unrecoverable, close the connection).
+bool recv_frame(int fd, Frame& out, std::size_t max_body,
+                int timeout_ms = -1);
 
 }  // namespace jigsaw::serve

@@ -1,0 +1,532 @@
+#include "serve/router.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/gridder.hpp"
+#include "tune/key.hpp"
+
+namespace jigsaw::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Milliseconds until `deadline`, clamped to [1, INT_MAX] — a caller that
+/// already checked the deadline never hands a blocking call a zero budget.
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 1;
+  return static_cast<int>(std::min<long long>(left, INT_MAX));
+}
+
+}  // namespace
+
+struct Router::Worker {
+  explicit Worker(const Endpoint& ep) : endpoint(ep), spec(to_string(ep)) {}
+
+  const Endpoint endpoint;
+  const std::string spec;
+  std::atomic<bool> healthy{true};
+  std::atomic<std::uint64_t> forwarded{0};
+  std::atomic<std::uint64_t> replies{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> drain_rejects{0};
+
+  std::mutex pool_mu;
+  std::vector<int> pool;  // idle connected fds, most recently used last
+};
+
+/// One forwarded request's terminal state: either a worker's reply body to
+/// relay verbatim, or a router-synthesized status.
+struct Router::ForwardResult {
+  bool relayed = false;
+  std::vector<std::uint8_t> reply_body;  // when relayed
+  Status status = Status::kError;        // when synthesized
+  std::string message;
+  std::uint64_t reroutes = 0;  // attempts beyond the first worker
+};
+
+Router::Router(const RouterConfig& config) : config_(config) {
+  if (config_.workers.empty()) {
+    throw std::runtime_error("router: no workers configured");
+  }
+  for (const auto& spec : config_.workers) {
+    workers_.push_back(std::make_unique<Worker>(parse_endpoint(spec)));
+  }
+  if (config_.listen.empty()) {
+    throw std::runtime_error("router: no listen endpoint configured");
+  }
+  add_listener(parse_endpoint(config_.listen));
+  if (config_.health_interval_ms > 0) {
+    health_thread_ = std::thread([this] { health_loop(); });
+  }
+}
+
+Router::~Router() {
+  stop();
+  stop_health();  // in case start() was never called (stop() is then a no-op)
+  for (auto& w : workers_) close_pool(*w);
+}
+
+int Router::shutdown_how() const { return SHUT_RD; }
+
+void Router::on_stop_accepting() { stop_health(); }
+
+std::uint64_t Router::shard_hash(const ReconRequestWire& wire) {
+  core::GridderOptions options;
+  options.width = static_cast<int>(wire.kernel_width);
+  options.sigma = wire.sigma;
+  return tune::TuneKey::of(2, wire.n,
+                           static_cast<std::int64_t>(wire.coords.size()),
+                           options, static_cast<int>(wire.coils),
+                           /*threads=*/1)
+      .hash();
+}
+
+std::uint64_t Router::rendezvous_score(std::uint64_t key_hash,
+                                       std::size_t index) {
+  const std::uint64_t packed[2] = {key_hash,
+                                   static_cast<std::uint64_t>(index)};
+  return tune::fnv1a(packed, sizeof packed);
+}
+
+std::vector<std::size_t> Router::rank_workers(std::uint64_t key_hash) const {
+  std::vector<std::size_t> order(workers_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [key_hash](std::size_t a, std::size_t b) {
+              const auto sa = rendezvous_score(key_hash, a);
+              const auto sb = rendezvous_score(key_hash, b);
+              return sa != sb ? sa > sb : a < b;
+            });
+  return order;
+}
+
+int Router::take_pooled(Worker& w) {
+  std::lock_guard<std::mutex> lk(w.pool_mu);
+  if (w.pool.empty()) return -1;
+  const int fd = w.pool.back();
+  w.pool.pop_back();
+  return fd;
+}
+
+void Router::give_back_connection(Worker& w, int fd) {
+  if (w.healthy.load()) {
+    std::lock_guard<std::mutex> lk(w.pool_mu);
+    if (w.pool.size() < config_.max_pooled_connections) {
+      w.pool.push_back(fd);
+      return;
+    }
+  }
+  close_quietly(fd);
+}
+
+void Router::close_pool(Worker& w) {
+  std::vector<int> doomed;
+  {
+    std::lock_guard<std::mutex> lk(w.pool_mu);
+    doomed.swap(w.pool);
+  }
+  for (const int fd : doomed) close_quietly(fd);
+}
+
+void Router::mark_unhealthy(Worker& w, const char* why) {
+  if (w.healthy.exchange(false)) {
+    std::fprintf(stderr, "router: worker %s marked unhealthy (%s)\n",
+                 w.spec.c_str(), why);
+  }
+  // Pooled fds share the worker's fate: anything idle predates the failure.
+  close_pool(w);
+}
+
+Router::ForwardResult Router::forward(const Frame& frame,
+                                      const ReconRequestWire& wire) {
+  ForwardResult out;
+  const auto ranked = rank_workers(shard_hash(wire));
+
+  // Healthy workers in rank order, then unhealthy ones as a last resort —
+  // a request must not fail just because the health thread has not yet
+  // noticed a recovery.
+  std::vector<std::size_t> order;
+  order.reserve(ranked.size());
+  for (const bool want_healthy : {true, false}) {
+    for (const std::size_t i : ranked) {
+      if (workers_[i]->healthy.load() == want_healthy) order.push_back(i);
+    }
+  }
+
+  const bool bounded = wire.deadline_ms > 0;
+  const auto start = Clock::now();
+  const auto client_deadline =
+      start + std::chrono::milliseconds(
+                  bounded ? static_cast<long long>(wire.deadline_ms) : 0);
+  // The router waits slightly past the client's own deadline so a worker
+  // that answers TIMEOUT itself gets its (authoritative) reply relayed.
+  const auto wait_deadline =
+      start + std::chrono::milliseconds(
+                  bounded ? static_cast<long long>(wire.deadline_ms) +
+                                config_.deadline_slack_ms
+                          : static_cast<long long>(config_.forward_timeout_ms));
+
+  const auto expired = [&](const char* when) {
+    out.relayed = false;
+    out.status = bounded ? Status::kTimeout : Status::kError;
+    out.message = std::string("router: deadline expired ") + when;
+    return out;
+  };
+
+  bool first_attempt = true;
+  for (const std::size_t wi : order) {
+    Worker& w = *workers_[wi];
+    if (Clock::now() >= wait_deadline) return expired("before a worker");
+    if (!first_attempt) ++out.reroutes;
+    first_attempt = false;
+
+    // Up to two tries against THIS worker: a pooled connection may be stale
+    // (the worker restarted since it was pooled) — that is this router's
+    // fault, not a reason to move the shard, so retry once with a fresh
+    // connect before falling to the next-ranked worker.
+    bool tried_fresh = false;
+    bool next_worker = false;
+    while (!next_worker) {
+      int fd = take_pooled(w);
+      const bool pooled = fd >= 0;
+      if (!pooled) {
+        tried_fresh = true;
+        try {
+          fd = connect_endpoint(w.endpoint, config_.connect_timeout_ms);
+        } catch (const std::exception&) {
+          ++w.failures;
+          mark_unhealthy(w, "connect failed");
+          next_worker = true;
+          continue;
+        }
+      }
+
+      try {
+        send_frame(fd, frame.type, frame.body, remaining_ms(wait_deadline));
+      } catch (const std::exception&) {
+        close_quietly(fd);
+        ++w.failures;
+        if (pooled && !tried_fresh) continue;  // stale pooled fd
+        mark_unhealthy(w, "send failed");
+        next_worker = true;
+        continue;
+      }
+      ++w.forwarded;
+
+      Frame reply;
+      bool got = false;
+      try {
+        got = recv_frame(fd, reply, config_.max_reply_bytes,
+                         remaining_ms(wait_deadline));
+      } catch (const RecvTimeout&) {
+        // The worker consumed the request but has not answered: it may be
+        // mid-execution (wedged or just slow) — NEVER retry, never hang.
+        close_quietly(fd);
+        ++w.failures;
+        mark_unhealthy(w, "reply timed out");
+        if (bounded && Clock::now() >= client_deadline) {
+          return expired("waiting for a worker reply");
+        }
+        out.status = Status::kError;
+        out.message = "router: worker " + w.spec + " did not reply in time";
+        return out;
+      } catch (const std::exception&) {
+        // Mid-reply EOF or garbage: the request may have executed and the
+        // reply is unrecoverable — terminal ERROR, same no-retry rule.
+        close_quietly(fd);
+        ++w.failures;
+        mark_unhealthy(w, "reply stream broke");
+        out.status = Status::kError;
+        out.message =
+            "router: worker " + w.spec + " connection broke mid-reply";
+        return out;
+      }
+      if (!got) {
+        // Clean EOF before any reply byte: the worker shut down without
+        // consuming the request (drain teardown, exit) — safe to retry.
+        close_quietly(fd);
+        ++w.failures;
+        if (pooled && !tried_fresh) continue;  // stale pooled fd
+        mark_unhealthy(w, "closed before replying");
+        next_worker = true;
+        continue;
+      }
+      if (reply.type != MsgType::kReconReply) {
+        close_quietly(fd);
+        out.status = Status::kError;
+        out.message = "router: worker " + w.spec +
+                      " sent unexpected frame type " +
+                      std::to_string(static_cast<std::uint32_t>(reply.type));
+        return out;
+      }
+
+      // Peek at the status: a draining worker answers REJECTED to
+      // everything it did not admit — that request belongs on the next
+      // worker, which is what makes a rolling restart lossless.
+      ReconReplyWire decoded;
+      try {
+        decoded = decode_recon_reply(reply.body.data(), reply.body.size());
+      } catch (const std::exception&) {
+        close_quietly(fd);
+        out.status = Status::kError;
+        out.message = "router: worker " + w.spec + " sent a malformed reply";
+        return out;
+      }
+      if (decoded.status == Status::kRejected &&
+          decoded.message.find("draining") != std::string::npos) {
+        ++w.drain_rejects;
+        close_quietly(fd);  // the worker is going away; never pool it
+        mark_unhealthy(w, "draining");
+        next_worker = true;
+        continue;
+      }
+
+      ++w.replies;
+      give_back_connection(w, fd);
+      out.relayed = true;
+      out.reply_body = std::move(reply.body);
+      return out;
+    }
+  }
+
+  out.status = Status::kRejected;
+  out.message = "router: no healthy worker (" +
+                std::to_string(workers_.size()) + " configured, all failed)";
+  return out;
+}
+
+void Router::send_reply_locked(const std::shared_ptr<Connection>& conn,
+                               const ReconReplyWire& reply) {
+  const auto body = encode_recon_reply(reply);
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  send_frame(conn->fd, MsgType::kReconReply, body,
+             config_.reply_write_timeout_ms);
+}
+
+void Router::serve_connection(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Frame frame;
+    try {
+      if (!recv_frame(conn->fd, frame, config_.max_request_bytes)) {
+        return;  // clean EOF
+      }
+    } catch (const FrameTooLarge& e) {
+      // Same admission semantics as a worker: the body was never read, the
+      // stream cannot be resynchronized — reply, count, close.
+      {
+        std::lock_guard<std::mutex> lk(counts_mu_);
+        ++counts_.received;
+        ++counts_.rejected;
+      }
+      ReconReplyWire reply;
+      reply.status = Status::kRejected;
+      reply.message = e.what();
+      try {
+        send_reply_locked(conn, reply);
+      } catch (const std::exception&) {
+      }
+      return;
+    } catch (const std::exception&) {
+      return;  // bad magic / unknown type / truncation / peer I/O error
+    }
+
+    if (frame.type == MsgType::kStats) {
+      {
+        std::lock_guard<std::mutex> lk(counts_mu_);
+        ++counts_.stats;
+      }
+      const std::string json = statsz_json();
+      std::lock_guard<std::mutex> lk(conn->write_mu);
+      try {
+        send_frame(conn->fd, MsgType::kStatsReply,
+                   reinterpret_cast<const std::uint8_t*>(json.data()),
+                   json.size(), config_.reply_write_timeout_ms);
+      } catch (const std::exception&) {
+        return;
+      }
+      continue;
+    }
+    if (frame.type != MsgType::kRecon) {
+      return;  // a client sending reply types is not salvageable
+    }
+
+    ReconRequestWire wire;
+    try {
+      wire = decode_recon_request(frame.body.data(), frame.body.size());
+    } catch (const std::exception& e) {
+      // Recovering parse, exactly like a worker: the malformed body was
+      // fully consumed, so the connection survives.
+      {
+        std::lock_guard<std::mutex> lk(counts_mu_);
+        ++counts_.received;
+        ++counts_.errors;
+      }
+      ReconReplyWire reply;
+      reply.status = Status::kError;
+      reply.message = e.what();
+      try {
+        send_reply_locked(conn, reply);
+      } catch (const std::exception&) {
+        return;
+      }
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(counts_mu_);
+      ++counts_.received;
+    }
+    ForwardResult result = forward(frame, wire);
+    {
+      std::lock_guard<std::mutex> lk(counts_mu_);
+      counts_.reroutes += result.reroutes;
+      if (result.relayed) {
+        ++counts_.relayed;
+      } else if (result.status == Status::kTimeout) {
+        ++counts_.timeouts;
+      } else if (result.status == Status::kRejected) {
+        ++counts_.rejected;
+      } else {
+        ++counts_.errors;
+      }
+    }
+
+    try {
+      if (result.relayed) {
+        std::lock_guard<std::mutex> lk(conn->write_mu);
+        send_frame(conn->fd, MsgType::kReconReply, result.reply_body,
+                   config_.reply_write_timeout_ms);
+      } else {
+        ReconReplyWire reply;
+        reply.status = result.status;
+        reply.n = wire.n;
+        reply.client_tag = wire.client_tag;
+        reply.message = std::move(result.message);
+        send_reply_locked(conn, reply);
+      }
+    } catch (const std::exception&) {
+      // Peer gone or the reply write timed out mid-frame: unrecoverable
+      // stream — unblock the reader so the connection retires.
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
+  }
+}
+
+bool Router::ping_worker(Worker& w) {
+  int fd = -1;
+  try {
+    fd = connect_endpoint(w.endpoint, config_.ping_timeout_ms);
+    send_frame(fd, MsgType::kStats, nullptr, 0, config_.ping_timeout_ms);
+    Frame reply;
+    const bool got =
+        recv_frame(fd, reply, 1u << 20, config_.ping_timeout_ms);
+    close_quietly(fd);
+    if (!got || reply.type != MsgType::kStatsReply) {
+      mark_unhealthy(w, "ping got no stats reply");
+      return false;
+    }
+  } catch (const std::exception&) {
+    close_quietly(fd);
+    mark_unhealthy(w, "ping failed");
+    return false;
+  }
+  if (!w.healthy.exchange(true)) {
+    std::fprintf(stderr, "router: worker %s re-admitted\n", w.spec.c_str());
+  }
+  return true;
+}
+
+void Router::health_loop() {
+  std::unique_lock<std::mutex> lk(health_mu_);
+  while (!health_stop_.load()) {
+    health_cv_.wait_for(lk,
+                        std::chrono::milliseconds(config_.health_interval_ms),
+                        [&] { return health_stop_.load(); });
+    if (health_stop_.load()) return;
+    lk.unlock();
+    for (auto& w : workers_) ping_worker(*w);
+    lk.lock();
+  }
+}
+
+void Router::stop_health() {
+  if (!health_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(health_mu_);
+    health_stop_.store(true);
+  }
+  health_cv_.notify_all();
+  health_thread_.join();
+}
+
+RouterCounts Router::counts() const {
+  RouterCounts out;
+  {
+    std::lock_guard<std::mutex> lk(counts_mu_);
+    out = counts_;
+  }
+  out.workers.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerSnapshot s;
+    s.endpoint = w->spec;
+    s.healthy = w->healthy.load();
+    s.forwarded = w->forwarded.load();
+    s.replies = w->replies.load();
+    s.failures = w->failures.load();
+    s.drain_rejects = w->drain_rejects.load();
+    out.workers.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Router::statsz_json() const {
+  const RouterCounts c = counts();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"router\": true,\n";
+  os << "  \"requests\": {\n";
+  os << "    \"received\": " << c.received << ",\n";
+  os << "    \"relayed\": " << c.relayed << ",\n";
+  os << "    \"error\": " << c.errors << ",\n";
+  os << "    \"timeout\": " << c.timeouts << ",\n";
+  os << "    \"rejected\": " << c.rejected << ",\n";
+  os << "    \"reroutes\": " << c.reroutes << ",\n";
+  os << "    \"stats\": " << c.stats << "\n";
+  os << "  },\n";
+  os << "  \"workers\": [";
+  for (std::size_t i = 0; i < c.workers.size(); ++i) {
+    const WorkerSnapshot& w = c.workers[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"endpoint\": \"" << w.endpoint << "\",\n";
+    os << "      \"healthy\": " << (w.healthy ? "true" : "false") << ",\n";
+    os << "      \"forwarded\": " << w.forwarded << ",\n";
+    os << "      \"replies\": " << w.replies << ",\n";
+    os << "      \"failures\": " << w.failures << ",\n";
+    os << "      \"drain_rejects\": " << w.drain_rejects << "\n";
+    os << "    }";
+  }
+  os << (c.workers.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace jigsaw::serve

@@ -1,24 +1,10 @@
 #include "serve/server.hpp"
 
-#include <errno.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
 
-#include <algorithm>
-#include <cstdio>
-#include <cstring>
+#include <stdexcept>
 
 namespace jigsaw::serve {
-
-namespace {
-
-void close_quietly(int fd) {
-  if (fd >= 0) ::close(fd);
-}
-
-}  // namespace
 
 ReconJob job_from_wire(const ReconRequestWire& wire) {
   const bool simd = (wire.engine & kEngineSimdFlag) != 0;
@@ -70,145 +56,28 @@ ReconJob job_from_wire(const ReconRequestWire& wire) {
 
 ReconServer::ReconServer(const ServeConfig& config)
     : config_(config), engine_(config) {
-  if (config_.socket_path.empty()) {
-    throw std::runtime_error("serve: socket_path is empty");
+  if (config_.socket_path.empty() && config_.listen.empty()) {
+    throw std::runtime_error(
+        "serve: no endpoint configured (need socket_path and/or listen)");
   }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (config_.socket_path.size() >= sizeof addr.sun_path) {
-    throw std::runtime_error("serve: socket path too long: " +
-                             config_.socket_path);
+  if (!config_.socket_path.empty()) {
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = config_.socket_path;
+    add_listener(ep);
   }
-  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
-               sizeof addr.sun_path - 1);
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("serve: socket() failed: ") +
-                             std::strerror(errno));
-  }
-  ::unlink(config_.socket_path.c_str());  // replace a stale socket file
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0) {
-    const int err = errno;
-    close_quietly(listen_fd_);
-    throw std::runtime_error("serve: bind(" + config_.socket_path +
-                             ") failed: " + std::strerror(err));
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    const int err = errno;
-    close_quietly(listen_fd_);
-    ::unlink(config_.socket_path.c_str());
-    throw std::runtime_error(std::string("serve: listen() failed: ") +
-                             std::strerror(err));
-  }
-}
-
-ReconServer::~ReconServer() {
-  stop();
-  close_quietly(listen_fd_);
-  ::unlink(config_.socket_path.c_str());
-}
-
-void ReconServer::start() {
-  started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
-
-ReconServer::Connection::~Connection() { close_quietly(fd); }
-
-void ReconServer::stop() {
-  if (!started_ || stopped_) return;
-  stopped_ = true;
-  stopping_.store(true);
-
-  // 1. Stop accepting; existing connections may still submit until their
-  //    reader sees the draining rejections.
-  accept_thread_.join();
-
-  // 2. Complete every admitted job (replies go out through the callbacks).
-  engine_.drain();
-
-  // 3. Unblock every connection reader and join. SHUT_RDWR makes a blocked
-  //    recv return 0 (EOF), so readers exit their frame loop cleanly,
-  //    retire themselves, and land in finished_threads_. Loop until every
-  //    reader — live or already self-retired — has been joined.
-  for (;;) {
-    std::vector<std::thread> to_join;
-    {
-      std::lock_guard<std::mutex> lk(conn_mu_);
-      for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RDWR);
-      for (auto& [conn, t] : reader_threads_) to_join.push_back(std::move(t));
-      reader_threads_.clear();
-      for (auto& t : finished_threads_) to_join.push_back(std::move(t));
-      finished_threads_.clear();
+  if (!config_.listen.empty()) {
+    const Endpoint ep = parse_endpoint(config_.listen);
+    if (!ep.is_tcp()) {
+      throw std::runtime_error("serve: listen endpoint '" + config_.listen +
+                               "' is not host:port (use socket_path for "
+                               "AF_UNIX)");
     }
-    if (to_join.empty()) break;
-    for (auto& t : to_join) t.join();
+    add_listener(ep);
   }
-  // Readers erased themselves from conns_ as they retired; dropping any
-  // leftovers releases the server's references (fds close with the last
-  // shared_ptr).
-  std::lock_guard<std::mutex> lk(conn_mu_);
-  conns_.clear();
 }
 
-void ReconServer::retire_connection(const Connection* conn) {
-  std::lock_guard<std::mutex> lk(conn_mu_);
-  const auto it = reader_threads_.find(conn);
-  if (it != reader_threads_.end()) {
-    finished_threads_.push_back(std::move(it->second));
-    reader_threads_.erase(it);
-  }
-  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
-                              [conn](const std::shared_ptr<Connection>& c) {
-                                return c.get() == conn;
-                              }),
-               conns_.end());
-}
-
-void ReconServer::reap_finished() {
-  std::vector<std::thread> done;
-  {
-    std::lock_guard<std::mutex> lk(conn_mu_);
-    done.swap(finished_threads_);
-  }
-  for (auto& t : done) t.join();
-}
-
-void ReconServer::accept_loop() {
-  while (!stopping_.load()) {
-    reap_finished();
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);  // 100 ms: prompt shutdown
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      // Transient exhaustion (EMFILE/ENFILE/ENOMEM/...): the pending
-      // connection stays in the backlog and poll() would report it ready
-      // again immediately, so back off briefly instead of spinning — and
-      // keep accepting; retiring connections frees descriptors.
-      std::fprintf(stderr, "jigsaw_serve: accept failed: %s\n",
-                   std::strerror(errno));
-      ::poll(nullptr, 0, 100);
-      continue;
-    }
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    std::lock_guard<std::mutex> lk(conn_mu_);
-    if (stopping_.load()) break;  // ~Connection closes fd
-    conns_.push_back(conn);
-    reader_threads_.emplace(conn.get(), std::thread([this, conn] {
-                              serve_connection(conn);
-                              retire_connection(conn.get());
-                            }));
-  }
-}
+ReconServer::~ReconServer() { stop(); }
 
 void ReconServer::send_reply_locked(const std::shared_ptr<Connection>& conn,
                                     const ReconReplyWire& reply) {

@@ -1,12 +1,18 @@
-// ReconServer: the Unix-domain-socket front of the reconstruction service.
+// ReconServer: the socket front of the reconstruction service.
 //
-// One server owns a listening socket and a ServeEngine. start() spawns an
-// accept loop (100 ms poll so shutdown is prompt); each connection gets a
-// reader thread that parses frames and submits jobs. Completion callbacks
-// run on the engine's dispatcher thread and write replies under the
-// connection's write mutex, so a client may pipeline requests — replies
-// carry the request's client_tag for matching and may arrive out of order
-// across geometries (FIFO within one geometry group).
+// One server owns its listening sockets and a ServeEngine. It listens on a
+// Unix-domain socket (ServeConfig::socket_path), a TCP endpoint
+// (ServeConfig::listen, "host:port" — bind 127.0.0.1 unless the operator
+// names another interface explicitly), or both at once; the JSRV framed
+// protocol is identical on either transport. The accept loop, connection
+// reaping, and graceful stop() live in the shared FrameServer base
+// (serve/transport.hpp) — the router tier reuses the same skeleton.
+//
+// Each connection gets a reader thread that parses frames and submits jobs.
+// Completion callbacks run on the engine's dispatcher thread and write
+// replies under the connection's write mutex, so a client may pipeline
+// requests — replies carry the request's client_tag for matching and may
+// arrive out of order across geometries (FIFO within one geometry group).
 //
 // Error mapping at the socket layer:
 //   * frame body over max_request_bytes  -> REJECTED reply, connection
@@ -16,35 +22,22 @@
 //     kept (the bad body was fully consumed);
 //   * bad magic / unknown type / truncated frame -> connection closed.
 //
-// Connections are reaped as they end, not at shutdown: a reader that sees
-// EOF (or a fatal framing/write error) retires itself — the server drops
-// its references, the fd closes once the last in-flight reply callback
-// releases the connection, and the accept loop joins the exited thread on
-// its next pass. A long-running daemon serving one-connection-per-request
-// clients therefore holds O(live connections) fds/threads, not O(total).
-// accept() failures (EMFILE under fd pressure, ENOMEM, ...) back off and
-// retry; the accept loop never exits while the server is running.
-//
 // Reply writes are bounded by ServeConfig::reply_write_timeout_ms so a
 // client that stops reading cannot stall the dispatcher thread (or a
-// drain) indefinitely: on timeout the partially-written connection is shut
-// down and the request is still counted as completed.
+// drain) indefinitely.
 //
 // stop() is the graceful-drain path SIGTERM triggers in jigsaw_serve:
 // stop accepting, drain the engine (every admitted job completes), then
 // shut down remaining connections and join their threads.
 #pragma once
 
-#include <atomic>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "serve/engine.hpp"
 #include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 
 namespace jigsaw::serve {
 
@@ -52,63 +45,27 @@ namespace jigsaw::serve {
 /// Throws ProtocolError on out-of-enum engine / sanitize codes.
 ReconJob job_from_wire(const ReconRequestWire& wire);
 
-class ReconServer {
+class ReconServer : public FrameServer {
  public:
-  /// Binds and listens on config.socket_path (an existing socket file is
-  /// replaced). Throws std::runtime_error on bind/listen failure.
+  /// Binds and listens on config.socket_path (AF_UNIX, an existing socket
+  /// file is replaced) and/or config.listen (TCP). At least one must be
+  /// set. Throws std::runtime_error on bind/listen failure.
   explicit ReconServer(const ServeConfig& config);
-  ~ReconServer();  // stop(), if still running
-
-  ReconServer(const ReconServer&) = delete;
-  ReconServer& operator=(const ReconServer&) = delete;
-
-  /// Spawn the accept loop. Call once.
-  void start();
-
-  /// Graceful drain: stop accepting, complete every admitted job, close
-  /// connections, join every thread. Idempotent.
-  void stop();
+  ~ReconServer() override;  // stop(), if still running
 
   ServeEngine& engine() { return engine_; }
   const std::string& socket_path() const { return config_.socket_path; }
 
- private:
-  // The connection's fd closes when the last shared_ptr drops — i.e. only
-  // once the reader thread has exited AND no engine callback that might
-  // still write a reply holds a reference. Nobody closes fd directly, so a
-  // reused descriptor number can never be written by a stale callback.
-  struct Connection {
-    ~Connection();  // closes fd
-    int fd = -1;
-    std::mutex write_mu;  // dispatcher + reader threads both reply
-  };
+ protected:
+  void serve_connection(const std::shared_ptr<Connection>& conn) override;
+  void on_stop_accepting() override { engine_.drain(); }
 
-  void accept_loop();
-  void serve_connection(const std::shared_ptr<Connection>& conn);
+ private:
   void send_reply_locked(const std::shared_ptr<Connection>& conn,
                          const ReconReplyWire& reply);
 
-  /// Reader-thread epilogue: drop the server's references to `conn` and
-  /// move the reader's own thread handle to finished_threads_ for joining
-  /// by the accept loop (or stop()).
-  void retire_connection(const Connection* conn);
-
-  /// Join and discard every thread in finished_threads_.
-  void reap_finished();
-
   const ServeConfig config_;
   ServeEngine engine_;
-  int listen_fd_ = -1;
-
-  std::mutex conn_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;       // live connections
-  std::map<const Connection*, std::thread> reader_threads_;  // live readers
-  std::vector<std::thread> finished_threads_;  // exited readers, un-joined
-
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
-  bool started_ = false;
-  bool stopped_ = false;
 };
 
 }  // namespace jigsaw::serve

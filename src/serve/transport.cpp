@@ -1,0 +1,380 @@
+#include "serve/transport.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace jigsaw::serve {
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+[[noreturn]] void bad_endpoint(const std::string& spec,
+                               const std::string& why) {
+  throw std::invalid_argument("bad endpoint '" + spec + "': " + why +
+                              " (expected unix:/path or host:port)");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: a filesystem socket (or an exotic stack) just ignores it.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  return addr;
+}
+
+struct ResolvedAddr {
+  sockaddr_storage addr{};
+  socklen_t len = 0;
+  int family = AF_INET;
+};
+
+ResolvedAddr resolve_tcp(const Endpoint& ep) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(ep.port);
+  const int rc = ::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    throw std::runtime_error("serve: cannot resolve '" + ep.host +
+                             "': " + ::gai_strerror(rc));
+  }
+  ResolvedAddr out;
+  std::memcpy(&out.addr, res->ai_addr, res->ai_addrlen);
+  out.len = static_cast<socklen_t>(res->ai_addrlen);
+  out.family = res->ai_family;
+  ::freeaddrinfo(res);
+  return out;
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.empty()) bad_endpoint(spec, "empty spec");
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) bad_endpoint(spec, "empty unix socket path");
+    return ep;
+  }
+  if (spec.front() == '/') {  // bare path: the original --socket spelling
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec;
+    return ep;
+  }
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    bad_endpoint(spec, "no ':' separating host and port");
+  }
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  if (ep.host.empty()) bad_endpoint(spec, "empty host");
+  if (port_str.empty()) bad_endpoint(spec, "empty port");
+  long port = 0;
+  for (const char c : port_str) {
+    if (c < '0' || c > '9') {
+      bad_endpoint(spec, "port '" + port_str + "' is not a number");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) bad_endpoint(spec, "port out of range [0, 65535]");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::string to_string(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) return "unix:" + ep.path;
+  return ep.host + ":" + std::to_string(ep.port);
+}
+
+int connect_endpoint(const Endpoint& ep, int timeout_ms) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_addr(ep.path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("serve: socket() failed: ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      const int err = errno;
+      close_quietly(fd);
+      throw std::runtime_error("serve: connect(" + to_string(ep) +
+                               ") failed: " + std::strerror(err));
+    }
+    return fd;
+  }
+
+  const ResolvedAddr dst = resolve_tcp(ep);
+  const int fd = ::socket(dst.family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  set_nodelay(fd);
+  if (timeout_ms < 0) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&dst.addr),
+                  dst.len) != 0) {
+      const int err = errno;
+      close_quietly(fd);
+      throw std::runtime_error("serve: connect(" + to_string(ep) +
+                               ") failed: " + std::strerror(err));
+    }
+    return fd;
+  }
+  // Bounded handshake: non-blocking connect + poll, then back to blocking.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&dst.addr),
+                     dst.len);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const int err = errno;
+    close_quietly(fd);
+    throw std::runtime_error("serve: connect(" + to_string(ep) +
+                             ") failed: " + std::strerror(err));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (ready > 0) {
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    }
+    if (ready <= 0 || err != 0) {
+      close_quietly(fd);
+      throw std::runtime_error(
+          "serve: connect(" + to_string(ep) + ") " +
+          (ready <= 0 ? "timed out after " + std::to_string(timeout_ms) + " ms"
+                      : std::string("failed: ") + std::strerror(err)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
+
+Listener::Listener(const Endpoint& ep) : bound_(ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = unix_addr(ep.path);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error(std::string("serve: socket() failed: ") +
+                               std::strerror(errno));
+    }
+    ::unlink(ep.path.c_str());  // replace a stale socket file
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      const int err = errno;
+      close_quietly(fd_);
+      fd_ = -1;
+      throw std::runtime_error("serve: bind(" + to_string(ep) +
+                               ") failed: " + std::strerror(err));
+    }
+  } else {
+    const ResolvedAddr dst = resolve_tcp(ep);
+    fd_ = ::socket(dst.family, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error(std::string("serve: socket() failed: ") +
+                               std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&dst.addr),
+               dst.len) != 0) {
+      const int err = errno;
+      close_quietly(fd_);
+      fd_ = -1;
+      throw std::runtime_error("serve: bind(" + to_string(ep) +
+                               ") failed: " + std::strerror(err));
+    }
+    // Report the kernel-assigned port when the spec asked for port 0.
+    sockaddr_storage actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      if (actual.ss_family == AF_INET) {
+        bound_.port = ntohs(
+            reinterpret_cast<const sockaddr_in*>(&actual)->sin_port);
+      } else if (actual.ss_family == AF_INET6) {
+        bound_.port = ntohs(
+            reinterpret_cast<const sockaddr_in6*>(&actual)->sin6_port);
+      }
+    }
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    close_quietly(fd_);
+    fd_ = -1;
+    if (ep.kind == Endpoint::Kind::kUnix) ::unlink(ep.path.c_str());
+    throw std::runtime_error(std::string("serve: listen() failed: ") +
+                             std::strerror(err));
+  }
+}
+
+Listener::~Listener() {
+  close_quietly(fd_);
+  if (fd_ >= 0 && bound_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(bound_.path.c_str());
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), bound_(std::move(other.bound_)) {
+  other.fd_ = -1;
+}
+
+FrameServer::Connection::~Connection() { close_quietly(fd); }
+
+FrameServer::~FrameServer() {
+  // Subclasses stop() in their own destructor while their vtable is still
+  // live; by the time this runs there is nothing left to do unless the
+  // server was never started.
+  stop();
+}
+
+void FrameServer::add_listener(const Endpoint& ep) {
+  listeners_.emplace_back(ep);
+}
+
+std::vector<Endpoint> FrameServer::bound_endpoints() const {
+  std::vector<Endpoint> out;
+  out.reserve(listeners_.size());
+  for (const auto& l : listeners_) out.push_back(l.bound());
+  return out;
+}
+
+int FrameServer::shutdown_how() const { return SHUT_RDWR; }
+
+void FrameServer::start() {
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void FrameServer::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true);
+
+  // 1. Stop accepting; existing connections may still submit work until
+  //    their reader sees the shutdown below.
+  accept_thread_.join();
+
+  // 2. Let the subclass finish outstanding work while the connections that
+  //    expect replies are still open.
+  on_stop_accepting();
+
+  // 3. Unblock every connection reader and join. shutdown() makes a blocked
+  //    recv return 0 (EOF), so readers exit their frame loop cleanly,
+  //    retire themselves, and land in finished_threads_. Loop until every
+  //    reader — live or already self-retired — has been joined.
+  for (;;) {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      for (const auto& conn : conns_) ::shutdown(conn->fd, shutdown_how());
+      for (auto& [conn, t] : reader_threads_) to_join.push_back(std::move(t));
+      reader_threads_.clear();
+      for (auto& t : finished_threads_) to_join.push_back(std::move(t));
+      finished_threads_.clear();
+    }
+    if (to_join.empty()) break;
+    for (auto& t : to_join) t.join();
+  }
+  // Readers erased themselves from conns_ as they retired; dropping any
+  // leftovers releases the server's references (fds close with the last
+  // shared_ptr).
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  conns_.clear();
+}
+
+void FrameServer::retire_connection(const Connection* conn) {
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  const auto it = reader_threads_.find(conn);
+  if (it != reader_threads_.end()) {
+    finished_threads_.push_back(std::move(it->second));
+    reader_threads_.erase(it);
+  }
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [conn](const std::shared_ptr<Connection>& c) {
+                                return c.get() == conn;
+                              }),
+               conns_.end());
+}
+
+void FrameServer::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    done.swap(finished_threads_);
+  }
+  for (auto& t : done) t.join();
+}
+
+void FrameServer::accept_loop() {
+  std::vector<pollfd> pfds;
+  pfds.reserve(listeners_.size());
+  for (const auto& l : listeners_) pfds.push_back({l.fd(), POLLIN, 0});
+  while (!stopping_.load()) {
+    reap_finished();
+    for (auto& p : pfds) p.revents = 0;
+    const int ready =
+        ::poll(pfds.data(), pfds.size(), 100);  // 100 ms: prompt shutdown
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    for (const auto& p : pfds) {
+      if ((p.revents & POLLIN) == 0) continue;
+      const int fd = ::accept(p.fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        // Transient exhaustion (EMFILE/ENFILE/ENOMEM/...): the pending
+        // connection stays in the backlog and poll() would report it ready
+        // again immediately, so back off briefly instead of spinning — and
+        // keep accepting; retiring connections frees descriptors.
+        std::fprintf(stderr, "serve: accept failed: %s\n",
+                     std::strerror(errno));
+        ::poll(nullptr, 0, 100);
+        continue;
+      }
+      set_nodelay(fd);
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      if (stopping_.load()) return;  // ~Connection closes fd
+      conns_.push_back(conn);
+      reader_threads_.emplace(conn.get(), std::thread([this, conn] {
+                                serve_connection(conn);
+                                retire_connection(conn.get());
+                              }));
+    }
+  }
+}
+
+}  // namespace jigsaw::serve

@@ -1,0 +1,159 @@
+// Transport layer shared by the reconstruction daemon and the router tier.
+//
+// Three pieces, each usable on its own:
+//
+//   * Endpoint — one parsed service address. Every tool accepts the same
+//     two spellings through parse_endpoint():
+//         unix:/path/to.sock   (or a bare absolute path, for compatibility
+//                               with the original --socket flag)
+//         host:port            (TCP; host is a name or numeric address,
+//                               port 0 asks the kernel for an ephemeral
+//                               port — the bound endpoint reports it)
+//     A malformed spec throws std::invalid_argument with a one-line
+//     diagnostic naming both accepted forms.
+//
+//   * Listener / connect_endpoint — bind-listen and connect for either
+//     address family. TCP listeners default to loopback when the host is
+//     "localhost"/"127.0.0.1" (the documented security posture: nothing
+//     binds a public interface unless the operator writes its address
+//     explicitly). TCP sockets get TCP_NODELAY — frames are written as one
+//     header+body pair and latency matters more than segment count.
+//
+//   * FrameServer — the accept-loop + connection-lifecycle skeleton the
+//     ReconServer grew in PR 4, factored out so the router reuses it
+//     verbatim: connections are reaped as they end (a reader that sees EOF
+//     retires itself, the accept loop joins exited threads), accept()
+//     failures back off and retry, and stop() is a graceful drain —
+//     stop accepting, let the subclass finish outstanding work
+//     (on_stop_accepting), then shut down remaining connections with the
+//     subclass's chosen direction and join every thread. The Connection's
+//     fd closes when its last shared_ptr drops, so a reply callback racing
+//     connection teardown can never write a reused descriptor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jigsaw::serve {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;        // kUnix: filesystem path of the socket
+  std::string host;        // kTcp: hostname or numeric address
+  std::uint16_t port = 0;  // kTcp: 0 = ephemeral (listen only)
+
+  bool is_tcp() const { return kind == Kind::kTcp; }
+};
+
+/// Parse "unix:/path", a bare absolute path, or "host:port". Throws
+/// std::invalid_argument with a one-line diagnostic on anything else.
+Endpoint parse_endpoint(const std::string& spec);
+
+/// Canonical spelling: "unix:/path" or "host:port".
+std::string to_string(const Endpoint& ep);
+
+/// Connect a stream socket to `ep`. timeout_ms bounds the TCP connect
+/// handshake (< 0 = OS default). Throws std::runtime_error on failure.
+int connect_endpoint(const Endpoint& ep, int timeout_ms = -1);
+
+/// A bound, listening stream socket for either address family. The
+/// destructor closes the fd and unlinks a Unix socket file. For TCP with
+/// port 0, bound() carries the kernel-assigned port.
+class Listener {
+ public:
+  explicit Listener(const Endpoint& ep);  // throws std::runtime_error
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&&) = delete;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  const Endpoint& bound() const { return bound_; }
+
+ private:
+  int fd_ = -1;
+  Endpoint bound_;
+};
+
+/// Accept-loop + connection-lifecycle base. Subclasses add listeners in
+/// their constructor, implement serve_connection() (one call per accepted
+/// connection, on a dedicated reader thread), and may override
+/// on_stop_accepting() to drain outstanding work between "no new
+/// connections" and "shut down the remaining ones".
+class FrameServer {
+ public:
+  virtual ~FrameServer();  // subclasses must have called stop() (or never
+                           // started); the base stops again defensively
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Spawn the accept loop over every added listener. Call once.
+  void start();
+
+  /// Graceful drain: stop accepting, on_stop_accepting(), shut down
+  /// remaining connections (shutdown_how()), join every thread. Idempotent.
+  void stop();
+
+  /// The endpoints actually bound — TCP entries carry the real port even
+  /// when the spec asked for port 0.
+  std::vector<Endpoint> bound_endpoints() const;
+
+ protected:
+  FrameServer() = default;
+
+  // The connection's fd closes when the last shared_ptr drops — i.e. only
+  // once the reader thread has exited AND no completion callback that might
+  // still write a reply holds a reference.
+  struct Connection {
+    ~Connection();  // closes fd
+    int fd = -1;
+    std::mutex write_mu;  // reader + any callback thread both reply
+  };
+
+  /// Bind and listen before start(). Throws std::runtime_error on failure.
+  void add_listener(const Endpoint& ep);
+
+  /// Read frames until EOF/error; runs on the connection's reader thread.
+  virtual void serve_connection(const std::shared_ptr<Connection>& conn) = 0;
+
+  /// Runs in stop() after the accept loop is joined and before connections
+  /// are shut down. ReconServer drains its engine here so every admitted
+  /// job's reply is written over a still-open connection.
+  virtual void on_stop_accepting() {}
+
+  /// How stop() shuts down lingering connections: SHUT_RDWR for a server
+  /// whose replies were all written in on_stop_accepting(); the router uses
+  /// SHUT_RD so an in-flight forward can still write its reply.
+  virtual int shutdown_how() const;
+
+  bool stopping() const { return stopping_.load(); }
+
+ private:
+  void accept_loop();
+  void retire_connection(const Connection* conn);
+  void reap_finished();
+
+  std::vector<Listener> listeners_;
+
+  mutable std::mutex conn_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;       // live connections
+  std::map<const Connection*, std::thread> reader_threads_;  // live readers
+  std::vector<std::thread> finished_threads_;  // exited readers, un-joined
+
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace jigsaw::serve

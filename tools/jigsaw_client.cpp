@@ -1,12 +1,14 @@
-// jigsaw_client: command-line client for the jigsaw_serve daemon.
+// jigsaw_client: command-line client for jigsaw_serve / jigsaw_router.
 //
-//   jigsaw_client recon --socket /tmp/jigsaw_serve.sock --n 128 \
+//   jigsaw_client recon --endpoint unix:/tmp/jigsaw_serve.sock --n 128
 //       --samples 40000 --traj radial --engine slice-dice --out img.pgm
-//   jigsaw_client stats --socket /tmp/jigsaw_serve.sock
+//   jigsaw_client stats --endpoint 127.0.0.1:7421
 //
-// recon synthesizes Shepp-Logan k-space on the requested trajectory (the
-// same data path jigsaw_cli uses), sends it, and reports the reply status
-// and round-trip time; --count N repeats the request sequentially.
+// --endpoint accepts "unix:/path" or "host:port" (--socket PATH is the
+// older spelling of the Unix form and still works). recon synthesizes
+// Shepp-Logan k-space on the requested trajectory (the same data path
+// jigsaw_cli uses), sends it, and reports the reply status and round-trip
+// time; --count N repeats the request sequentially.
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
@@ -35,8 +37,15 @@ trajectory::TrajectoryType parse_traj(const std::string& s) {
       "', valid: radial, spiral, rosette, random, cartesian");
 }
 
+// --endpoint (any spec) wins over --socket (Unix path only, the original
+// flag); the default matches jigsaw_serve's default socket.
+std::string endpoint_spec(const CliArgs& args) {
+  return args.get("endpoint",
+                  args.get("socket", "/tmp/jigsaw_serve.sock"));
+}
+
 int cmd_stats(const CliArgs& args) {
-  serve::ServeClient client(args.get("socket", "/tmp/jigsaw_serve.sock"));
+  serve::ServeClient client(endpoint_spec(args));
   std::printf("%s", client.statsz().c_str());
   return 0;
 }
@@ -72,7 +81,7 @@ int cmd_recon(const CliArgs& args) {
   req.values = trajectory::kspace_samples(trajectory::shepp_logan(),
                                           req.coords, static_cast<int>(n));
 
-  serve::ServeClient client(args.get("socket", "/tmp/jigsaw_serve.sock"));
+  serve::ServeClient client(endpoint_spec(args));
   serve::ReconReplyWire reply;
   for (int i = 0; i < count; ++i) {
     req.client_tag = static_cast<std::uint64_t>(i);
@@ -111,17 +120,17 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       std::fprintf(stderr,
-                   "usage: jigsaw_client <recon|stats> [--socket PATH] "
-                   "[--n N] [--samples M] [--traj T] [--engine E] "
-                   "[--iters K] [--sanitize P] [--deadline-ms D] "
-                   "[--count C] [--out F.pgm]\n");
+                   "usage: jigsaw_client <recon|stats> "
+                   "[--endpoint unix:/path|host:port] [--n N] [--samples M] "
+                   "[--traj T] [--engine E] [--iters K] [--sanitize P] "
+                   "[--deadline-ms D] [--count C] [--out F.pgm]\n");
       return 1;
     }
     const std::string cmd = argv[1];
     const CliArgs args(argc - 1, argv + 1,
-                       {"socket", "n", "samples", "traj", "engine", "iters",
-                        "coils", "sanitize", "width", "sigma", "deadline-ms",
-                        "count", "seed", "out"});
+                       {"socket", "endpoint", "n", "samples", "traj",
+                        "engine", "iters", "coils", "sanitize", "width",
+                        "sigma", "deadline-ms", "count", "seed", "out"});
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "recon") return cmd_recon(args);
     std::fprintf(stderr, "error: unknown command '%s', valid: recon, stats\n",

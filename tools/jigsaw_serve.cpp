@@ -25,11 +25,16 @@ int main(int argc, char** argv) {
   using namespace jigsaw;
   try {
     const CliArgs args(argc, argv,
-                       {"socket", "queue", "batch", "plans", "threads",
-                        "max-n", "max-samples", "max-iters", "max-coils",
-                        "reply-timeout", "wisdom", "no-trials"});
+                       {"socket", "listen", "queue", "batch", "plans",
+                        "threads", "max-n", "max-samples", "max-iters",
+                        "max-coils", "reply-timeout", "wisdom", "no-trials"});
     serve::ServeConfig config;
-    config.socket_path = args.get("socket", "/tmp/jigsaw_serve.sock");
+    // --listen host:port adds a TCP endpoint alongside (or instead of) the
+    // Unix socket. Bind 127.0.0.1 unless you mean to serve other machines —
+    // the protocol has no authentication (docs/serving.md).
+    config.listen = args.get("listen", "");
+    config.socket_path = args.get(
+        "socket", config.listen.empty() ? "/tmp/jigsaw_serve.sock" : "");
     config.max_queue = static_cast<std::size_t>(args.get_int("queue", 64));
     config.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
     config.max_plans = static_cast<std::size_t>(args.get_int("plans", 16));
@@ -54,10 +59,12 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_stop);
     std::signal(SIGINT, handle_stop);
     server.start();
-    std::printf("jigsaw_serve: listening on %s (queue %zu, batch %zu, "
-                "plans %zu, %u lanes)\n",
-                config.socket_path.c_str(), config.max_queue,
-                config.max_batch, config.max_plans, config.exec_threads);
+    for (const auto& ep : server.bound_endpoints()) {
+      std::printf("jigsaw_serve: listening on %s (queue %zu, batch %zu, "
+                  "plans %zu, %u lanes)\n",
+                  serve::to_string(ep).c_str(), config.max_queue,
+                  config.max_batch, config.max_plans, config.exec_threads);
+    }
     std::fflush(stdout);
 
     while (g_stop == 0) {
