@@ -1,97 +1,95 @@
 // Real-time golden-angle radial MRI (paper ref [8], Frahm et al.) — the
-// latency-sensitive workload of the paper's introduction.
+// latency-sensitive workload of the paper's introduction, now on the
+// streaming subsystem (src/stream/).
 //
 // A golden-angle acquisition delivers spokes continuously; each display
-// frame reconstructs a sliding window of the most recent spokes. The
-// gridding engine therefore runs once per frame on freshly (re)ordered
-// samples — no opportunity to amortize a presort, which is exactly the
-// regime where Slice-and-Dice's presort-free design and JIGSAW's
-// deterministic M+12-cycle latency matter. This example measures achieved
-// frame rates per engine and the corresponding JIGSAW hardware latency.
+// frame reconstructs a sliding window of the most recent spokes. A
+// stream::FramePipeline owns everything a stateless per-request recon
+// cannot exploit: the previous frame's NUFFT plan (the window slid, so
+// only the gridder's sample setup is rebuilt — the FFT stage comes from
+// the shared plan cache) and the previous frame's image, which seeds each
+// CG solve. On the slowly-moving dynamic phantom the warm seed cuts the
+// iterations per frame by well over half at the same CG tolerance — the
+// difference between missing and making a display deadline.
+//
+// The example runs the same frame sequence twice per engine (cold vs
+// warm) and reports per-frame latency, iteration counts, and the JIGSAW
+// ASIC's deterministic gridding latency for the same window.
 #include <cstdio>
+#include <vector>
 
 #include "common/pgm.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
-#include "core/nufft.hpp"
 #include "energy/asic_model.hpp"
-#include "trajectory/phantom.hpp"
-#include "trajectory/trajectory.hpp"
+#include "stream/frame_pipeline.hpp"
+#include "stream/frame_source.hpp"
 
 using namespace jigsaw;
 
-
 int main() {
   const std::int64_t n = 96;
-  const int samples_per_spoke = 192;
-  const int window_spokes = 55;  // sliding window (Fibonacci number)
+  stream::FrameWindow window;
+  window.samples_per_spoke = 192;
+  window.window_spokes = 55;  // sliding window (Fibonacci number)
+  window.spokes_per_frame = 13;  // stride: ~1/4 of the window is new data
   const int frames = 8;
 
-  std::printf("real-time golden-angle radial: %d-spoke sliding window, "
-              "%d frames, %lldx%lld image\n\n",
-              window_spokes, frames, static_cast<long long>(n),
-              static_cast<long long>(n));
+  const stream::FrameSource source(window, frames);
+  const stream::DynamicPhantom phantom;  // beating intensity + slow motion
 
-  // Continuous golden-angle stream: enough spokes for all frames.
-  const int total_spokes = window_spokes + frames - 1;
-  const auto stream =
-      trajectory::radial_2d(total_spokes, samples_per_spoke,
-                            /*golden_angle=*/true);
-  const auto ellipses = trajectory::shepp_logan();
-  const auto values =
-      trajectory::kspace_samples(ellipses, stream, static_cast<int>(n));
+  std::printf("real-time golden-angle radial: %d-spoke window sliding by "
+              "%d, %d frames, %lldx%lld image\n\n",
+              window.window_spokes, window.spokes_per_frame, frames,
+              static_cast<long long>(n), static_cast<long long>(n));
 
-  const std::size_t window_m =
-      static_cast<std::size_t>(window_spokes) * samples_per_spoke;
+  ConsoleTable table(
+      {"engine", "warm", "ms/frame", "frames/s", "CG iters", "plans built"});
+  std::vector<c64> last_frame;
+  for (auto kind : {core::GridderKind::Binning, core::GridderKind::SliceDice}) {
+    for (const bool warm : {false, true}) {
+      stream::PipelineConfig config;
+      config.n = n;
+      config.options.kind = kind;
+      config.iters = 50;
+      config.tolerance = 1e-4;
+      config.warm_start = warm;
 
-  ConsoleTable table({"engine", "ms/frame", "frames/s", "note"});
-  for (auto kind : {core::GridderKind::Serial, core::GridderKind::Binning,
-                    core::GridderKind::SliceDice}) {
-    core::GridderOptions opt;
-    opt.kind = kind;
-    opt.exact_weights = (kind == core::GridderKind::Binning);
-
-    Timer t;
-    std::vector<c64> last_frame;
-    for (int f = 0; f < frames; ++f) {
-      const std::size_t start =
-          static_cast<std::size_t>(f) * samples_per_spoke;
-      std::vector<Coord<2>> coords(stream.begin() + start,
-                                   stream.begin() + start + window_m);
-      std::vector<c64> data(values.begin() + start,
-                            values.begin() + start + window_m);
-      const auto dcf = trajectory::radial_density_weights(coords);
-      for (std::size_t i = 0; i < data.size(); ++i) data[i] *= dcf[i];
-      // A new plan per frame: the window's coordinates change every frame,
-      // so per-frame setup (presorts!) is on the critical path.
-      core::NufftPlan<2> plan(n, coords, opt);
-      last_frame = plan.adjoint(data);
-    }
-    const double per_frame = t.seconds() / frames;
-    table.add_row({core::to_string(kind),
-                   ConsoleTable::fmt(1e3 * per_frame, 1),
-                   ConsoleTable::fmt(1.0 / per_frame, 1),
-                   kind == core::GridderKind::Binning
-                       ? "presorts every frame"
-                       : "no presort"});
-    if (kind == core::GridderKind::SliceDice) {
-      write_pgm("realtime_last_frame.pgm", last_frame, static_cast<int>(n),
-                static_cast<int>(n));
+      stream::FramePipeline pipeline(config);
+      Timer t;
+      for (int f = 0; f < source.frames(); ++f) {
+        const auto coords = source.frame_coords(f);
+        const auto values = phantom.kspace_at(coords, source.frame_time(f),
+                                              static_cast<int>(n));
+        const stream::FrameResult r = pipeline.recon_frame(coords, values);
+        if (warm && kind == core::GridderKind::SliceDice) {
+          last_frame = r.image;
+        }
+      }
+      const double per_frame = t.seconds() / source.frames();
+      const stream::PipelineStats& stats = pipeline.stats();
+      table.add_row({core::to_string(kind), warm ? "yes" : "no",
+                     ConsoleTable::fmt(1e3 * per_frame, 1),
+                     ConsoleTable::fmt(1.0 / per_frame, 1),
+                     std::to_string(stats.total_iterations),
+                     std::to_string(stats.plan_builds)});
     }
   }
   table.print();
 
-  // What the accelerator would deliver per frame.
+  // What the accelerator would deliver per frame for the same window.
   energy::AsicConfig asic;
   asic.grid_n = static_cast<int>(2 * n);
   const double jigsaw_us =
       static_cast<double>(energy::gridding_cycles(
-          asic, static_cast<long long>(window_m))) /
+          asic, static_cast<long long>(source.samples_per_frame()))) /
       1e3;
   std::printf("\nJIGSAW gridding latency per frame: %.1f us (M+12 cycles) — "
-              "five orders of magnitude below the display deadline; the "
-              "frame rate becomes FFT/display-bound.\n",
+              "the gridding stage vanishes from the budget; warm-started CG "
+              "owns what remains.\n",
               jigsaw_us);
-  std::printf("last frame written to realtime_last_frame.pgm\n");
+  write_pgm("realtime_last_frame.pgm", last_frame, static_cast<int>(n),
+            static_cast<int>(n));
+  std::printf("last warm frame written to realtime_last_frame.pgm\n");
   return 0;
 }

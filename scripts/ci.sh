@@ -11,10 +11,11 @@
 #   3a. the SIMD kernel/differential/thread-invariance suites rerun from
 #      the ASan build with JIGSAW_SIMD=scalar — sanitized coverage for the
 #      portable staged-scalar dispatch path, not just the host's best ISA
-#   3b. TSan build (JIGSAW_TSAN=ON) of the serve/deadline/router suites —
-#      the service layer's dispatcher + connection threads, the deadline
-#      token, and the router's forwarder + health-ping threads run under
-#      ThreadSanitizer on every CI pass
+#   3b. TSan build (JIGSAW_TSAN=ON) of the serve/deadline/router/stream
+#      suites — the service layer's dispatcher + connection threads, the
+#      deadline token, the router's forwarder + health-ping threads, and
+#      the streaming-session machinery run under ThreadSanitizer on every
+#      CI pass
 #   4. bench_suite --smoke (obs ON) compared against the committed
 #      BENCH_baseline.json — fails on >15% slowdown, any checksum drift,
 #      or any work-counter drift (see scripts/bench_compare.py); the JSON
@@ -72,17 +73,18 @@ echo "=== ASan+UBSan SIMD kernel suites, forced-scalar dispatch ==="
 JIGSAW_SIMD=scalar ctest --test-dir build-asan --output-on-failure \
   -j"${JOBS}" -R 'Simd|Differential|ThreadInvariance'
 
-echo "=== TSan build + serve/deadline/router concurrency suites ==="
+echo "=== TSan build + serve/deadline/router/stream concurrency suites ==="
 # The service layer is the most thread-heavy subsystem (dispatcher thread,
-# per-connection readers, concurrent clients, and now the router's
-# forwarders + health pinger); run exactly those suites under
-# ThreadSanitizer. Bench/examples are skipped to keep the stage short.
+# per-connection readers, concurrent clients, the router's forwarders +
+# health pinger, and the session dispatcher shared by streaming frames);
+# run exactly those suites under ThreadSanitizer. Bench/examples are
+# skipped to keep the stage short.
 cmake -B build-tsan -S . -DJIGSAW_TSAN=ON \
   -DJIGSAW_BUILD_BENCH=OFF -DJIGSAW_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target test_serve test_deadline \
-  test_router
+  test_router test_stream
 ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" \
-  -R 'Serve|Deadline|Router'
+  -R 'Serve|Deadline|Router|Stream'
 
 echo "=== benchmark smoke + regression/work gate (obs ON) ==="
 ./build/bench/bench_suite --smoke --tag ci --out build/BENCH_ci.json
@@ -100,6 +102,15 @@ python3 scripts/validate_bench.py build/BENCH_ci-serve.json
 ./build/bench/bench_serve --smoke --workers 2 --tag ci-routed \
   --out build/BENCH_ci-routed.json
 python3 scripts/validate_bench.py build/BENCH_ci-routed.json
+
+echo "=== streaming smoke + warm-start gate ==="
+# Cold vs warm frame sequences through the routed tier. bench_stream exits
+# non-zero unless every frame completes OK and warm-start saves >= 30% of
+# the total CG iterations at equal per-frame NRMSE; the validator then
+# checks the "stream" block accounts for every pushed frame.
+./build/bench/bench_stream --smoke --tag ci-stream \
+  --out build/BENCH_ci-stream.json
+python3 scripts/validate_bench.py build/BENCH_ci-stream.json
 
 echo "=== autotuner smoke + wisdom persistence gate ==="
 # Calibrate two tiny geometries into a throwaway wisdom store, validate the
@@ -186,6 +197,71 @@ PYEOF
   kill -TERM "${WA}" "${WB}" && wait "${WA}" && wait "${WB}"
   grep -q "jigsaw_serve: done\." "${RSMOKE}/worker_a.log"
   grep -q "jigsaw_serve: done\." "${RSMOKE}/worker_b.log"
+  trap - EXIT
+)
+
+echo "=== stream smoke: session round trip + lossless mid-stream drain ==="
+# One worker on an ephemeral TCP port. First a full 8-frame session must
+# complete with every frame OK and warm-started after the first. Then a
+# long stream is SIGTERMed mid-flight: the drain contract says every frame
+# the worker admitted gets a terminal reply — the client's reply count must
+# equal the worker's frames_submitted, zero drops.
+(
+  SSMOKE=build/stream_smoke
+  rm -rf "${SSMOKE}" && mkdir -p "${SSMOKE}"
+  trap 'kill ${SW:-} 2>/dev/null || true' EXIT
+
+  wait_for_line() {
+    for _ in $(seq 1 100); do
+      grep -q "$2" "$1" 2>/dev/null && return 0
+      sleep 0.1
+    done
+    echo "timeout waiting for '$2' in $1" >&2
+    cat "$1" >&2 || true
+    return 1
+  }
+  bound_endpoint() { sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$1" | head -1; }
+
+  ./build/tools/jigsaw_serve --listen 127.0.0.1:0 --threads 2 \
+    > "${SSMOKE}/worker.log" 2>&1 &
+  SW=$!
+  wait_for_line "${SSMOKE}/worker.log" "listening on"
+  SW_EP=$(bound_endpoint "${SSMOKE}/worker.log")
+
+  # Full session: open -> 8 frames -> close, all OK, frames 2..8 warm.
+  ./build/tools/jigsaw_client stream --endpoint "${SW_EP}" --frames 8 \
+    --n 64 --spoke-samples 64 > "${SSMOKE}/full.log"
+  grep -q "8/8 ok, 7 warm" "${SSMOKE}/full.log"
+
+  # Mid-stream drain: push a long sequence, SIGTERM the worker while frames
+  # are in flight. The client exits non-zero (its stream was cut short) —
+  # that is expected; the gate is the reply accounting below.
+  ./build/tools/jigsaw_client stream --endpoint "${SW_EP}" --frames 500 \
+    --n 96 > "${SSMOKE}/cut.log" 2>&1 &
+  CL=$!
+  wait_for_line "${SSMOKE}/cut.log" "frame   3/500"
+  kill -TERM "${SW}" && wait "${SW}"
+  wait "${CL}" || true
+
+  grep -q "jigsaw_serve: done\." "${SSMOKE}/worker.log"
+  python3 - "${SSMOKE}" <<'PYEOF'
+import re, sys
+base = sys.argv[1]
+worker = open(base + "/worker.log").read()
+m = re.search(r"sessions opened=(\d+) closed=(\d+) frames=(\d+) "
+              r"answered=(\d+)", worker)
+assert m, worker
+opened, closed, frames, answered = map(int, m.groups())
+assert opened == 2, (opened, "both sessions reached the worker")
+assert frames == answered, (frames, answered, "drain dropped a frame")
+# Every frame the worker admitted produced a reply line at the client
+# (8 in the completed run + the mid-stream replies in the cut run).
+cut_replies = len(re.findall(r"^frame +\d+/500:", open(base + "/cut.log")
+                             .read(), re.M))
+assert 8 + cut_replies == answered, (cut_replies, answered)
+print(f"stream smoke: {answered}/{frames} frames answered "
+      f"({cut_replies} before the mid-stream drain), zero drops")
+PYEOF
   trap - EXIT
 )
 

@@ -173,6 +173,30 @@ def main():
                                 f"requests sum to {total}, expected "
                                 f"{r.get('requests')}")
 
+    # A "stream" block (bench_stream output) must likewise be non-empty, and
+    # every frame pushed into a session must be accounted for by exactly one
+    # terminal status — frames != ok + timeout means the session dropped or
+    # double-answered a frame.
+    if "stream" in doc and not errors:
+        stream = doc["stream"]
+        if not stream:
+            errors.append("$.stream: present but empty — bench_stream must "
+                          "record at least one session result")
+        else:
+            for i, r in enumerate(stream):
+                if not isinstance(r, dict):
+                    continue
+                accounted = r.get("ok", 0) + r.get("timeout", 0)
+                if r.get("frames") != accounted:
+                    errors.append(
+                        f"$.stream[{i}] ({r.get('name')}): {r.get('frames')} "
+                        f"frames pushed but only {accounted} accounted for "
+                        "(ok + timeout)")
+                if r.get("warm_start") and not r.get("warm_frames"):
+                    errors.append(
+                        f"$.stream[{i}] ({r.get('name')}): warm_start run "
+                        "completed no warm frames")
+
     if args.require_counters and not errors:
         if not doc.get("obs_enabled"):
             errors.append("$.obs_enabled: --require-counters given but the "
@@ -192,8 +216,9 @@ def main():
     n = len(doc.get("benchmarks", []))
     with_counters = sum(1 for b in doc.get("benchmarks", []) if b.get("counters"))
     n_serve = len(doc.get("serve", []))
+    n_stream = len(doc.get("stream", []))
     print(f"OK: {args.bench} valid ({n} benchmarks, {with_counters} with "
-          f"counters, {n_serve} serve results, "
+          f"counters, {n_serve} serve results, {n_stream} stream results, "
           f"obs_enabled={doc.get('obs_enabled')})")
     return 0
 

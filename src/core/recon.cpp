@@ -180,7 +180,8 @@ template <int D>
 std::vector<c64> iterative_recon(NufftPlan<D>& plan, const std::vector<c64>& y,
                                  int max_iterations, double tolerance,
                                  bool use_toeplitz, CgResult* result,
-                                 const Deadline& deadline) {
+                                 const Deadline& deadline,
+                                 const std::vector<c64>* warm_start) {
   const std::vector<c64> b = plan.adjoint(y, nullptr, deadline);
 
   std::function<std::vector<c64>(const std::vector<c64>&)> gram;
@@ -199,7 +200,14 @@ std::vector<c64> iterative_recon(NufftPlan<D>& plan, const std::vector<c64>& y,
     };
   }
 
+  // A warm start of the wrong size is a stale frame from another geometry
+  // (e.g. the stream reconfigured mid-session): fall back to cold rather
+  // than poison the solve.
   std::vector<c64> x(b.size(), c64{});
+  if (warm_start != nullptr && warm_start->size() == b.size()) {
+    x = *warm_start;
+    obs::add("cg.warm_starts", 1);
+  }
   const CgResult cg = conjugate_gradient(gram, b, x, max_iterations,
                                          tolerance, deadline);
   if (result != nullptr) *result = cg;
@@ -209,17 +217,14 @@ std::vector<c64> iterative_recon(NufftPlan<D>& plan, const std::vector<c64>& y,
 template class ToeplitzOperator<1>;
 template class ToeplitzOperator<2>;
 template class ToeplitzOperator<3>;
-template std::vector<c64> iterative_recon<1>(NufftPlan<1>&,
-                                             const std::vector<c64>&, int,
-                                             double, bool, CgResult*,
-                                             const Deadline&);
-template std::vector<c64> iterative_recon<2>(NufftPlan<2>&,
-                                             const std::vector<c64>&, int,
-                                             double, bool, CgResult*,
-                                             const Deadline&);
-template std::vector<c64> iterative_recon<3>(NufftPlan<3>&,
-                                             const std::vector<c64>&, int,
-                                             double, bool, CgResult*,
-                                             const Deadline&);
+template std::vector<c64> iterative_recon<1>(
+    NufftPlan<1>&, const std::vector<c64>&, int, double, bool, CgResult*,
+    const Deadline&, const std::vector<c64>*);
+template std::vector<c64> iterative_recon<2>(
+    NufftPlan<2>&, const std::vector<c64>&, int, double, bool, CgResult*,
+    const Deadline&, const std::vector<c64>*);
+template std::vector<c64> iterative_recon<3>(
+    NufftPlan<3>&, const std::vector<c64>&, int, double, bool, CgResult*,
+    const Deadline&, const std::vector<c64>*);
 
 }  // namespace jigsaw::core

@@ -61,6 +61,15 @@ CgResult conjugate_gradient(
 /// `y` sampled at `plan`'s coordinates. When `use_toeplitz` is set the Gram
 /// operator is applied via ToeplitzOperator (two FFTs) instead of
 /// forward+adjoint NuFFT per iteration.
+///
+/// `warm_start` (the streaming entry point): a non-null pointer to an image
+/// of exactly plan.base_size()^D pixels seeds CG with that image instead of
+/// zero — the previous frame of a dynamic sequence. CG converges to the
+/// same fixed point either way (the normal equations are PSD with a unique
+/// least-norm solution on the operator's range); a good seed only changes
+/// how many iterations reaching `tolerance` takes. A size mismatch falls
+/// back to the cold (zero) start rather than erroring, so callers may hand
+/// in "whatever the last frame produced" unconditionally.
 template <int D>
 std::vector<c64> iterative_recon(NufftPlan<D>& plan,
                                  const std::vector<c64>& y,
@@ -68,25 +77,20 @@ std::vector<c64> iterative_recon(NufftPlan<D>& plan,
                                  double tolerance = 1e-6,
                                  bool use_toeplitz = false,
                                  CgResult* result = nullptr,
-                                 const Deadline& deadline = Deadline());
+                                 const Deadline& deadline = Deadline(),
+                                 const std::vector<c64>* warm_start = nullptr);
 
 extern template class ToeplitzOperator<1>;
 extern template class ToeplitzOperator<2>;
 extern template class ToeplitzOperator<3>;
-extern template std::vector<c64> iterative_recon<1>(NufftPlan<1>&,
-                                                    const std::vector<c64>&,
-                                                    int, double, bool,
-                                                    CgResult*,
-                                                    const Deadline&);
-extern template std::vector<c64> iterative_recon<2>(NufftPlan<2>&,
-                                                    const std::vector<c64>&,
-                                                    int, double, bool,
-                                                    CgResult*,
-                                                    const Deadline&);
-extern template std::vector<c64> iterative_recon<3>(NufftPlan<3>&,
-                                                    const std::vector<c64>&,
-                                                    int, double, bool,
-                                                    CgResult*,
-                                                    const Deadline&);
+extern template std::vector<c64> iterative_recon<1>(
+    NufftPlan<1>&, const std::vector<c64>&, int, double, bool, CgResult*,
+    const Deadline&, const std::vector<c64>*);
+extern template std::vector<c64> iterative_recon<2>(
+    NufftPlan<2>&, const std::vector<c64>&, int, double, bool, CgResult*,
+    const Deadline&, const std::vector<c64>*);
+extern template std::vector<c64> iterative_recon<3>(
+    NufftPlan<3>&, const std::vector<c64>&, int, double, bool, CgResult*,
+    const Deadline&, const std::vector<c64>*);
 
 }  // namespace jigsaw::core

@@ -163,7 +163,8 @@ std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
                           const std::vector<std::vector<c64>>& y,
                           int max_iterations, double tolerance,
                           CgResult* result, unsigned coil_threads,
-                          const Deadline& deadline) {
+                          const Deadline& deadline,
+                          const std::vector<c64>* warm_start) {
   obs::Span span("sense.cg_sense");
   // An already-expired deadline returns before any operator construction or
   // transform work — the prompt-timeout contract the serve layer relies on.
@@ -172,6 +173,10 @@ std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
   SenseOperator op(plan, maps, coil_threads);
   const auto b = op.adjoint(y, deadline);
   std::vector<c64> x(b.size(), c64{});
+  if (warm_start != nullptr && warm_start->size() == b.size()) {
+    x = *warm_start;
+    obs::add("cg.warm_starts", 1);
+  }
   const CgResult cg = conjugate_gradient(
       [&op, &deadline](const std::vector<c64>& v) {
         return op.gram(v, deadline);

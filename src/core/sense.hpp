@@ -90,11 +90,17 @@ class SenseOperator {
 /// (right-hand side, per CG iteration, per coil transform); an expired
 /// deadline raises DeadlineExceeded promptly — before any transform work
 /// when it was already expired on entry.
+///
+/// `warm_start` seeds CG with a previous frame's image (streaming entry
+/// point, same contract as iterative_recon): CG still converges to the
+/// same fixed point, a good seed just gets there in fewer iterations; a
+/// size mismatch silently falls back to the cold zero start.
 std::vector<c64> cg_sense(NufftPlan<2>& plan, const CoilMaps& maps,
                           const std::vector<std::vector<c64>>& y,
                           int max_iterations = 15, double tolerance = 1e-6,
                           CgResult* result = nullptr,
                           unsigned coil_threads = 1,
-                          const Deadline& deadline = Deadline());
+                          const Deadline& deadline = Deadline(),
+                          const std::vector<c64>* warm_start = nullptr);
 
 }  // namespace jigsaw::core

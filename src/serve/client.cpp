@@ -47,6 +47,43 @@ ReconReplyWire ServeClient::recv_recon_reply() {
   return decode_recon_reply(frame.body.data(), frame.body.size());
 }
 
+SessionReplyWire ServeClient::open_session(const OpenSessionWire& request) {
+  send_frame(fd_, MsgType::kOpenSession, encode_open_session(request));
+  return recv_session_reply();
+}
+
+FrameReplyWire ServeClient::push_frame(const PushFrameWire& request) {
+  send_push_frame(request);
+  return recv_frame_reply();
+}
+
+SessionReplyWire ServeClient::close_session(const CloseSessionWire& request) {
+  send_frame(fd_, MsgType::kCloseSession, encode_close_session(request));
+  return recv_session_reply();
+}
+
+void ServeClient::send_push_frame(const PushFrameWire& request) {
+  send_frame(fd_, MsgType::kPushFrame, encode_push_frame(request));
+}
+
+FrameReplyWire ServeClient::recv_frame_reply() {
+  const Frame frame = recv_reply_frame();
+  if (frame.type != MsgType::kFrameReply) {
+    throw ProtocolError("expected frame reply, got type " +
+                        std::to_string(static_cast<std::uint32_t>(frame.type)));
+  }
+  return decode_frame_reply(frame.body.data(), frame.body.size());
+}
+
+SessionReplyWire ServeClient::recv_session_reply() {
+  const Frame frame = recv_reply_frame();
+  if (frame.type != MsgType::kSessionReply) {
+    throw ProtocolError("expected session reply, got type " +
+                        std::to_string(static_cast<std::uint32_t>(frame.type)));
+  }
+  return decode_session_reply(frame.body.data(), frame.body.size());
+}
+
 std::string ServeClient::statsz() {
   send_frame(fd_, MsgType::kStats, nullptr, 0);
   const Frame frame = recv_reply_frame();

@@ -35,6 +35,23 @@ class ServeClient {
   /// Fetch the /statsz JSON snapshot.
   std::string statsz();
 
+  // --- streaming sessions ---------------------------------------------
+  /// Open a streaming session (synchronous). The reply's session_id keys
+  /// every subsequent push/close; status != kOk means no session exists.
+  SessionReplyWire open_session(const OpenSessionWire& request);
+  /// Push one frame and block for its reply.
+  FrameReplyWire push_frame(const PushFrameWire& request);
+  /// Close a session; the reply carries the session's lifetime totals.
+  SessionReplyWire close_session(const CloseSessionWire& request);
+
+  /// Pipelined streaming: send a push without waiting for its reply, then
+  /// collect replies (in submission order — frames of one session execute
+  /// FIFO) with recv_frame_reply(). Used by the drain test to have frames
+  /// in flight when SIGTERM lands.
+  void send_push_frame(const PushFrameWire& request);
+  FrameReplyWire recv_frame_reply();
+  SessionReplyWire recv_session_reply();
+
   // --- protocol-test helpers ------------------------------------------
   /// Send a frame with an arbitrary body (may be malformed on purpose).
   void send_raw(MsgType type, const std::vector<std::uint8_t>& body);

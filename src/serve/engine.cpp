@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <random>
 #include <sstream>
 
 #include "core/recon.hpp"
@@ -44,6 +45,17 @@ ReconOutcome make_outcome(Status status, std::string message,
   return o;
 }
 
+const char* frame_status_counter(Status s) {
+  switch (s) {
+    case Status::kOk: return "serve.frames_ok";
+    case Status::kSanitizedPartial: return "serve.frames_ok";  // not emitted
+    case Status::kTimeout: return "serve.frames_timeout";
+    case Status::kRejected: return "serve.frames_rejected";
+    case Status::kError: return "serve.frames_error";
+  }
+  return "serve.frames_error";
+}
+
 }  // namespace
 
 ServeEngine::ServeEngine(const ServeConfig& config) : config_(config) {
@@ -53,6 +65,10 @@ ServeEngine::ServeEngine(const ServeConfig& config) : config_(config) {
   tuner_config.wisdom_path = config_.wisdom_path;
   tuner_config.enable_trials = config_.tune_trials;
   tuner_ = std::make_unique<tune::Autotuner>(std::move(tuner_config));
+  // Session ids must differ across workers (the router relays ids between
+  // processes), so the high bits carry per-process entropy and the low bits
+  // a sequence number.
+  session_salt_ = (static_cast<std::uint64_t>(std::random_device{}()) << 32);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -178,6 +194,238 @@ void ServeEngine::submit(ReconJob job, Callback done) {
   cv_work_.notify_one();
 }
 
+SessionOutcome ServeEngine::open_session(const OpenSessionWire& req) {
+  SessionOutcome out;
+  out.client_tag = req.client_tag;
+
+  // Decode the engine field exactly as the one-shot recon path does
+  // (job_from_wire): low bits select the kind, the high bit requests SIMD.
+  const bool simd = (req.engine & kEngineSimdFlag) != 0;
+  const std::uint32_t engine_code = req.engine & ~kEngineSimdFlag;
+  std::string error;
+  if (engine_code > static_cast<std::uint32_t>(core::GridderKind::Auto)) {
+    error = "unknown engine code " + std::to_string(engine_code);
+  } else if (simd &&
+             static_cast<core::GridderKind>(engine_code) !=
+                 core::GridderKind::Auto &&
+             !core::gridder_kind_has_simd(
+                 static_cast<core::GridderKind>(engine_code))) {
+    error = "engine '" +
+            core::to_string(static_cast<core::GridderKind>(engine_code)) +
+            "' has no SIMD variant";
+  } else if (req.kernel_width < 2 || req.kernel_width > 16) {
+    error = "kernel width " + std::to_string(req.kernel_width) +
+            " outside [2, 16]";
+  } else if (!(req.sigma >= 1.125 && req.sigma <= 4.0)) {
+    error = "oversampling sigma outside [1.125, 4]";
+  } else if (!(req.divergence_guard >= 0.0)) {  // !>= rejects NaN too
+    error = "divergence guard must be >= 0 (0 disables the guard)";
+  }
+  if (!error.empty()) {
+    out.status = Status::kError;
+    out.message = std::move(error);
+    return out;
+  }
+
+  std::string reject;
+  if (req.n < 2 || static_cast<std::int64_t>(req.n) > config_.max_n) {
+    reject = "grid size " + std::to_string(req.n) + " outside [2, " +
+             std::to_string(config_.max_n) + "]";
+  } else if (static_cast<int>(req.iters) > config_.max_iters) {
+    reject = "iteration count outside [1, " +
+             std::to_string(config_.max_iters) + "]";
+  } else if (static_cast<int>(req.coils) > config_.max_coils) {
+    reject = "coil count outside [1, " + std::to_string(config_.max_coils) +
+             "]";
+  }
+  if (!reject.empty()) {
+    out.status = Status::kRejected;
+    out.message = std::move(reject);
+    return out;
+  }
+
+  stream::PipelineConfig pc;
+  pc.n = static_cast<std::int64_t>(req.n);
+  pc.options.kind = static_cast<core::GridderKind>(engine_code);
+  pc.options.simd = simd;
+  pc.options.width = static_cast<int>(req.kernel_width);
+  pc.options.sigma = req.sigma;
+  pc.iters = static_cast<int>(req.iters);
+  pc.tolerance = config_.cg_tolerance;
+  pc.coils = static_cast<int>(req.coils);
+  pc.warm_start = req.warm_start != 0;
+  pc.divergence_guard = req.divergence_guard;
+
+  auto session = std::make_shared<StreamSession>();
+  session->n = pc.n;
+  session->coils = pc.coils;
+  session->frame_deadline_ms = req.frame_deadline_ms;
+  try {
+    // Cheap: coil maps for coils > 1, no plan until the first frame.
+    session->pipeline = std::make_unique<stream::FramePipeline>(pc);
+  } catch (const std::exception& e) {
+    out.status = Status::kError;
+    out.message = e.what();
+    return out;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_ || stop_) {
+      out.status = Status::kRejected;
+      out.message = "server draining";
+      return out;
+    }
+    if (sessions_.size() >= config_.max_sessions) {
+      out.status = Status::kRejected;
+      out.message = "session limit reached (" +
+                    std::to_string(config_.max_sessions) + ")";
+      return out;
+    }
+    session->id = session_salt_ | ++session_seq_;
+    sessions_[session->id] = session;
+    ++counts_.sessions_opened;
+    publish_gauges();
+  }
+  obs::add("serve.sessions_opened", 1);
+  out.status = Status::kOk;
+  out.session_id = session->id;
+  return out;
+}
+
+void ServeEngine::submit_frame(StreamFrameJob job, FrameCallback done) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counts_.frames_submitted;
+  }
+  obs::add("serve.frames_submitted", 1);
+
+  Pending p;
+  p.frame = std::move(job);
+  p.frame_done = std::move(done);
+
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sessions_.find(p.frame.session_id);
+    if (it != sessions_.end() && !it->second->closed) session = it->second;
+  }
+
+  auto reject_frame = [&](Status status, std::string message) {
+    FrameOutcome out;
+    out.status = status;
+    out.message = std::move(message);
+    out.session_id = p.frame.session_id;
+    out.frame_index = p.frame.frame_index;
+    out.client_tag = p.frame.client_tag;
+    finish_frame(p, std::move(out), /*was_inflight=*/false);
+  };
+
+  if (!session) {
+    reject_frame(Status::kRejected,
+                 "unknown or closed session " +
+                     std::to_string(p.frame.session_id));
+    return;
+  }
+  if (p.frame.coords.empty()) {
+    reject_frame(Status::kError, "empty frame");
+    return;
+  }
+  if (p.frame.coords.size() > config_.max_request_samples) {
+    reject_frame(Status::kRejected,
+                 "sample count " + std::to_string(p.frame.coords.size()) +
+                     " exceeds max_request_samples " +
+                     std::to_string(config_.max_request_samples));
+    return;
+  }
+  if (p.frame.coils != session->coils) {
+    reject_frame(Status::kError,
+                 "frame carries " + std::to_string(p.frame.coils) +
+                     " coils, session has " +
+                     std::to_string(session->coils));
+    return;
+  }
+  if (p.frame.values.size() !=
+      p.frame.coords.size() * static_cast<std::size_t>(session->coils)) {
+    reject_frame(Status::kError,
+                 "value count does not equal samples x coils");
+    return;
+  }
+  // A push with no deadline of its own inherits the session's default.
+  if (!p.frame.deadline.bounded() && session->frame_deadline_ms > 0) {
+    p.frame.deadline = Deadline::after_ms(
+        static_cast<std::int64_t>(session->frame_deadline_ms));
+  }
+  if (p.frame.deadline.expired()) {
+    reject_frame(Status::kTimeout, "deadline expired at admission");
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (draining_ || stop_ || session->closed) {
+      lk.unlock();
+      reject_frame(Status::kRejected, session->closed
+                                          ? "session closed"
+                                          : "server draining");
+      return;
+    }
+    if (queue_.size() >= config_.max_queue) {
+      lk.unlock();
+      reject_frame(Status::kRejected,
+                   "admission queue full (" +
+                       std::to_string(config_.max_queue) + ")");
+      return;
+    }
+    p.session = session;
+    queue_.push_back(std::move(p));
+    publish_gauges();
+  }
+  cv_work_.notify_one();
+}
+
+void ServeEngine::submit_close(std::uint64_t session_id,
+                               std::uint64_t client_tag,
+                               SessionCallback done) {
+  Pending p;
+  p.close = true;
+  p.frame.session_id = session_id;
+  p.frame.client_tag = client_tag;
+  p.close_done = std::move(done);
+
+  std::string reject = "unknown or closed session " +
+                       std::to_string(session_id);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto it = sessions_.find(session_id);
+    if (it != sessions_.end() && !it->second->closed) {
+      if (draining_ || stop_) {
+        reject = "server draining";
+      } else if (queue_.size() >= config_.max_queue) {
+        reject = "admission queue full (" +
+                 std::to_string(config_.max_queue) + ")";
+      } else {
+        // Mark closed NOW, under the lock: pushes that arrive after the
+        // close are rejected, frames already queued still complete (the
+        // sentinel sits behind them in FIFO order).
+        it->second->closed = true;
+        p.session = it->second;
+        queue_.push_back(std::move(p));
+        publish_gauges();
+        lk.unlock();
+        cv_work_.notify_one();
+        return;
+      }
+    }
+  }
+  SessionOutcome out;
+  out.status = Status::kRejected;
+  out.message = std::move(reject);
+  out.session_id = session_id;
+  out.client_tag = client_tag;
+  finish_close(p, std::move(out), /*was_inflight=*/false);
+}
+
 void ServeEngine::count_external(Status status) {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -212,24 +460,99 @@ void ServeEngine::dispatcher_loop() {
         if (stop_) return;
         continue;
       }
-      // Plan-aware grouping: the oldest job anchors the dispatch; every
-      // queued job with the same geometry key rides along (FIFO order
-      // preserved within the group), up to max_batch.
-      const GeometryKey key = queue_.front().key;
-      for (auto it = queue_.begin();
-           it != queue_.end() && batch.size() < config_.max_batch;) {
-        if (it->key == key) {
-          batch.push_back(std::move(*it));
-          it = queue_.erase(it);
-        } else {
-          ++it;
+      // Session jobs (frames / close sentinels) dispatch solo: ordering
+      // within a session is the warm-start contract, and their plan lives
+      // in the session's pipeline, not the shared pool.
+      if (queue_.front().session != nullptr) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        inflight_ += 1;
+        publish_gauges();
+      } else {
+        // Plan-aware grouping: the oldest job anchors the dispatch; every
+        // queued non-session job with the same geometry key rides along
+        // (FIFO order preserved within the group), up to max_batch.
+        const GeometryKey key = queue_.front().key;
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < config_.max_batch;) {
+          if (it->session == nullptr && it->key == key) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
         }
+        inflight_ += batch.size();
+        publish_gauges();
       }
-      inflight_ += batch.size();
+    }
+    if (batch.size() == 1 && batch.front().session != nullptr) {
+      process_stream(std::move(batch.front()));
+    } else {
+      process_batch(std::move(batch));
+    }
+  }
+}
+
+void ServeEngine::process_stream(Pending p) {
+  const std::shared_ptr<StreamSession> session = p.session;
+
+  if (p.close) {
+    SessionOutcome out;
+    out.status = Status::kOk;
+    out.session_id = session->id;
+    out.client_tag = p.frame.client_tag;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      out.frames = session->frames;
+      out.total_iterations = session->total_iterations;
+      sessions_.erase(session->id);
+      ++counts_.sessions_closed;
       publish_gauges();
     }
-    process_batch(std::move(batch));
+    obs::add("serve.sessions_closed", 1);
+    finish_close(p, std::move(out), /*was_inflight=*/true);
+    return;
   }
+
+  FrameOutcome out;
+  out.session_id = session->id;
+  out.frame_index = p.frame.frame_index;
+  out.client_tag = p.frame.client_tag;
+  out.n = session->n;
+  if (p.frame.deadline.expired()) {
+    out.status = Status::kTimeout;
+    out.message = "deadline expired in queue";
+    finish_frame(p, std::move(out), /*was_inflight=*/true);
+    return;
+  }
+  try {
+    stream::FrameResult r = session->pipeline->recon_frame(
+        p.frame.coords, p.frame.values, p.frame.deadline);
+    out.status = Status::kOk;
+    out.image = std::move(r.image);
+    out.iterations = r.iterations;
+    out.residual = r.residual;
+    out.warm_started = r.warm_started;
+    out.guard_tripped = r.guard_tripped;
+    out.plan_reused = r.plan_reused;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++session->frames;
+      session->total_iterations += static_cast<std::uint64_t>(r.iterations);
+      if (r.warm_started && !r.guard_tripped) ++counts_.warm_frames;
+      if (r.guard_tripped) ++counts_.guard_trips;
+    }
+    if (r.warm_started && !r.guard_tripped) obs::add("serve.warm_frames", 1);
+    if (r.guard_tripped) obs::add("serve.guard_trips", 1);
+  } catch (const DeadlineExceeded& e) {
+    out.status = Status::kTimeout;
+    out.message = e.what();
+  } catch (const std::exception& e) {
+    out.status = Status::kError;
+    out.message = e.what();
+  }
+  finish_frame(p, std::move(out), /*was_inflight=*/true);
 }
 
 void ServeEngine::process_batch(std::vector<Pending> batch) {
@@ -518,12 +841,52 @@ void ServeEngine::finish(Pending& p, ReconOutcome outcome, bool was_inflight) {
   }
 }
 
+void ServeEngine::finish_frame(Pending& p, FrameOutcome outcome,
+                               bool was_inflight) {
+  const Status status = outcome.status;
+  // Same ordering contract as finish(): count before the callback, retire
+  // from inflight only after it — drain() must not return while a frame
+  // reply is still being written.
+  obs::add(frame_status_counter(status), 1);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    switch (status) {
+      case Status::kOk:
+      case Status::kSanitizedPartial: ++counts_.frames_ok; break;
+      case Status::kTimeout: ++counts_.frames_timeout; break;
+      case Status::kRejected: ++counts_.frames_rejected; break;
+      case Status::kError: ++counts_.frames_error; break;
+    }
+  }
+  if (p.frame_done) p.frame_done(std::move(outcome));
+  if (was_inflight) {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+    publish_gauges();
+    if (queue_.empty() && inflight_ == 0) cv_idle_.notify_all();
+  }
+}
+
+void ServeEngine::finish_close(Pending& p, SessionOutcome outcome,
+                               bool was_inflight) {
+  if (p.close_done) p.close_done(std::move(outcome));
+  if (was_inflight) {
+    std::lock_guard<std::mutex> lk(mu_);
+    --inflight_;
+    publish_gauges();
+    if (queue_.empty() && inflight_ == 0) cv_idle_.notify_all();
+  }
+}
+
 void ServeEngine::publish_gauges() {
   counts_.queue_depth = queue_.size();
   counts_.inflight = inflight_;
+  counts_.active_sessions = sessions_.size();
   counts_.draining = draining_;
   obs::set_gauge("serve.queue_depth", static_cast<double>(queue_.size()));
   obs::set_gauge("serve.inflight", static_cast<double>(inflight_));
+  obs::set_gauge("serve.active_sessions",
+                 static_cast<double>(sessions_.size()));
   obs::set_gauge("serve.draining", draining_ ? 1.0 : 0.0);
 }
 
@@ -532,6 +895,7 @@ EngineCounts ServeEngine::counts() const {
   EngineCounts c = counts_;
   c.queue_depth = queue_.size();
   c.inflight = inflight_;
+  c.active_sessions = sessions_.size();
   c.draining = draining_;
   return c;
 }
@@ -558,6 +922,18 @@ std::string ServeEngine::statsz_json() const {
   os << "    \"plan_hits\": " << c.plan_hits << ",\n";
   os << "    \"plan_evictions\": " << c.plan_evictions << ",\n";
   os << "    \"tuned_plans\": " << c.tuned_plans << "\n";
+  os << "  },\n";
+  os << "  \"sessions\": {\n";
+  os << "    \"active\": " << c.active_sessions << ",\n";
+  os << "    \"opened\": " << c.sessions_opened << ",\n";
+  os << "    \"closed\": " << c.sessions_closed << ",\n";
+  os << "    \"frames_submitted\": " << c.frames_submitted << ",\n";
+  os << "    \"frames_ok\": " << c.frames_ok << ",\n";
+  os << "    \"frames_timeout\": " << c.frames_timeout << ",\n";
+  os << "    \"frames_rejected\": " << c.frames_rejected << ",\n";
+  os << "    \"frames_error\": " << c.frames_error << ",\n";
+  os << "    \"warm_frames\": " << c.warm_frames << ",\n";
+  os << "    \"guard_trips\": " << c.guard_trips << "\n";
   os << "  },\n";
   // The obs CounterRegistry snapshot (empty maps under JIGSAW_OBS=OFF).
   const obs::Snapshot snap = obs::snapshot();

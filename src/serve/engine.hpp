@@ -49,6 +49,7 @@
 #include "core/batch.hpp"
 #include "core/sample_set.hpp"
 #include "serve/protocol.hpp"
+#include "stream/frame_pipeline.hpp"
 #include "tune/autotuner.hpp"
 
 namespace jigsaw::serve {
@@ -75,6 +76,7 @@ struct ServeConfig {
                                       // (< 0 = unbounded)
   std::string wisdom_path;      // autotuner wisdom store ("" = in-memory)
   bool tune_trials = true;      // false: cost-model only for cold Auto keys
+  std::size_t max_sessions = 8;  // concurrent streaming sessions
 };
 
 /// A parsed, validated-enough-to-try reconstruction job.
@@ -98,6 +100,44 @@ struct ReconOutcome {
   std::uint64_t client_tag = 0;
 };
 
+/// One frame of an open streaming session, headed for that session's
+/// FramePipeline on the dispatcher thread.
+struct StreamFrameJob {
+  std::uint64_t session_id = 0;
+  std::uint64_t frame_index = 0;
+  std::uint64_t client_tag = 0;
+  int coils = 1;  // cross-checked against the session's coil count
+  Deadline deadline;
+  std::vector<Coord<2>> coords;
+  std::vector<c64> values;  // coils consecutive blocks of coords.size()
+};
+
+/// Completion record for one streamed frame (maps onto FrameReplyWire).
+struct FrameOutcome {
+  Status status = Status::kError;
+  std::string message;
+  std::int64_t n = 0;
+  std::vector<c64> image;
+  int iterations = 0;
+  double residual = 0.0;
+  bool warm_started = false;
+  bool guard_tripped = false;
+  bool plan_reused = false;
+  std::uint64_t session_id = 0;
+  std::uint64_t frame_index = 0;
+  std::uint64_t client_tag = 0;
+};
+
+/// Completion record for open_session / close (maps onto SessionReplyWire).
+struct SessionOutcome {
+  Status status = Status::kError;
+  std::string message;
+  std::uint64_t session_id = 0;
+  std::uint64_t client_tag = 0;
+  std::uint64_t frames = 0;            // frames completed over the session
+  std::uint64_t total_iterations = 0;  // CG iterations across those frames
+};
+
 /// Point-in-time totals. Monotonic counts on the left; queue_depth /
 /// inflight are instantaneous gauges.
 struct EngineCounts {
@@ -113,18 +153,33 @@ struct EngineCounts {
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_evictions = 0;
   std::uint64_t tuned_plans = 0;      // plan builds that resolved engine=auto
+  std::uint64_t sessions_opened = 0;  // streaming sessions (accepted opens)
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t frames_submitted = 0;  // streamed frames entering submit_frame
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_timeout = 0;
+  std::uint64_t frames_rejected = 0;
+  std::uint64_t frames_error = 0;
+  std::uint64_t warm_frames = 0;       // frames solved from a warm seed
+  std::uint64_t guard_trips = 0;       // warm solves redone cold
   std::size_t queue_depth = 0;
   std::size_t inflight = 0;
+  std::size_t active_sessions = 0;
   bool draining = false;
 
   std::uint64_t completed() const {
     return ok + sanitized_partial + timeout + rejected + error;
+  }
+  std::uint64_t frames_completed() const {
+    return frames_ok + frames_timeout + frames_rejected + frames_error;
   }
 };
 
 class ServeEngine {
  public:
   using Callback = std::function<void(ReconOutcome)>;
+  using FrameCallback = std::function<void(FrameOutcome)>;
+  using SessionCallback = std::function<void(SessionOutcome)>;
 
   explicit ServeEngine(const ServeConfig& config);
   ~ServeEngine();  // drains, then joins the dispatcher
@@ -137,6 +192,25 @@ class ServeEngine {
   /// dispatcher thread otherwise. Callbacks must not call back into the
   /// engine.
   void submit(ReconJob job, Callback done);
+
+  /// Open a streaming session: allocate a session id and its FramePipeline
+  /// shell (no plan is built until the first frame arrives, so this is
+  /// cheap and synchronous). REJECTED when limits are violated or the
+  /// engine is draining; the returned outcome carries the session id.
+  SessionOutcome open_session(const OpenSessionWire& req);
+
+  /// Admit one frame of an open session. Frames of a session execute in
+  /// submission order on the dispatcher thread (warm-start needs the
+  /// previous frame's image); `done` fires exactly once, inline for
+  /// REJECTED/TIMEOUT-at-admission. Like submit(), admitted frames are
+  /// always answered — drain() waits for them before returning.
+  void submit_frame(StreamFrameJob job, FrameCallback done);
+
+  /// Close a session. The close is a queue sentinel: frames admitted
+  /// before it still complete (FIFO), frames pushed after it are REJECTED.
+  /// `done` receives the session's lifetime totals.
+  void submit_close(std::uint64_t session_id, std::uint64_t client_tag,
+                    SessionCallback done);
 
   /// Record a request that terminated outside the engine (the socket layer
   /// refusing an oversized frame -> kRejected, a malformed body -> kError),
@@ -166,10 +240,32 @@ class ServeEngine {
     auto operator<=>(const GeometryKey&) const = default;
   };
 
+  // One open streaming session. `closed` is guarded by mu_; the pipeline
+  // and lifetime totals are touched only by the dispatcher thread (every
+  // frame/close of a session is processed there, serially).
+  struct StreamSession {
+    std::uint64_t id = 0;
+    std::int64_t n = 0;
+    int coils = 1;
+    std::uint64_t frame_deadline_ms = 0;  // default when a push carries none
+    std::unique_ptr<stream::FramePipeline> pipeline;
+    std::uint64_t frames = 0;
+    std::uint64_t total_iterations = 0;
+    bool closed = false;
+  };
+
   struct Pending {
     ReconJob job;
     Callback done;
     GeometryKey key;
+    // Streaming extension: a Pending with `session` set is a frame (or,
+    // with `close` set, the close sentinel) and dispatches solo — never
+    // fused with recon jobs or with other sessions' frames.
+    std::shared_ptr<StreamSession> session;
+    bool close = false;
+    StreamFrameJob frame;
+    FrameCallback frame_done;
+    SessionCallback close_done;
   };
 
   struct PlanEntry {
@@ -179,6 +275,7 @@ class ServeEngine {
 
   void dispatcher_loop();
   void process_batch(std::vector<Pending> batch);
+  void process_stream(Pending p);  // one frame or close sentinel
   void execute_adjoint_batch(
       const std::shared_ptr<core::BatchedNufft<2>>& plan,
       std::vector<Pending>& group);
@@ -187,6 +284,8 @@ class ServeEngine {
   std::shared_ptr<core::BatchedNufft<2>> plan_for(const Pending& p);
 
   void finish(Pending& p, ReconOutcome outcome, bool was_inflight);
+  void finish_frame(Pending& p, FrameOutcome outcome, bool was_inflight);
+  void finish_close(Pending& p, SessionOutcome outcome, bool was_inflight);
   void publish_gauges();  // queue_depth / inflight / draining, under mu_
 
   static GeometryKey key_of(const ReconJob& job);
@@ -209,6 +308,13 @@ class ServeEngine {
   std::map<GeometryKey, PlanEntry> plans_;
   std::uint64_t plan_tick_ = 0;
   std::unique_ptr<tune::Autotuner> tuner_;  // created in the constructor
+
+  // Streaming sessions, keyed by id. Server-scoped (not per-connection):
+  // the router pools worker connections, so a session must survive frames
+  // arriving over different sockets. Map guarded by mu_.
+  std::map<std::uint64_t, std::shared_ptr<StreamSession>> sessions_;
+  std::uint64_t session_salt_ = 0;  // per-process high bits of session ids
+  std::uint64_t session_seq_ = 0;
 
   std::thread dispatcher_;
 };

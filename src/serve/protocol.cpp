@@ -151,6 +151,15 @@ bool read_all(int fd, void* data, std::size_t len, bool eof_ok,
       if (deadline != nullptr && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         continue;  // poll raced a consumer; wait again
       }
+      if (got == 0 && eof_ok && errno == ECONNRESET) {
+        // A peer that closes with unread inbound data resets the
+        // connection (a draining server whose reader retired without
+        // consuming our request does exactly this). At frame start, with
+        // zero bytes received, no reply ever existed — the same situation
+        // as a clean close before replying, so report EOF and let the
+        // caller take its retry path instead of a terminal stream error.
+        return false;
+      }
       throw std::runtime_error(std::string("serve: recv failed: ") +
                                std::strerror(errno));
     }
@@ -309,6 +318,239 @@ ReconReplyWire decode_recon_reply(const std::uint8_t* data, std::size_t len) {
   return reply;
 }
 
+std::vector<std::uint8_t> encode_open_session(const OpenSessionWire& req) {
+  Writer w;
+  w.u32(kProtocolVersion);
+  w.u32(req.engine);
+  w.u32(req.n);
+  w.u32(req.iters);
+  w.u32(req.coils);
+  w.u32(req.kernel_width);
+  w.u32(req.warm_start);
+  w.u32(0);  // pad to 8-byte alignment of the doubles that follow
+  w.f64(req.sigma);
+  w.f64(req.divergence_guard);
+  w.u64(req.frame_deadline_ms);
+  w.u64(req.client_tag);
+  return w.take();
+}
+
+OpenSessionWire decode_open_session(const std::uint8_t* data,
+                                    std::size_t len) {
+  Reader r(data, len);
+  const std::uint32_t version = r.u32("version");
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  OpenSessionWire req;
+  req.engine = r.u32("engine");
+  req.n = r.u32("n");
+  req.iters = r.u32("iters");
+  req.coils = r.u32("coils");
+  req.kernel_width = r.u32("kernel_width");
+  req.warm_start = r.u32("warm_start");
+  r.u32("pad");
+  req.sigma = r.f64("sigma");
+  req.divergence_guard = r.f64("divergence_guard");
+  req.frame_deadline_ms = r.u64("frame_deadline_ms");
+  req.client_tag = r.u64("client_tag");
+  if (req.iters == 0) throw ProtocolError("session iters must be >= 1");
+  if (req.coils == 0 || req.coils > 1024) {
+    throw ProtocolError("session coils outside [1, 1024]");
+  }
+  if (req.warm_start > 1) {
+    throw ProtocolError("warm_start must be 0 or 1");
+  }
+  r.expect_consumed();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_session_reply(const SessionReplyWire& reply) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(reply.status));
+  w.u32(0);  // pad
+  w.u64(reply.session_id);
+  w.u64(reply.client_tag);
+  w.u64(reply.frames);
+  w.u64(reply.total_iterations);
+  w.u32(static_cast<std::uint32_t>(reply.message.size()));
+  w.raw(reply.message.data(), reply.message.size());
+  return w.take();
+}
+
+SessionReplyWire decode_session_reply(const std::uint8_t* data,
+                                      std::size_t len) {
+  Reader r(data, len);
+  SessionReplyWire reply;
+  const std::uint32_t status = r.u32("status");
+  if (status > static_cast<std::uint32_t>(Status::kError)) {
+    throw ProtocolError("unknown status code " + std::to_string(status));
+  }
+  reply.status = static_cast<Status>(status);
+  r.u32("pad");
+  reply.session_id = r.u64("session_id");
+  reply.client_tag = r.u64("client_tag");
+  reply.frames = r.u64("frames");
+  reply.total_iterations = r.u64("total_iterations");
+  const std::uint32_t msg_len = r.u32("msg_len");
+  if (msg_len > (1u << 20)) throw ProtocolError("message implausibly long");
+  reply.message.resize(msg_len);
+  if (msg_len > 0) r.raw(reply.message.data(), msg_len, "message");
+  r.expect_consumed();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_push_frame(const PushFrameWire& req) {
+  Writer w;
+  w.u32(kProtocolVersion);
+  w.u32(req.coils);
+  w.u64(req.session_id);
+  w.u64(req.frame_index);
+  w.u64(req.deadline_ms);
+  w.u64(req.client_tag);
+  w.u64(req.coords.size());
+  for (const auto& c : req.coords) {
+    w.f64(c[0]);
+    w.f64(c[1]);
+  }
+  for (const auto& v : req.values) {
+    w.f64(v.real());
+    w.f64(v.imag());
+  }
+  return w.take();
+}
+
+PushFrameWire decode_push_frame(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  const std::uint32_t version = r.u32("version");
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  PushFrameWire req;
+  req.coils = r.u32("coils");
+  req.session_id = r.u64("session_id");
+  req.frame_index = r.u64("frame_index");
+  req.deadline_ms = r.u64("deadline_ms");
+  req.client_tag = r.u64("client_tag");
+  const std::uint64_t m = r.u64("m");
+  if (req.coils == 0) throw ProtocolError("coils must be >= 1");
+  if (m == 0) throw ProtocolError("empty frame");
+  if (m > kAbsoluteMaxElements || req.coils > 1024 ||
+      m * req.coils > kAbsoluteMaxElements) {
+    throw ProtocolError("frame sample count " + std::to_string(m) + " x " +
+                        std::to_string(req.coils) +
+                        " coils implausibly large");
+  }
+  // Preflight BEFORE allocating — same defense as decode_recon_request.
+  const std::uint64_t payload =
+      m * sizeof(double) * 2 + m * req.coils * sizeof(double) * 2;
+  if (payload != r.remaining()) {
+    throw ProtocolError("body carries " + std::to_string(r.remaining()) +
+                        " payload bytes, expected " + std::to_string(payload) +
+                        " for " + std::to_string(m) + " samples x " +
+                        std::to_string(req.coils) + " coils");
+  }
+  req.coords.resize(static_cast<std::size_t>(m));
+  for (auto& c : req.coords) {
+    c[0] = r.f64("coord");
+    c[1] = r.f64("coord");
+  }
+  req.values.resize(static_cast<std::size_t>(m * req.coils));
+  for (auto& v : req.values) {
+    const double re = r.f64("value");
+    const double im = r.f64("value");
+    v = c64(re, im);
+  }
+  r.expect_consumed();
+  return req;
+}
+
+std::vector<std::uint8_t> encode_frame_reply(const FrameReplyWire& reply) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(reply.status));
+  w.u32(reply.n);
+  w.u32(reply.iterations);
+  w.u32(reply.flags);
+  w.u64(reply.session_id);
+  w.u64(reply.frame_index);
+  w.u64(reply.client_tag);
+  w.f64(reply.residual);
+  w.u32(static_cast<std::uint32_t>(reply.message.size()));
+  w.raw(reply.message.data(), reply.message.size());
+  w.u64(reply.image.size());
+  for (const auto& v : reply.image) {
+    w.f64(v.real());
+    w.f64(v.imag());
+  }
+  return w.take();
+}
+
+FrameReplyWire decode_frame_reply(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  FrameReplyWire reply;
+  const std::uint32_t status = r.u32("status");
+  if (status > static_cast<std::uint32_t>(Status::kError)) {
+    throw ProtocolError("unknown status code " + std::to_string(status));
+  }
+  reply.status = static_cast<Status>(status);
+  reply.n = r.u32("n");
+  reply.iterations = r.u32("iterations");
+  reply.flags = r.u32("flags");
+  reply.session_id = r.u64("session_id");
+  reply.frame_index = r.u64("frame_index");
+  reply.client_tag = r.u64("client_tag");
+  reply.residual = r.f64("residual");
+  const std::uint32_t msg_len = r.u32("msg_len");
+  if (msg_len > (1u << 20)) throw ProtocolError("message implausibly long");
+  reply.message.resize(msg_len);
+  if (msg_len > 0) r.raw(reply.message.data(), msg_len, "message");
+  const std::uint64_t pixels = r.u64("pixel_count");
+  if (pixels > kAbsoluteMaxElements) {
+    throw ProtocolError("pixel count implausibly large");
+  }
+  if (pixels * sizeof(double) * 2 != r.remaining()) {
+    throw ProtocolError("body carries " + std::to_string(r.remaining()) +
+                        " image bytes, expected " +
+                        std::to_string(pixels * sizeof(double) * 2) + " for " +
+                        std::to_string(pixels) + " pixels");
+  }
+  reply.image.resize(static_cast<std::size_t>(pixels));
+  for (auto& v : reply.image) {
+    const double re = r.f64("pixel");
+    const double im = r.f64("pixel");
+    v = c64(re, im);
+  }
+  r.expect_consumed();
+  return reply;
+}
+
+std::vector<std::uint8_t> encode_close_session(const CloseSessionWire& req) {
+  Writer w;
+  w.u32(kProtocolVersion);
+  w.u32(0);  // pad
+  w.u64(req.session_id);
+  w.u64(req.client_tag);
+  return w.take();
+}
+
+CloseSessionWire decode_close_session(const std::uint8_t* data,
+                                      std::size_t len) {
+  Reader r(data, len);
+  const std::uint32_t version = r.u32("version");
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  CloseSessionWire req;
+  r.u32("pad");
+  req.session_id = r.u64("session_id");
+  req.client_tag = r.u64("client_tag");
+  r.expect_consumed();
+  return req;
+}
+
 void send_frame(int fd, MsgType type, const std::uint8_t* body,
                 std::size_t len, int timeout_ms) {
   std::uint8_t header[16];
@@ -346,8 +588,13 @@ bool recv_frame(int fd, Frame& out, std::size_t max_body, int timeout_ms) {
   switch (static_cast<MsgType>(type_u32)) {
     case MsgType::kRecon:
     case MsgType::kStats:
+    case MsgType::kOpenSession:
+    case MsgType::kPushFrame:
+    case MsgType::kCloseSession:
     case MsgType::kReconReply:
     case MsgType::kStatsReply:
+    case MsgType::kSessionReply:
+    case MsgType::kFrameReply:
       break;
     default:
       throw ProtocolError("unknown message type " + std::to_string(type_u32));

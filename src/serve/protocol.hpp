@@ -36,8 +36,13 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 enum class MsgType : std::uint32_t {
   kRecon = 1,       // ReconRequestWire body
   kStats = 2,       // empty body; answered with kStatsReply
+  kOpenSession = 3,   // OpenSessionWire body; answered with kSessionReply
+  kPushFrame = 4,     // PushFrameWire body; answered with kFrameReply
+  kCloseSession = 5,  // CloseSessionWire body; answered with kSessionReply
   kReconReply = 101,
   kStatsReply = 102,  // UTF-8 JSON text body (the /statsz snapshot)
+  kSessionReply = 103,  // SessionReplyWire body (open + close)
+  kFrameReply = 104,    // FrameReplyWire body
 };
 
 /// Per-request terminal status, echoed in every recon reply and counted by
@@ -125,6 +130,114 @@ ReconRequestWire decode_recon_request(const std::uint8_t* data,
 
 std::vector<std::uint8_t> encode_recon_reply(const ReconReplyWire& reply);
 ReconReplyWire decode_recon_reply(const std::uint8_t* data, std::size_t len);
+
+// --- streaming sessions ---------------------------------------------------
+//
+// A session is the wire surface of one stream::FramePipeline living on one
+// worker: open-session fixes the frame geometry class (grid, engine,
+// kernel, coils, CG depth) and the warm-start policy; each push-frame
+// carries one frame's trajectory + samples and is answered in order with
+// the frame's image and solver stats; close-session tears the state down
+// and reports session totals. Frames of one session execute FIFO on the
+// worker's dispatcher (never fused with other jobs — the pipeline's
+// warm-start state is inherently sequential). The router pins a session to
+// the worker that answered its open (docs/streaming.md).
+
+/// Open-session body. Layout:
+///   u32 version, u32 engine, u32 n, u32 iters, u32 coils,
+///   u32 kernel_width, u32 warm_start, u32 pad, f64 sigma,
+///   f64 divergence_guard, u64 frame_deadline_ms, u64 client_tag
+/// `iters` >= 1 (a session exists to iterate; adjoint-only streaming does
+/// not need session state). frame_deadline_ms is the per-frame default
+/// (0 = unbounded); push-frame may override per frame.
+struct OpenSessionWire {
+  std::uint32_t engine = 3;  // core::GridderKind (| kEngineSimdFlag)
+  std::uint32_t n = 128;
+  std::uint32_t iters = 10;
+  std::uint32_t coils = 1;
+  std::uint32_t kernel_width = 6;
+  std::uint32_t warm_start = 1;  // 0/1
+  double sigma = 2.0;
+  double divergence_guard = 1.0;  // <= 0 disables the guard
+  std::uint64_t frame_deadline_ms = 0;
+  std::uint64_t client_tag = 0;
+};
+
+/// Reply to open-session AND close-session. Layout:
+///   u32 status, u32 pad, u64 session_id, u64 client_tag, u64 frames,
+///   u64 total_iterations, u32 msg_len, u8 msg[msg_len]
+/// `frames` / `total_iterations` are session totals (close; zero on open).
+struct SessionReplyWire {
+  Status status = Status::kError;
+  std::uint64_t session_id = 0;
+  std::uint64_t client_tag = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t total_iterations = 0;
+  std::string message;
+};
+
+/// Push-frame body. Layout:
+///   u32 version, u32 coils, u64 session_id, u64 frame_index,
+///   u64 deadline_ms, u64 client_tag, u64 m, f64 coords[2*m],
+///   f64 values[2*m*coils]
+/// `coils` must repeat the session's coil count (it sizes the payload for
+/// the recovering decode); deadline_ms == 0 uses the session default.
+struct PushFrameWire {
+  std::uint32_t coils = 1;
+  std::uint64_t session_id = 0;
+  std::uint64_t frame_index = 0;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t client_tag = 0;
+  std::vector<Coord<2>> coords;
+  std::vector<c64> values;  // m * coils, coil-major blocks
+};
+
+/// FrameReplyWire::flags bits.
+inline constexpr std::uint32_t kFrameWarmFlag = 1u;        // warm-seeded
+inline constexpr std::uint32_t kFrameGuardFlag = 2u;       // guard tripped
+inline constexpr std::uint32_t kFramePlanReusedFlag = 4u;  // plan reused
+
+/// Per-frame reply. Layout:
+///   u32 status, u32 n, u32 iterations, u32 flags, u64 session_id,
+///   u64 frame_index, u64 client_tag, f64 residual, u32 msg_len,
+///   u8 msg[msg_len], u64 pixel_count, f64 image[2*pixel_count]
+struct FrameReplyWire {
+  Status status = Status::kError;
+  std::uint32_t n = 0;
+  std::uint32_t iterations = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t frame_index = 0;
+  std::uint64_t client_tag = 0;
+  double residual = 0.0;
+  std::string message;
+  std::vector<c64> image;
+};
+
+/// Close-session body. Layout:
+///   u32 version, u32 pad, u64 session_id, u64 client_tag
+struct CloseSessionWire {
+  std::uint64_t session_id = 0;
+  std::uint64_t client_tag = 0;
+};
+
+std::vector<std::uint8_t> encode_open_session(const OpenSessionWire& req);
+OpenSessionWire decode_open_session(const std::uint8_t* data,
+                                    std::size_t len);
+
+std::vector<std::uint8_t> encode_session_reply(const SessionReplyWire& reply);
+SessionReplyWire decode_session_reply(const std::uint8_t* data,
+                                      std::size_t len);
+
+std::vector<std::uint8_t> encode_push_frame(const PushFrameWire& req);
+PushFrameWire decode_push_frame(const std::uint8_t* data, std::size_t len);
+
+std::vector<std::uint8_t> encode_frame_reply(const FrameReplyWire& reply);
+FrameReplyWire decode_frame_reply(const std::uint8_t* data, std::size_t len);
+
+std::vector<std::uint8_t> encode_close_session(const CloseSessionWire& req);
+CloseSessionWire decode_close_session(const std::uint8_t* data,
+                                      std::size_t len);
 
 /// One received frame.
 struct Frame {

@@ -59,6 +59,8 @@ struct Router::ForwardResult {
   Status status = Status::kError;        // when synthesized
   std::string message;
   std::uint64_t reroutes = 0;  // attempts beyond the first worker
+  bool worker_lost = false;    // sticky sends: the home worker is presumed
+                               // gone (its session state with it)
 };
 
 Router::Router(const RouterConfig& config) : config_(config) {
@@ -94,6 +96,16 @@ std::uint64_t Router::shard_hash(const ReconRequestWire& wire) {
   return tune::TuneKey::of(2, wire.n,
                            static_cast<std::int64_t>(wire.coords.size()),
                            options, static_cast<int>(wire.coils),
+                           /*threads=*/1)
+      .hash();
+}
+
+std::uint64_t Router::session_shard_hash(const OpenSessionWire& wire) {
+  core::GridderOptions options;
+  options.width = static_cast<int>(wire.kernel_width);
+  options.sigma = wire.sigma;
+  return tune::TuneKey::of(2, static_cast<std::int64_t>(wire.n),
+                           /*m=*/0, options, static_cast<int>(wire.coils),
                            /*threads=*/1)
       .hash();
 }
@@ -312,12 +324,487 @@ Router::ForwardResult Router::forward(const Frame& frame,
   return out;
 }
 
+Router::ForwardResult Router::forward_open(const Frame& frame,
+                                           const OpenSessionWire& wire,
+                                           std::size_t* home) {
+  ForwardResult out;
+  const auto ranked = rank_workers(session_shard_hash(wire));
+  std::vector<std::size_t> order;
+  order.reserve(ranked.size());
+  for (const bool want_healthy : {true, false}) {
+    for (const std::size_t i : ranked) {
+      if (workers_[i]->healthy.load() == want_healthy) order.push_back(i);
+    }
+  }
+
+  const auto wait_deadline =
+      Clock::now() +
+      std::chrono::milliseconds(static_cast<long long>(
+          config_.forward_timeout_ms));
+
+  bool first_attempt = true;
+  for (const std::size_t wi : order) {
+    Worker& w = *workers_[wi];
+    if (Clock::now() >= wait_deadline) {
+      out.status = Status::kError;
+      out.message = "router: deadline expired before a worker";
+      return out;
+    }
+    if (!first_attempt) ++out.reroutes;
+    first_attempt = false;
+
+    bool tried_fresh = false;
+    bool next_worker = false;
+    while (!next_worker) {
+      int fd = take_pooled(w);
+      const bool pooled = fd >= 0;
+      if (!pooled) {
+        tried_fresh = true;
+        try {
+          fd = connect_endpoint(w.endpoint, config_.connect_timeout_ms);
+        } catch (const std::exception&) {
+          ++w.failures;
+          mark_unhealthy(w, "connect failed");
+          next_worker = true;
+          continue;
+        }
+      }
+      try {
+        send_frame(fd, frame.type, frame.body, remaining_ms(wait_deadline));
+      } catch (const std::exception&) {
+        close_quietly(fd);
+        ++w.failures;
+        if (pooled && !tried_fresh) continue;  // stale pooled fd
+        mark_unhealthy(w, "send failed");
+        next_worker = true;
+        continue;
+      }
+      ++w.forwarded;
+
+      Frame reply;
+      bool got = false;
+      try {
+        got = recv_frame(fd, reply, config_.max_reply_bytes,
+                         remaining_ms(wait_deadline));
+      } catch (const RecvTimeout&) {
+        // The worker consumed the open and may have created the session —
+        // NEVER retry (a second worker would create a duplicate).
+        close_quietly(fd);
+        ++w.failures;
+        mark_unhealthy(w, "reply timed out");
+        out.status = Status::kError;
+        out.message = "router: worker " + w.spec + " did not reply in time";
+        return out;
+      } catch (const std::exception&) {
+        close_quietly(fd);
+        ++w.failures;
+        mark_unhealthy(w, "reply stream broke");
+        out.status = Status::kError;
+        out.message =
+            "router: worker " + w.spec + " connection broke mid-reply";
+        return out;
+      }
+      if (!got) {
+        // Clean EOF before any reply byte: the open was never consumed —
+        // safe to retry.
+        close_quietly(fd);
+        ++w.failures;
+        if (pooled && !tried_fresh) continue;  // stale pooled fd
+        mark_unhealthy(w, "closed before replying");
+        next_worker = true;
+        continue;
+      }
+      if (reply.type != MsgType::kSessionReply) {
+        close_quietly(fd);
+        out.status = Status::kError;
+        out.message = "router: worker " + w.spec +
+                      " sent unexpected frame type " +
+                      std::to_string(static_cast<std::uint32_t>(reply.type));
+        return out;
+      }
+      SessionReplyWire decoded;
+      try {
+        decoded = decode_session_reply(reply.body.data(), reply.body.size());
+      } catch (const std::exception&) {
+        close_quietly(fd);
+        out.status = Status::kError;
+        out.message = "router: worker " + w.spec + " sent a malformed reply";
+        return out;
+      }
+      if (decoded.status == Status::kRejected &&
+          decoded.message.find("draining") != std::string::npos) {
+        // A draining worker refuses new sessions: the open belongs on the
+        // next-ranked worker, same spill rule as one-shot recon requests.
+        ++w.drain_rejects;
+        close_quietly(fd);
+        mark_unhealthy(w, "draining");
+        next_worker = true;
+        continue;
+      }
+
+      ++w.replies;
+      give_back_connection(w, fd);
+      out.relayed = true;
+      out.reply_body = std::move(reply.body);
+      if (home != nullptr) *home = wi;
+      return out;
+    }
+  }
+
+  out.status = Status::kRejected;
+  out.message = "router: no healthy worker (" +
+                std::to_string(workers_.size()) + " configured, all failed)";
+  return out;
+}
+
+Router::ForwardResult Router::forward_sticky(Worker& w, const Frame& frame,
+                                             MsgType expect,
+                                             std::uint64_t deadline_ms) {
+  ForwardResult out;
+  const bool bounded = deadline_ms > 0;
+  const auto wait_deadline =
+      Clock::now() +
+      std::chrono::milliseconds(
+          bounded ? static_cast<long long>(deadline_ms) +
+                        config_.deadline_slack_ms
+                  : static_cast<long long>(config_.forward_timeout_ms));
+
+  // A pooled connection may be stale (the worker restarted since it was
+  // pooled); retry once with a fresh connect. A restart also destroyed the
+  // session, but the worker will answer REJECTED "unknown session" itself —
+  // an honest, relayable reply.
+  bool tried_fresh = false;
+  for (;;) {
+    int fd = take_pooled(w);
+    const bool pooled = fd >= 0;
+    if (!pooled) {
+      tried_fresh = true;
+      try {
+        fd = connect_endpoint(w.endpoint, config_.connect_timeout_ms);
+      } catch (const std::exception&) {
+        ++w.failures;
+        mark_unhealthy(w, "connect failed");
+        out.status = Status::kError;
+        out.message = "router: session worker " + w.spec + " unreachable";
+        out.worker_lost = true;
+        return out;
+      }
+    }
+    try {
+      send_frame(fd, frame.type, frame.body, remaining_ms(wait_deadline));
+    } catch (const std::exception&) {
+      close_quietly(fd);
+      ++w.failures;
+      if (pooled && !tried_fresh) continue;  // stale pooled fd
+      mark_unhealthy(w, "send failed");
+      out.status = Status::kError;
+      out.message = "router: session worker " + w.spec + " lost";
+      out.worker_lost = true;
+      return out;
+    }
+    ++w.forwarded;
+
+    Frame reply;
+    bool got = false;
+    try {
+      got = recv_frame(fd, reply, config_.max_reply_bytes,
+                       remaining_ms(wait_deadline));
+    } catch (const RecvTimeout&) {
+      // The worker consumed the frame and may be mid-solve; the session
+      // may still be intact, so the pin survives — only this reply is
+      // lost. NEVER retry.
+      close_quietly(fd);
+      ++w.failures;
+      mark_unhealthy(w, "reply timed out");
+      out.status = bounded ? Status::kTimeout : Status::kError;
+      out.message =
+          "router: session worker " + w.spec + " did not reply in time";
+      return out;
+    } catch (const std::exception&) {
+      close_quietly(fd);
+      ++w.failures;
+      mark_unhealthy(w, "reply stream broke");
+      out.status = Status::kError;
+      out.message =
+          "router: session worker " + w.spec + " connection broke mid-reply";
+      out.worker_lost = true;
+      return out;
+    }
+    if (!got) {
+      close_quietly(fd);
+      ++w.failures;
+      if (pooled && !tried_fresh) continue;  // stale pooled fd
+      mark_unhealthy(w, "closed before replying");
+      out.status = Status::kError;
+      out.message =
+          "router: session worker " + w.spec + " closed before replying";
+      out.worker_lost = true;
+      return out;
+    }
+    if (reply.type != expect) {
+      close_quietly(fd);
+      out.status = Status::kError;
+      out.message = "router: worker " + w.spec +
+                    " sent unexpected frame type " +
+                    std::to_string(static_cast<std::uint32_t>(reply.type));
+      return out;
+    }
+    ++w.replies;
+    give_back_connection(w, fd);
+    out.relayed = true;
+    out.reply_body = std::move(reply.body);
+    return out;
+  }
+}
+
 void Router::send_reply_locked(const std::shared_ptr<Connection>& conn,
                                const ReconReplyWire& reply) {
   const auto body = encode_recon_reply(reply);
   std::lock_guard<std::mutex> lk(conn->write_mu);
   send_frame(conn->fd, MsgType::kReconReply, body,
              config_.reply_write_timeout_ms);
+}
+
+void Router::count_terminal(const ForwardResult& result) {
+  std::lock_guard<std::mutex> lk(counts_mu_);
+  counts_.reroutes += result.reroutes;
+  if (result.relayed) {
+    ++counts_.relayed;
+  } else if (result.status == Status::kTimeout) {
+    ++counts_.timeouts;
+  } else if (result.status == Status::kRejected) {
+    ++counts_.rejected;
+  } else {
+    ++counts_.errors;
+  }
+}
+
+bool Router::handle_session_frame(const std::shared_ptr<Connection>& conn,
+                                  const Frame& frame) {
+  // Shared helpers: write a router-synthesized session/frame reply. A send
+  // failure closes the connection (return false from the handler).
+  const auto send_session = [&](const SessionReplyWire& reply) {
+    const auto body = encode_session_reply(reply);
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    send_frame(conn->fd, MsgType::kSessionReply, body,
+               config_.reply_write_timeout_ms);
+  };
+  const auto send_frame_reply = [&](const FrameReplyWire& reply) {
+    const auto body = encode_frame_reply(reply);
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    send_frame(conn->fd, MsgType::kFrameReply, body,
+               config_.reply_write_timeout_ms);
+  };
+  const auto relay = [&](MsgType type, const std::vector<std::uint8_t>& body) {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    send_frame(conn->fd, type, body, config_.reply_write_timeout_ms);
+  };
+
+  if (frame.type == MsgType::kOpenSession) {
+    OpenSessionWire wire;
+    try {
+      wire = decode_open_session(frame.body.data(), frame.body.size());
+    } catch (const std::exception& e) {
+      // Recovering parse: the malformed body was fully consumed.
+      {
+        std::lock_guard<std::mutex> lk(counts_mu_);
+        ++counts_.received;
+        ++counts_.errors;
+      }
+      SessionReplyWire reply;
+      reply.status = Status::kError;
+      reply.message = e.what();
+      try {
+        send_session(reply);
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(counts_mu_);
+      ++counts_.received;
+      ++counts_.session_opens;
+    }
+    std::size_t home = 0;
+    ForwardResult result = forward_open(frame, wire, &home);
+    count_terminal(result);
+    try {
+      if (result.relayed) {
+        // Pin BEFORE relaying: the client may push its first frame the
+        // instant it sees the open reply. forward_open already validated
+        // the body, so this decode cannot throw.
+        const SessionReplyWire decoded = decode_session_reply(
+            result.reply_body.data(), result.reply_body.size());
+        if (decoded.status == Status::kOk) {
+          std::lock_guard<std::mutex> lk(sessions_mu_);
+          session_workers_[decoded.session_id] = home;
+        }
+        relay(MsgType::kSessionReply, result.reply_body);
+      } else {
+        SessionReplyWire reply;
+        reply.status = result.status;
+        reply.client_tag = wire.client_tag;
+        reply.message = std::move(result.message);
+        send_session(reply);
+      }
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  if (frame.type == MsgType::kPushFrame) {
+    PushFrameWire wire;
+    try {
+      wire = decode_push_frame(frame.body.data(), frame.body.size());
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lk(counts_mu_);
+        ++counts_.received;
+        ++counts_.errors;
+      }
+      FrameReplyWire reply;
+      reply.status = Status::kError;
+      reply.message = e.what();
+      try {
+        send_frame_reply(reply);
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(counts_mu_);
+      ++counts_.received;
+      ++counts_.session_frames;
+    }
+    std::size_t home = 0;
+    bool pinned = false;
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      const auto it = session_workers_.find(wire.session_id);
+      if (it != session_workers_.end()) {
+        home = it->second;
+        pinned = true;
+      }
+    }
+    FrameReplyWire reply;
+    reply.session_id = wire.session_id;
+    reply.frame_index = wire.frame_index;
+    reply.client_tag = wire.client_tag;
+    if (!pinned) {
+      {
+        std::lock_guard<std::mutex> lk(counts_mu_);
+        ++counts_.rejected;
+      }
+      reply.status = Status::kRejected;
+      reply.message = "router: unknown session " +
+                      std::to_string(wire.session_id);
+      try {
+        send_frame_reply(reply);
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    ForwardResult result = forward_sticky(*workers_[home], frame,
+                                          MsgType::kFrameReply,
+                                          wire.deadline_ms);
+    count_terminal(result);
+    if (result.worker_lost) {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      session_workers_.erase(wire.session_id);
+    }
+    try {
+      if (result.relayed) {
+        relay(MsgType::kFrameReply, result.reply_body);
+      } else {
+        reply.status = result.status;
+        reply.message = std::move(result.message);
+        send_frame_reply(reply);
+      }
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  // kCloseSession
+  CloseSessionWire wire;
+  try {
+    wire = decode_close_session(frame.body.data(), frame.body.size());
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lk(counts_mu_);
+      ++counts_.received;
+      ++counts_.errors;
+    }
+    SessionReplyWire reply;
+    reply.status = Status::kError;
+    reply.message = e.what();
+    try {
+      send_session(reply);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(counts_mu_);
+    ++counts_.received;
+    ++counts_.session_closes;
+  }
+  std::size_t home = 0;
+  bool pinned = false;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    const auto it = session_workers_.find(wire.session_id);
+    if (it != session_workers_.end()) {
+      home = it->second;
+      pinned = true;
+    }
+  }
+  SessionReplyWire reply;
+  reply.session_id = wire.session_id;
+  reply.client_tag = wire.client_tag;
+  if (!pinned) {
+    {
+      std::lock_guard<std::mutex> lk(counts_mu_);
+      ++counts_.rejected;
+    }
+    reply.status = Status::kRejected;
+    reply.message =
+        "router: unknown session " + std::to_string(wire.session_id);
+    try {
+      send_session(reply);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  ForwardResult result = forward_sticky(*workers_[home], frame,
+                                        MsgType::kSessionReply,
+                                        /*deadline_ms=*/0);
+  count_terminal(result);
+  {
+    // The close ends the session from the router's view either way: a
+    // lost reply leaves the worker to reap it, but no more frames route.
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    session_workers_.erase(wire.session_id);
+  }
+  try {
+    if (result.relayed) {
+      relay(MsgType::kSessionReply, result.reply_body);
+    } else {
+      reply.status = result.status;
+      reply.message = std::move(result.message);
+      send_session(reply);
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 void Router::serve_connection(const std::shared_ptr<Connection>& conn) {
@@ -359,6 +846,15 @@ void Router::serve_connection(const std::shared_ptr<Connection>& conn) {
                    reinterpret_cast<const std::uint8_t*>(json.data()),
                    json.size(), config_.reply_write_timeout_ms);
       } catch (const std::exception&) {
+        return;
+      }
+      continue;
+    }
+    if (frame.type == MsgType::kOpenSession ||
+        frame.type == MsgType::kPushFrame ||
+        frame.type == MsgType::kCloseSession) {
+      if (!handle_session_frame(conn, frame)) {
+        ::shutdown(conn->fd, SHUT_RDWR);
         return;
       }
       continue;
@@ -483,6 +979,10 @@ RouterCounts Router::counts() const {
     std::lock_guard<std::mutex> lk(counts_mu_);
     out = counts_;
   }
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    out.sessions_pinned = session_workers_.size();
+  }
   out.workers.reserve(workers_.size());
   for (const auto& w : workers_) {
     WorkerSnapshot s;
@@ -510,6 +1010,12 @@ std::string Router::statsz_json() const {
   os << "    \"rejected\": " << c.rejected << ",\n";
   os << "    \"reroutes\": " << c.reroutes << ",\n";
   os << "    \"stats\": " << c.stats << "\n";
+  os << "  },\n";
+  os << "  \"sessions\": {\n";
+  os << "    \"pinned\": " << c.sessions_pinned << ",\n";
+  os << "    \"opens\": " << c.session_opens << ",\n";
+  os << "    \"frames\": " << c.session_frames << ",\n";
+  os << "    \"closes\": " << c.session_closes << "\n";
   os << "  },\n";
   os << "  \"workers\": [";
   for (std::size_t i = 0; i < c.workers.size(); ++i) {

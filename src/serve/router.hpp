@@ -49,6 +49,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -100,6 +101,10 @@ struct RouterCounts {
                                 // frame, no healthy worker)
   std::uint64_t reroutes = 0;   // retries on a next-ranked worker
   std::uint64_t stats = 0;      // stats round-trips answered
+  std::uint64_t session_opens = 0;   // open-session requests decoded
+  std::uint64_t session_frames = 0;  // push-frame requests decoded
+  std::uint64_t session_closes = 0;  // close-session requests decoded
+  std::size_t sessions_pinned = 0;   // live session -> worker pins
   std::vector<WorkerSnapshot> workers;
 
   std::uint64_t completed() const {
@@ -123,6 +128,12 @@ class Router : public FrameServer {
   /// 1).hash().
   static std::uint64_t shard_hash(const ReconRequestWire& wire);
 
+  /// The shard key for a streaming session, from its open parameters.
+  /// m = 0: frame sample counts are unknown at open time, so the key is
+  /// geometry-only — sessions of one (n, width, sigma, coils) class share
+  /// a home worker, keeping its plans warm across sessions.
+  static std::uint64_t session_shard_hash(const OpenSessionWire& wire);
+
   /// Rendezvous rank of worker `index` for `key_hash` (highest wins).
   static std::uint64_t rendezvous_score(std::uint64_t key_hash,
                                         std::size_t index);
@@ -142,6 +153,21 @@ class Router : public FrameServer {
 
   std::vector<std::size_t> rank_workers(std::uint64_t key_hash) const;
   ForwardResult forward(const Frame& frame, const ReconRequestWire& wire);
+  // Open-session forward: same retry/spill rules as forward() — an open
+  // that never reached a worker (or hit a draining one) moves to the
+  // next-ranked worker; `home` receives the worker index that answered.
+  ForwardResult forward_open(const Frame& frame, const OpenSessionWire& wire,
+                             std::size_t* home);
+  // Sticky forward for push/close: the session's pipeline state lives on
+  // its home worker, so these NEVER fail over — any worker loss is
+  // terminal for the session.
+  ForwardResult forward_sticky(Worker& w, const Frame& frame, MsgType expect,
+                               std::uint64_t deadline_ms);
+  // One streaming message (open/push/close) end to end; returns false
+  // when the connection must close.
+  bool handle_session_frame(const std::shared_ptr<Connection>& conn,
+                            const Frame& frame);
+  void count_terminal(const ForwardResult& result);  // shared bucket logic
   void health_loop();
   void stop_health();                 // idempotent; also run by stop()
   bool ping_worker(Worker& w);
@@ -158,6 +184,12 @@ class Router : public FrameServer {
 
   mutable std::mutex counts_mu_;
   RouterCounts counts_;
+
+  // Session stickiness: session_id -> home worker index, pinned when an
+  // open reply with status OK is relayed, unpinned on close (or when the
+  // home worker is lost mid-session).
+  mutable std::mutex sessions_mu_;
+  std::map<std::uint64_t, std::size_t> session_workers_;
 
   std::thread health_thread_;
   std::atomic<bool> health_stop_{false};

@@ -54,6 +54,21 @@ ReconJob job_from_wire(const ReconRequestWire& wire) {
   return job;
 }
 
+StreamFrameJob frame_job_from_wire(PushFrameWire&& wire) {
+  StreamFrameJob job;
+  job.session_id = wire.session_id;
+  job.frame_index = wire.frame_index;
+  job.client_tag = wire.client_tag;
+  job.coils = static_cast<int>(wire.coils);
+  job.deadline = wire.deadline_ms > 0
+                     ? Deadline::after_ms(
+                           static_cast<std::int64_t>(wire.deadline_ms))
+                     : Deadline::never();
+  job.coords = std::move(wire.coords);
+  job.values = std::move(wire.values);
+  return job;
+}
+
 ReconServer::ReconServer(const ServeConfig& config)
     : config_(config), engine_(config) {
   if (config_.socket_path.empty() && config_.listen.empty()) {
@@ -79,12 +94,130 @@ ReconServer::ReconServer(const ServeConfig& config)
 
 ReconServer::~ReconServer() { stop(); }
 
+int ReconServer::shutdown_how() const { return SHUT_RD; }
+
 void ReconServer::send_reply_locked(const std::shared_ptr<Connection>& conn,
                                     const ReconReplyWire& reply) {
   const auto body = encode_recon_reply(reply);
   std::lock_guard<std::mutex> lk(conn->write_mu);
   send_frame(conn->fd, MsgType::kReconReply, body,
              config_.reply_write_timeout_ms);
+}
+
+void ReconServer::send_session_reply_locked(
+    const std::shared_ptr<Connection>& conn, const SessionReplyWire& reply) {
+  const auto body = encode_session_reply(reply);
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  send_frame(conn->fd, MsgType::kSessionReply, body,
+             config_.reply_write_timeout_ms);
+}
+
+void ReconServer::send_frame_reply_locked(
+    const std::shared_ptr<Connection>& conn, const FrameReplyWire& reply) {
+  const auto body = encode_frame_reply(reply);
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  send_frame(conn->fd, MsgType::kFrameReply, body,
+             config_.reply_write_timeout_ms);
+}
+
+bool ReconServer::handle_stream_frame(const std::shared_ptr<Connection>& conn,
+                                      const Frame& frame) {
+  if (frame.type == MsgType::kOpenSession) {
+    SessionReplyWire reply;
+    try {
+      const OpenSessionWire wire =
+          decode_open_session(frame.body.data(), frame.body.size());
+      const SessionOutcome outcome = engine_.open_session(wire);
+      reply.status = outcome.status;
+      reply.session_id = outcome.session_id;
+      reply.client_tag = outcome.client_tag;
+      reply.message = outcome.message;
+    } catch (const std::exception& e) {
+      // Recovering parse: the malformed body was fully consumed.
+      reply.status = Status::kError;
+      reply.message = e.what();
+    }
+    try {
+      send_session_reply_locked(conn, reply);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+
+  if (frame.type == MsgType::kCloseSession) {
+    CloseSessionWire wire;
+    try {
+      wire = decode_close_session(frame.body.data(), frame.body.size());
+    } catch (const std::exception& e) {
+      SessionReplyWire reply;
+      reply.status = Status::kError;
+      reply.message = e.what();
+      try {
+        send_session_reply_locked(conn, reply);
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    engine_.submit_close(
+        wire.session_id, wire.client_tag, [this, conn](SessionOutcome o) {
+          SessionReplyWire reply;
+          reply.status = o.status;
+          reply.session_id = o.session_id;
+          reply.client_tag = o.client_tag;
+          reply.frames = o.frames;
+          reply.total_iterations = o.total_iterations;
+          reply.message = std::move(o.message);
+          try {
+            send_session_reply_locked(conn, reply);
+          } catch (const std::exception&) {
+            ::shutdown(conn->fd, SHUT_RDWR);
+          }
+        });
+    return true;
+  }
+
+  // kPushFrame
+  StreamFrameJob job;
+  try {
+    PushFrameWire wire =
+        decode_push_frame(frame.body.data(), frame.body.size());
+    job = frame_job_from_wire(std::move(wire));
+  } catch (const std::exception& e) {
+    FrameReplyWire reply;
+    reply.status = Status::kError;
+    reply.message = e.what();
+    try {
+      send_frame_reply_locked(conn, reply);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  engine_.submit_frame(std::move(job), [this, conn](FrameOutcome o) {
+    FrameReplyWire reply;
+    reply.status = o.status;
+    reply.n = static_cast<std::uint32_t>(o.n);
+    reply.iterations = static_cast<std::uint32_t>(o.iterations);
+    reply.flags = (o.warm_started ? kFrameWarmFlag : 0u) |
+                  (o.guard_tripped ? kFrameGuardFlag : 0u) |
+                  (o.plan_reused ? kFramePlanReusedFlag : 0u);
+    reply.session_id = o.session_id;
+    reply.frame_index = o.frame_index;
+    reply.client_tag = o.client_tag;
+    reply.residual = o.residual;
+    reply.message = std::move(o.message);
+    reply.image = std::move(o.image);
+    try {
+      send_frame_reply_locked(conn, reply);
+    } catch (const std::exception&) {
+      // The frame still completed and is counted; the stream is
+      // unrecoverable, so unblock and retire the reader.
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  });
+  return true;
 }
 
 void ReconServer::serve_connection(const std::shared_ptr<Connection>& conn) {
@@ -120,6 +253,12 @@ void ReconServer::serve_connection(const std::shared_ptr<Connection>& conn) {
       } catch (const std::exception&) {
         return;
       }
+      continue;
+    }
+    if (frame.type == MsgType::kOpenSession ||
+        frame.type == MsgType::kPushFrame ||
+        frame.type == MsgType::kCloseSession) {
+      if (!handle_stream_frame(conn, frame)) return;
       continue;
     }
     if (frame.type != MsgType::kRecon) {

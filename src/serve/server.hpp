@@ -45,6 +45,10 @@ namespace jigsaw::serve {
 /// Throws ProtocolError on out-of-enum engine / sanitize codes.
 ReconJob job_from_wire(const ReconRequestWire& wire);
 
+/// Convert a decoded push-frame body to an engine streaming job (the
+/// session-level cross-checks — coils, sample caps — run in submit_frame).
+StreamFrameJob frame_job_from_wire(PushFrameWire&& wire);
+
 class ReconServer : public FrameServer {
  public:
   /// Binds and listens on config.socket_path (AF_UNIX, an existing socket
@@ -59,10 +63,27 @@ class ReconServer : public FrameServer {
  protected:
   void serve_connection(const std::shared_ptr<Connection>& conn) override;
   void on_stop_accepting() override { engine_.drain(); }
+  // SHUT_RD, not SHUT_RDWR: by the time stop() tears down connections the
+  // engine is drained, so the only writes left are reader threads answering
+  // post-drain requests with REJECTED "draining". Cutting the write side
+  // could truncate such a reply mid-frame — the router would see a broken
+  // reply stream (terminal ERROR, no spill) instead of the rejection that
+  // sends the request to a healthy worker. Read-side shutdown still makes
+  // every blocked reader see EOF and retire; the pending reply writes are
+  // bounded by reply_write_timeout_ms, so the join cannot hang.
+  int shutdown_how() const override;
 
  private:
   void send_reply_locked(const std::shared_ptr<Connection>& conn,
                          const ReconReplyWire& reply);
+  void send_session_reply_locked(const std::shared_ptr<Connection>& conn,
+                                 const SessionReplyWire& reply);
+  void send_frame_reply_locked(const std::shared_ptr<Connection>& conn,
+                               const FrameReplyWire& reply);
+  // One iteration of serve_connection's loop for the streaming message
+  // types; returns false when the connection must close.
+  bool handle_stream_frame(const std::shared_ptr<Connection>& conn,
+                           const Frame& frame);
 
   const ServeConfig config_;
   ServeEngine engine_;

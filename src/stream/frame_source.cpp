@@ -1,0 +1,100 @@
+#include "stream/frame_source.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace jigsaw::stream {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+const double kGolden = kPi * (3.0 - std::sqrt(5.0));
+
+/// Fold a coordinate into [-0.5, 0.5) — same convention as trajectory.cpp.
+double fold(double v) {
+  v -= std::floor(v + 0.5);
+  if (v >= 0.5) v -= 1.0;
+  if (v < -0.5) v += 1.0;
+  return v;
+}
+}  // namespace
+
+FrameSource::FrameSource(const FrameWindow& window, int frames)
+    : window_(window), frames_(frames) {
+  JIGSAW_REQUIRE(frames >= 1, "frame sequence needs >= 1 frame");
+  JIGSAW_REQUIRE(window.spokes_per_frame >= 1,
+                 "sliding window needs >= 1 spoke of stride");
+  JIGSAW_REQUIRE(window.window_spokes >= window.spokes_per_frame,
+                 "window must be at least as wide as its stride");
+  JIGSAW_REQUIRE(window.samples_per_spoke >= 2,
+                 "spokes need >= 2 samples each");
+  total_spokes_ =
+      (frames - 1) * window.spokes_per_frame + window.window_spokes;
+  stream_.reserve(static_cast<std::size_t>(total_spokes_) *
+                  static_cast<std::size_t>(window.samples_per_spoke));
+  // One continuous golden-angle stream: spoke s at angle s * golden. This is
+  // radial_2d's golden mode unrolled so a frame can start at any spoke, not
+  // just spoke 0.
+  for (int s = 0; s < total_spokes_; ++s) {
+    const double theta = static_cast<double>(s) * kGolden;
+    const double cx = std::cos(theta), cy = std::sin(theta);
+    for (int i = 0; i < window.samples_per_spoke; ++i) {
+      const double r =
+          -0.5 + static_cast<double>(i) /
+                     static_cast<double>(window.samples_per_spoke);
+      stream_.push_back({fold(r * cx), fold(r * cy)});
+    }
+  }
+}
+
+std::size_t FrameSource::samples_per_frame() const {
+  return static_cast<std::size_t>(window_.window_spokes) *
+         static_cast<std::size_t>(window_.samples_per_spoke);
+}
+
+std::vector<Coord<2>> FrameSource::frame_coords(int frame) const {
+  JIGSAW_REQUIRE(frame >= 0 && frame < frames_,
+                 "frame index out of range");
+  const std::size_t per_spoke =
+      static_cast<std::size_t>(window_.samples_per_spoke);
+  const std::size_t begin =
+      static_cast<std::size_t>(frame) *
+      static_cast<std::size_t>(window_.spokes_per_frame) * per_spoke;
+  const std::size_t count = samples_per_frame();
+  return std::vector<Coord<2>>(stream_.begin() + begin,
+                               stream_.begin() + begin + count);
+}
+
+double FrameSource::frame_time(int frame) const {
+  JIGSAW_REQUIRE(frame >= 0 && frame < frames_,
+                 "frame index out of range");
+  const double mid = static_cast<double>(frame) * window_.spokes_per_frame +
+                     0.5 * window_.window_spokes;
+  return total_spokes_ > 1 ? mid / static_cast<double>(total_spokes_) : 0.0;
+}
+
+std::vector<trajectory::Ellipse> DynamicPhantom::at(double t) const {
+  std::vector<trajectory::Ellipse> ellipses = trajectory::shepp_logan();
+  const double phase_step = 2.39996;  // ~golden angle: decorrelates shapes
+  for (std::size_t i = 2; i < ellipses.size(); ++i) {  // skip the skull pair
+    const double phase = static_cast<double>(i) * phase_step;
+    const double beat = 2.0 * kPi * cycles * t + phase;
+    trajectory::Ellipse& e = ellipses[i];
+    e.intensity *= 1.0 + intensity_amp * std::sin(beat);
+    e.x0 += motion_amp * std::sin(beat);
+    e.y0 += motion_amp * std::cos(beat * 0.5);
+  }
+  return ellipses;
+}
+
+std::vector<double> DynamicPhantom::image_at(double t, int n) const {
+  return trajectory::rasterize(at(t), n);
+}
+
+std::vector<c64> DynamicPhantom::kspace_at(const std::vector<Coord<2>>& coords,
+                                           double t, int n) const {
+  return trajectory::kspace_samples(at(t), coords, n);
+}
+
+}  // namespace jigsaw::stream

@@ -28,6 +28,8 @@ std::string to_string(TrajectoryType t) {
     case TrajectoryType::Rosette: return "rosette";
     case TrajectoryType::Random: return "random";
     case TrajectoryType::Cartesian: return "cartesian";
+    case TrajectoryType::GoldenRadial: return "golden-radial";
+    case TrajectoryType::VdSpiral: return "vd-spiral";
   }
   return "unknown";
 }
@@ -68,6 +70,29 @@ std::vector<Coord<2>> spiral_2d(int interleaves, int samples_per_interleave,
       const double t = static_cast<double>(i) /
                        static_cast<double>(samples_per_interleave);
       const double r = 0.5 * t * (1.0 - 1e-9);
+      const double ang = 2.0 * kPi * turns * t + rot;
+      out.push_back({fold(r * std::cos(ang)), fold(r * std::sin(ang))});
+    }
+  }
+  return out;
+}
+
+std::vector<Coord<2>> vd_spiral_2d(int interleaves, int samples_per_interleave,
+                                   double turns, double alpha) {
+  JIGSAW_REQUIRE(interleaves >= 1 && samples_per_interleave >= 2,
+                 "vd-spiral needs >=1 interleaf, >=2 samples");
+  JIGSAW_REQUIRE(alpha > 0.0, "vd-spiral density exponent must be > 0");
+  std::vector<Coord<2>> out;
+  out.reserve(static_cast<std::size_t>(interleaves) * samples_per_interleave);
+  for (int il = 0; il < interleaves; ++il) {
+    const double rot = 2.0 * kPi * static_cast<double>(il) /
+                       static_cast<double>(interleaves);
+    for (int i = 0; i < samples_per_interleave; ++i) {
+      const double t = static_cast<double>(i) /
+                       static_cast<double>(samples_per_interleave);
+      // alpha > 1: r grows slowly at first, so equal-arc-index samples pile
+      // up near the center — denser low-frequency coverage.
+      const double r = 0.5 * std::pow(t, alpha) * (1.0 - 1e-9);
       const double ang = 2.0 * kPi * turns * t + rot;
       out.push_back({fold(r * std::cos(ang)), fold(r * std::sin(ang))});
     }
@@ -165,6 +190,16 @@ std::vector<Coord<2>> make_2d(TrajectoryType type, std::int64_t m,
     case TrajectoryType::Cartesian: {
       const int n = static_cast<int>(std::sqrt(static_cast<double>(m)));
       return cartesian_2d(n, 0.0, seed);
+    }
+    case TrajectoryType::GoldenRadial: {
+      const int per = static_cast<int>(std::sqrt(static_cast<double>(m)));
+      const int spokes = static_cast<int>((m + per - 1) / per);
+      return radial_2d(spokes, per, /*golden_angle=*/true);
+    }
+    case TrajectoryType::VdSpiral: {
+      const int per = static_cast<int>(std::sqrt(static_cast<double>(m) * 8));
+      const int il = static_cast<int>((m + per - 1) / per);
+      return vd_spiral_2d(il, per);
     }
   }
   throw std::invalid_argument("jigsaw: unknown trajectory type");

@@ -15,11 +15,15 @@
 namespace jigsaw::trajectory {
 
 enum class TrajectoryType {
-  Radial,      // equally angulated spokes through k-space center
-  Spiral,      // Archimedean interleaved spiral
-  Rosette,     // rosette petals (oscillating radius)
-  Random,      // i.i.d. uniform on the torus
-  Cartesian,   // on-grid points, optionally jittered
+  Radial,        // equally angulated spokes through k-space center
+  Spiral,        // Archimedean interleaved spiral
+  Rosette,       // rosette petals (oscillating radius)
+  Random,        // i.i.d. uniform on the torus
+  Cartesian,     // on-grid points, optionally jittered
+  GoldenRadial,  // radial with golden-angle (pi*(3-sqrt 5)) increments —
+                 // the dynamic-MRI acquisition every sliding window of
+                 // consecutive spokes covers k-space near-uniformly
+  VdSpiral,      // variable-density spiral: center-weighted radius law
 };
 
 std::string to_string(TrajectoryType t);
@@ -32,6 +36,14 @@ std::vector<Coord<2>> radial_2d(int spokes, int samples_per_spoke,
 /// 2D Archimedean spiral with `interleaves` rotated copies.
 std::vector<Coord<2>> spiral_2d(int interleaves, int samples_per_interleave,
                                 double turns = 16.0);
+
+/// 2D variable-density spiral: radius follows r(t) = 0.5 * t^alpha along
+/// each interleaf, so alpha > 1 concentrates samples near the k-space
+/// center (where MRI signal energy lives) and thins the periphery — the
+/// standard VD sampling law. alpha = 1 degenerates to the Archimedean
+/// spiral's linear radius.
+std::vector<Coord<2>> vd_spiral_2d(int interleaves, int samples_per_interleave,
+                                   double turns = 16.0, double alpha = 2.0);
 
 /// 2D rosette: r(t) = 0.5 |sin(w1 t)|, angle w2 t.
 std::vector<Coord<2>> rosette_2d(int samples, double w1 = 3.0,

@@ -174,10 +174,11 @@ TEST(TrajectoryNames, Distinct) {
   std::set<std::string> names;
   for (auto type : {TrajectoryType::Radial, TrajectoryType::Spiral,
                     TrajectoryType::Rosette, TrajectoryType::Random,
-                    TrajectoryType::Cartesian}) {
+                    TrajectoryType::Cartesian, TrajectoryType::GoldenRadial,
+                    TrajectoryType::VdSpiral}) {
     names.insert(to_string(type));
   }
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 7u);
 }
 
 }  // namespace

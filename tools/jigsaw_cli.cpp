@@ -65,6 +65,10 @@ trajectory::TrajectoryType parse_traj(const std::string& s) {
   if (s == "rosette") return trajectory::TrajectoryType::Rosette;
   if (s == "random") return trajectory::TrajectoryType::Random;
   if (s == "cartesian") return trajectory::TrajectoryType::Cartesian;
+  if (s == "golden-radial" || s == "golden") {
+    return trajectory::TrajectoryType::GoldenRadial;
+  }
+  if (s == "vd-spiral") return trajectory::TrajectoryType::VdSpiral;
   throw std::invalid_argument("unknown trajectory: " + s);
 }
 
@@ -184,8 +188,11 @@ int cmd_recon(const CliArgs& args) {
   // experiments). Spokes only make sense for radial trajectories; other
   // geometries drop individual samples.
   {
+    const bool radial_like =
+        traj_type == trajectory::TrajectoryType::Radial ||
+        traj_type == trajectory::TrajectoryType::GoldenRadial;
     const std::int64_t readout =
-        (!args.has("input") && traj_type == trajectory::TrajectoryType::Radial)
+        (!args.has("input") && radial_like)
             ? static_cast<std::int64_t>(
                   std::sqrt(static_cast<double>(coords.size())))
             : 0;
@@ -243,7 +250,8 @@ int cmd_recon(const CliArgs& args) {
 
   const std::string density = args.get("density", "ramp");
   if (density == "ramp") {
-    JIGSAW_REQUIRE(traj_type == trajectory::TrajectoryType::Radial,
+    JIGSAW_REQUIRE(traj_type == trajectory::TrajectoryType::Radial ||
+                       traj_type == trajectory::TrajectoryType::GoldenRadial,
                    "--density ramp is only valid for radial trajectories");
     const auto w = trajectory::radial_density_weights(coords);
     for (std::size_t i = 0; i < kdata.size(); ++i) kdata[i] *= w[i];
@@ -399,7 +407,9 @@ int cmd_info() {
               "binning-simd\n");
   std::printf("kernels:      kaiser-bessel, gaussian, bspline, triangle, "
               "sinc-hann\n");
-  std::printf("trajectories: radial, spiral, rosette, random, cartesian\n");
+  std::printf(
+      "trajectories: radial, golden-radial, spiral, vd-spiral, rosette, "
+      "random, cartesian\n");
   std::printf("simd:         active=%s (supported: %s; override with "
               "--simd or $JIGSAW_SIMD)\n",
               kernels::simd::to_string(kernels::simd::active()),
@@ -428,8 +438,8 @@ void print_help(std::FILE* out) {
                "~/.jigsaw_wisdom.json)\n"
                "  --no-trials       skip calibration trials; use the cost "
                "model\n"
-               "  --n N --samples M --traj radial|spiral|rosette|random|"
-               "cartesian\n"
+               "  --n N --samples M --traj radial|golden-radial|spiral|"
+               "vd-spiral|rosette|random|cartesian\n"
                "  --kernel kaiser-bessel|gaussian|bspline|triangle|sinc-hann\n"
                "  --width W --sigma S --table L --tile T --iters K\n",
                core::gridder_kind_names().c_str());

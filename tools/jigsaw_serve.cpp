@@ -88,6 +88,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(c.batches),
                 static_cast<unsigned long long>(c.plan_builds),
                 static_cast<unsigned long long>(c.plan_hits));
+    // Streaming sessions get their own accounting line: a drain is lossless
+    // only if every submitted frame reached a terminal status.
+    std::printf("jigsaw_serve: sessions opened=%llu closed=%llu "
+                "frames=%llu answered=%llu (ok=%llu timeout=%llu "
+                "rejected=%llu error=%llu warm=%llu)\n",
+                static_cast<unsigned long long>(c.sessions_opened),
+                static_cast<unsigned long long>(c.sessions_closed),
+                static_cast<unsigned long long>(c.frames_submitted),
+                static_cast<unsigned long long>(c.frames_completed()),
+                static_cast<unsigned long long>(c.frames_ok),
+                static_cast<unsigned long long>(c.frames_timeout),
+                static_cast<unsigned long long>(c.frames_rejected),
+                static_cast<unsigned long long>(c.frames_error),
+                static_cast<unsigned long long>(c.warm_frames));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
