@@ -29,6 +29,10 @@
 #      across three geometry classes must all relay, each class must pin to
 #      exactly one worker (shard counts read from the router's stats JSON),
 #      and SIGTERM must drain router and workers to a clean exit 0
+#   4d. dataset smoke — jigsaw_dataset generate -> validate -> jigsaw_cli
+#      recon --dataset with Pipe-Menon DCF under an NRMSE <= 0.30 quality
+#      gate, then a mid-file byte flip: validate must exit 2 naming the
+#      rejected chunk and the recon must complete on the survivors
 #   5. bench_suite --smoke from the OFF build compared against the same
 #      baseline — the overhead guard: a disabled observability layer must
 #      bench within the ordinary noise threshold
@@ -125,6 +129,53 @@ rm -f "${TUNE_WISDOM}"
 python3 scripts/validate_bench.py "${TUNE_WISDOM}"
 ./build/tools/jigsaw_tune --wisdom "${TUNE_WISDOM}" 48x4000 64x8192 \
   --expect-hits
+
+echo "=== dataset smoke: generate -> validate -> recon + corruption gate ==="
+# End-to-end ingest path: synthesize a multi-coil JKSD acquisition, validate
+# its checksums, reconstruct it through jigsaw_cli with Pipe-Menon DCF (the
+# NRMSE quality gate), then flip bytes mid-file and require (a) validate to
+# exit 2 naming the rejected chunk and (b) the recon to proceed on the
+# surviving chunks — per-chunk corruption must never be fatal.
+(
+  DSMOKE=build/dataset_smoke
+  rm -rf "${DSMOKE}" && mkdir -p "${DSMOKE}"
+  ./build/tools/jigsaw_dataset generate --out "${DSMOKE}/scan.jksd" \
+    --n 64 --coils 8 --chunks 3 --samples-per-chunk 6000 --seed 7
+  ./build/tools/jigsaw_dataset validate "${DSMOKE}/scan.jksd"
+  ./build/tools/jigsaw_cli recon --dataset "${DSMOKE}/scan.jksd" --coils 8 \
+    --engine auto --dcf pipe-menon --out "${DSMOKE}/recon.pgm" \
+    | tee "${DSMOKE}/recon.log"
+  python3 - "${DSMOKE}/recon.log" <<'PYEOF'
+import re, sys
+log = open(sys.argv[1]).read()
+m = re.search(r"dataset recon: mean NRMSE ([0-9.]+) over (\d+) chunks", log)
+assert m, log
+nrmse, chunks = float(m.group(1)), int(m.group(2))
+assert chunks == 3, (chunks, "a chunk went missing on a clean file")
+assert nrmse <= 0.30, (nrmse, "DCF-corrected recon quality gate")
+print(f"dataset smoke: clean file, {chunks}/3 chunks, "
+      f"NRMSE {nrmse:.4f} <= 0.30")
+PYEOF
+
+  head -c 64 /dev/zero | tr '\0' 'J' \
+    | dd of="${DSMOKE}/scan.jksd" bs=1 seek=4096 conv=notrunc 2>/dev/null
+  set +e
+  ./build/tools/jigsaw_dataset validate "${DSMOKE}/scan.jksd" \
+    > "${DSMOKE}/validate.log"
+  VRC=$?
+  set -e
+  [ "${VRC}" -eq 2 ] || {
+    echo "validate exit ${VRC} on a corrupt file, expected 2" >&2
+    cat "${DSMOKE}/validate.log" >&2
+    exit 1
+  }
+  grep -q "REJECT slot 0" "${DSMOKE}/validate.log"
+  ./build/tools/jigsaw_cli recon --dataset "${DSMOKE}/scan.jksd" \
+    --dcf pipe-menon --out "${DSMOKE}/recon_cut.pgm" \
+    | tee "${DSMOKE}/recon_cut.log"
+  grep -q "ingest: 2 chunks read .*, 1 rejected" "${DSMOKE}/recon_cut.log"
+  echo "dataset smoke: corrupt chunk rejected, recon survived on 2/3 chunks"
+)
 
 echo "=== router smoke: sharded fleet + stats gate + graceful drain ==="
 # Two workers — one TCP, one Unix socket (the router mixes transports) —

@@ -197,6 +197,22 @@ def main():
                         f"$.stream[{i}] ({r.get('name')}): warm_start run "
                         "completed no warm frames")
 
+    # A "dataset" block (bench_suite JKSD ingest) must account for every
+    # chunk the header promised — ok + rejected — and at least one chunk
+    # must have survived, or the "benchmark" reconstructed nothing.
+    if "dataset" in doc and not errors:
+        d = doc["dataset"]
+        if isinstance(d, dict):
+            ok = d.get("chunks_ok", 0)
+            rejected = d.get("chunks_rejected", 0)
+            if d.get("chunks") != ok + rejected:
+                errors.append(
+                    f"$.dataset: {d.get('chunks')} chunks but "
+                    f"{ok} ok + {rejected} rejected don't account for them")
+            if not ok:
+                errors.append("$.dataset: no chunk survived ingest — the "
+                              "recon driver had nothing to reconstruct")
+
     if args.require_counters and not errors:
         if not doc.get("obs_enabled"):
             errors.append("$.obs_enabled: --require-counters given but the "
@@ -217,9 +233,12 @@ def main():
     with_counters = sum(1 for b in doc.get("benchmarks", []) if b.get("counters"))
     n_serve = len(doc.get("serve", []))
     n_stream = len(doc.get("stream", []))
+    ds = doc.get("dataset")
+    ds_note = (f", dataset {ds.get('chunks_ok')}/{ds.get('chunks')} chunks"
+               if isinstance(ds, dict) else "")
     print(f"OK: {args.bench} valid ({n} benchmarks, {with_counters} with "
-          f"counters, {n_serve} serve results, {n_stream} stream results, "
-          f"obs_enabled={doc.get('obs_enabled')})")
+          f"counters, {n_serve} serve results, {n_stream} stream results"
+          f"{ds_note}, obs_enabled={doc.get('obs_enabled')})")
     return 0
 
 

@@ -2,12 +2,15 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace jigsaw::core {
 
 template <int D>
 std::vector<double> pipe_menon_weights(Gridder<D>& gridder,
                                        const std::vector<Coord<D>>& coords,
-                                       const PipeMenonOptions& options) {
+                                       const PipeMenonOptions& options,
+                                       PipeMenonReport* report) {
   JIGSAW_REQUIRE(!coords.empty(), "no coordinates");
   JIGSAW_REQUIRE(options.iterations >= 1, "need >= 1 iteration");
   const std::size_t m = coords.size();
@@ -18,15 +21,30 @@ std::vector<double> pipe_menon_weights(Gridder<D>& gridder,
   set.coords = coords;
   set.values.assign(m, c64{});
 
+  PipeMenonReport local;
   for (int it = 0; it < options.iterations; ++it) {
     for (std::size_t j = 0; j < m; ++j) set.values[j] = c64(w[j], 0.0);
     gridder.adjoint(set, grid);
     gridder.forward(grid, set);
+    double max_update = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
       const double p = std::abs(set.values[j]);
-      w[j] /= std::max(p, options.epsilon);
+      const double next = w[j] / std::max(p, options.epsilon);
+      if (w[j] > 0.0) {
+        max_update = std::max(max_update, std::abs(next - w[j]) / w[j]);
+      }
+      w[j] = next;
+    }
+    local.iterations = it + 1;
+    local.max_update = max_update;
+    if (options.tolerance > 0.0 && max_update < options.tolerance) {
+      local.converged = true;
+      break;
     }
   }
+  obs::add("dcf.runs", 1);
+  obs::add("dcf.iterations", static_cast<std::uint64_t>(local.iterations));
+  if (report != nullptr) *report = local;
 
   // Normalize to mean 1.
   double sum = 0.0;
@@ -38,12 +56,15 @@ std::vector<double> pipe_menon_weights(Gridder<D>& gridder,
 
 template std::vector<double> pipe_menon_weights<1>(Gridder<1>&,
                                                    const std::vector<Coord<1>>&,
-                                                   const PipeMenonOptions&);
+                                                   const PipeMenonOptions&,
+                                                   PipeMenonReport*);
 template std::vector<double> pipe_menon_weights<2>(Gridder<2>&,
                                                    const std::vector<Coord<2>>&,
-                                                   const PipeMenonOptions&);
+                                                   const PipeMenonOptions&,
+                                                   PipeMenonReport*);
 template std::vector<double> pipe_menon_weights<3>(Gridder<3>&,
                                                    const std::vector<Coord<3>>&,
-                                                   const PipeMenonOptions&);
+                                                   const PipeMenonOptions&,
+                                                   PipeMenonReport*);
 
 }  // namespace jigsaw::core

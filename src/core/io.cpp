@@ -8,27 +8,32 @@
 
 namespace jigsaw::core {
 
-bool save_samples_csv(const std::string& path, const SampleSet<2>& samples) {
+namespace {
+
+/// Shared writer: D coordinate fields then real,imag per row.
+template <int D>
+bool save_samples_impl(const std::string& path, const SampleSet<D>& samples,
+                       const char* header) {
   std::ofstream f(path);
   if (!f) return false;
-  f << "# kx,ky,real,imag — coordinates in [-0.5, 0.5) torus units\n";
+  f << header;
   f.precision(17);
   for (std::size_t j = 0; j < samples.size(); ++j) {
-    f << samples.coords[j][0] << ',' << samples.coords[j][1] << ','
-      << samples.values[j].real() << ',' << samples.values[j].imag() << '\n';
+    for (int d = 0; d < D; ++d) {
+      f << samples.coords[j][static_cast<std::size_t>(d)] << ',';
+    }
+    f << samples.values[j].real() << ',' << samples.values[j].imag() << '\n';
   }
   return static_cast<bool>(f);
 }
 
-namespace {
-
-/// Parse one data row "k0,k1,real,imag" into v. Returns an empty string on
-/// success, otherwise the reason the row is rejected. strtod (rather than
-/// stream extraction) so "nan"/"inf" survive the round trip to the
-/// sanitizer.
-std::string parse_row(const std::string& line, double v[4]) {
+/// Parse one data row of `fields` comma-separated numbers into v. Returns
+/// an empty string on success, otherwise the reason the row is rejected.
+/// strtod (rather than stream extraction) so "nan"/"inf" survive the round
+/// trip to the sanitizer.
+std::string parse_row(const std::string& line, double* v, int fields) {
   const char* p = line.c_str();
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < fields; ++i) {
     if (i > 0) {
       while (*p == ' ' || *p == '\t') ++p;
       if (*p != ',') {
@@ -44,18 +49,19 @@ std::string parse_row(const std::string& line, double v[4]) {
     p = end;
   }
   while (*p == ' ' || *p == '\t') ++p;
-  if (*p != '\0') return "trailing characters after field 4";
+  if (*p != '\0') {
+    return "trailing characters after field " + std::to_string(fields);
+  }
   return {};
 }
 
-}  // namespace
-
-SampleSet<2> load_samples_csv(const std::string& path, CsvReport* report) {
+template <int D>
+SampleSet<D> load_samples_impl(const std::string& path, CsvReport* report) {
   std::ifstream f(path);
   if (!f) {
     throw std::runtime_error("jigsaw: cannot open sample file: " + path);
   }
-  SampleSet<2> out;
+  SampleSet<D> out;
   CsvReport local;
   std::string line;
   std::size_t lineno = 0;  // 1-based in diagnostics
@@ -64,15 +70,17 @@ SampleSet<2> load_samples_csv(const std::string& path, CsvReport* report) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     const std::size_t first = line.find_first_not_of(" \t");
     if (first == std::string::npos || line[first] == '#') continue;
-    double v[4];
-    std::string reason = parse_row(line, v);
+    double v[D + 2];
+    std::string reason = parse_row(line, v, D + 2);
     if (!reason.empty()) {
       local.rejects.push_back(CsvReject{lineno, std::move(reason)});
       continue;
     }
     ++local.rows_parsed;
-    out.coords.push_back({v[0], v[1]});
-    out.values.emplace_back(v[2], v[3]);
+    Coord<D> c;
+    for (int d = 0; d < D; ++d) c[static_cast<std::size_t>(d)] = v[d];
+    out.coords.push_back(c);
+    out.values.emplace_back(v[D], v[D + 1]);
   }
   if (report == nullptr) {
     if (!local.rejects.empty()) {
@@ -88,6 +96,28 @@ SampleSet<2> load_samples_csv(const std::string& path, CsvReport* report) {
     *report = std::move(local);
   }
   return out;
+}
+
+}  // namespace
+
+bool save_samples_csv(const std::string& path, const SampleSet<2>& samples) {
+  return save_samples_impl<2>(
+      path, samples,
+      "# kx,ky,real,imag — coordinates in [-0.5, 0.5) torus units\n");
+}
+
+bool save_samples_csv(const std::string& path, const SampleSet<3>& samples) {
+  return save_samples_impl<3>(
+      path, samples,
+      "# kx,ky,kz,real,imag — coordinates in [-0.5, 0.5) torus units\n");
+}
+
+SampleSet<2> load_samples_csv(const std::string& path, CsvReport* report) {
+  return load_samples_impl<2>(path, report);
+}
+
+SampleSet<3> load_samples_csv_3d(const std::string& path, CsvReport* report) {
+  return load_samples_impl<3>(path, report);
 }
 
 }  // namespace jigsaw::core

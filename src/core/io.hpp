@@ -2,7 +2,8 @@
 //
 // Lets real acquisitions (or data exported from other NuFFT packages) flow
 // through the CLI and examples: one line per sample,
-//   k0,k1,real,imag
+//   k0,k1,real,imag        (2D)
+//   k0,k1,k2,real,imag     (3D)
 // with coordinates in normalized torus units [-0.5, 0.5). Lines starting
 // with '#' are comments; blank lines and CRLF line endings are tolerated.
 //
@@ -21,8 +22,10 @@
 
 namespace jigsaw::core {
 
-/// Write a 2D sample set as CSV. Returns false on I/O failure.
+/// Write a sample set as CSV (D coordinate fields + real,imag per row).
+/// Returns false on I/O failure.
 bool save_samples_csv(const std::string& path, const SampleSet<2>& samples);
+bool save_samples_csv(const std::string& path, const SampleSet<3>& samples);
 
 /// One rejected CSV row.
 struct CsvReject {
@@ -43,5 +46,9 @@ struct CsvReport {
 /// rows (empty or comment-only) yields an empty SampleSet.
 SampleSet<2> load_samples_csv(const std::string& path,
                               CsvReport* report = nullptr);
+
+/// 3D variant: rows are k0,k1,k2,real,imag. Same recovery contract.
+SampleSet<3> load_samples_csv_3d(const std::string& path,
+                                 CsvReport* report = nullptr);
 
 }  // namespace jigsaw::core

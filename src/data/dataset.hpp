@@ -1,0 +1,170 @@
+// Streaming JKSD dataset reader/writer (format.hpp, docs/datasets.md).
+//
+// DatasetWriter appends chunks as they are produced and back-patches the
+// header's chunk/sample totals on close(), so a partially written file is
+// still readable (totals read 0 = unknown, consumers stream to EOF).
+//
+// DatasetReader holds ONE chunk in memory at a time — an arbitrarily large
+// acquisition streams through in bounded memory. The parse is recovering:
+// a chunk whose header or payload fails validation is recorded as a
+// ChunkReject {byte offset, chunk ordinal, reason} and skipped, and the
+// reader resynchronizes at the next plausible chunk magic. One flipped
+// block on disk costs one slice, not the acquisition. Only an unreadable
+// or wrong-magic/wrong-version *file header* is fatal (nothing after it
+// can be interpreted).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "data/format.hpp"
+
+namespace jigsaw::data {
+
+/// Shape + provenance of a dataset, as recorded in the file header.
+struct DatasetInfo {
+  int dim = 2;
+  std::int64_t n = 0;   // base grid side
+  int coils = 1;
+  Source source = Source::kUnknown;
+  bool has_dcf = false;           // every chunk carries weights
+  std::uint64_t chunk_count = 0;  // 0 = unknown
+  std::uint64_t total_samples = 0;
+};
+
+/// One decoded chunk. coords is flattened sample-major: sample j's
+/// coordinate d lives at coords[j * dim + d]. values holds `coils`
+/// consecutive blocks of m complex samples (coil-major, the CG-SENSE
+/// layout). dcf is empty when the chunk carries no weights.
+struct Chunk {
+  std::uint64_t index = 0;
+  std::uint64_t m = 0;
+  std::vector<double> coords;
+  std::vector<c64> values;
+  std::vector<double> dcf;
+
+  /// The chunk's coordinates as typed Coord<D> (D must match the dataset).
+  template <int D>
+  std::vector<Coord<D>> typed_coords() const {
+    std::vector<Coord<D>> out(static_cast<std::size_t>(m));
+    for (std::uint64_t j = 0; j < m; ++j) {
+      for (int d = 0; d < D; ++d) {
+        out[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)] =
+            coords[static_cast<std::size_t>(j * D + static_cast<std::uint64_t>(d))];
+      }
+    }
+    return out;
+  }
+
+  /// Coil c's value block (c in [0, coils)).
+  std::vector<c64> coil_values(int c) const {
+    const auto m_sz = static_cast<std::size_t>(m);
+    const std::size_t begin = static_cast<std::size_t>(c) * m_sz;
+    return std::vector<c64>(values.begin() + static_cast<std::ptrdiff_t>(begin),
+                            values.begin() +
+                                static_cast<std::ptrdiff_t>(begin + m_sz));
+  }
+};
+
+/// One rejected chunk: where it sat in the file, which chunk slot it was
+/// (0-based ordinal of header candidates seen), and why it was rejected.
+struct ChunkReject {
+  std::uint64_t offset = 0;
+  std::uint64_t ordinal = 0;
+  std::string reason;
+};
+
+/// Per-file read outcome, accumulated across next() calls.
+struct ReadReport {
+  std::uint64_t chunks_read = 0;
+  std::uint64_t samples_read = 0;
+  std::vector<ChunkReject> rejects;
+};
+
+class DatasetWriter {
+ public:
+  /// Create/truncate `path` and write the header. `info.chunk_count` and
+  /// `info.total_samples` are ignored (back-patched on close). Throws
+  /// std::runtime_error on I/O failure, std::invalid_argument on a bad
+  /// shape (dim outside {2,3}, coils < 1, n < 2).
+  DatasetWriter(const std::string& path, const DatasetInfo& info);
+  ~DatasetWriter();  // closes (best-effort) if close() was not called
+
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  /// Append one chunk. coords/values sizes must match the dataset shape
+  /// (values.size() == m * coils); dcf must be empty or m long, and is
+  /// required when the dataset was declared has_dcf. Throws on mismatch.
+  void add_chunk(std::uint64_t index, const std::vector<double>& coords,
+                 const std::vector<c64>& values,
+                 const std::vector<double>& dcf = {});
+
+  /// Flush, back-patch chunk/sample totals into the header, close the
+  /// file. Throws std::runtime_error if the stream failed. Idempotent.
+  void close();
+
+  std::uint64_t chunks_written() const { return chunks_; }
+
+ private:
+  std::string path_;
+  DatasetInfo info_;
+  std::ofstream f_;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t samples_ = 0;
+  bool closed_ = false;
+};
+
+/// Limits applied while parsing — chunks violating them are rejected
+/// (header treated as implausible), which also bounds reader memory.
+struct ReaderLimits {
+  std::uint64_t max_chunk_samples = 1ull << 22;  // 4M samples per chunk
+};
+
+class DatasetReader {
+ public:
+  using Limits = ReaderLimits;
+
+  /// Open `path` and validate the file header. Throws std::runtime_error
+  /// when the file cannot be opened or the header is unusable (short,
+  /// bad magic, unsupported version, corrupt checksum, nonsense shape).
+  explicit DatasetReader(const std::string& path,
+                         const Limits& limits = Limits());
+
+  const DatasetInfo& info() const { return info_; }
+  const ReadReport& report() const { return report_; }
+
+  /// Read the next valid chunk into `out` (contents replaced). Returns
+  /// false at end of file. Corrupt chunks encountered on the way are
+  /// recorded in report().rejects and skipped — next() only ever returns
+  /// chunks whose payload checksum verified.
+  bool next(Chunk& out);
+
+  /// Convenience: read every remaining chunk (memory-unbounded; tools and
+  /// tests only — the streaming consumers use next()).
+  std::vector<Chunk> read_all();
+
+ private:
+  bool read_exact(void* buf, std::size_t len);
+  /// Scan forward byte-by-byte for the next chunk magic; the file is
+  /// positioned at its first byte on success. Returns false at EOF.
+  bool resync();
+  void reject(std::uint64_t offset, std::uint64_t slot,
+              const std::string& reason);
+
+  std::ifstream f_;
+  DatasetInfo info_;
+  Limits limits_;
+  ReadReport report_;
+  std::uint64_t ordinal_ = 0;  // chunk header slots seen (valid + rejected)
+};
+
+/// Validate a whole file in one bounded-memory pass: stream every chunk,
+/// return the final report. Header problems throw (same as the reader
+/// constructor); chunk problems are rejects in the report.
+ReadReport validate_dataset(const std::string& path, DatasetInfo* info = nullptr);
+
+}  // namespace jigsaw::data

@@ -1,0 +1,45 @@
+// Hermetic fastMRI-style multi-coil acquisition generator.
+//
+// Synthesizes a JKSD dataset from the analytic Shepp-Logan phantom: each
+// chunk ("slice") gets its own trajectory realization (rotated / reseeded
+// per chunk the way consecutive slices of a scan differ), the phantom is
+// seen through smooth birdcage coil sensitivities (core/sense.hpp), and
+// per-coil k-space is produced by the forward NuFFT — so the generated
+// data exercises exactly the ingest path a real scanner export would,
+// while ground truth stays available for scoring (header records the
+// source, docs/datasets.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/gridder.hpp"
+#include "data/dataset.hpp"
+#include "trajectory/trajectory.hpp"
+
+namespace jigsaw::data {
+
+struct SyntheticOptions {
+  std::int64_t n = 64;  // base image grid side
+  int coils = 8;
+  int chunks = 4;                     // slices/frames
+  std::int64_t samples_per_chunk = 0; // 0 = trajectory's natural count (~2n^2)
+  trajectory::TrajectoryType traj = trajectory::TrajectoryType::Radial;
+  double noise = 0.0;    // additive complex noise, relative to RMS signal
+  std::uint64_t seed = 42;
+  bool embed_dcf = false;  // precompute Pipe-Menon weights into each chunk
+  core::GridderOptions gridding;  // engine for the forward simulation (and
+                                  // the embedded-DCF Pipe-Menon iteration)
+};
+
+struct GenerateReport {
+  std::uint64_t chunks = 0;
+  std::uint64_t samples = 0;  // total across chunks (sum over coils excluded)
+};
+
+/// Write a synthetic multi-coil acquisition to `path`. Deterministic for a
+/// given option set. Throws on invalid shape or I/O failure.
+GenerateReport generate_synthetic(const std::string& path,
+                                  const SyntheticOptions& options);
+
+}  // namespace jigsaw::data

@@ -318,6 +318,54 @@ ReconReplyWire decode_recon_reply(const std::uint8_t* data, std::size_t len) {
   return reply;
 }
 
+std::vector<std::uint8_t> encode_dataset_request(const DatasetRequestWire& req) {
+  Writer w;
+  w.u32(kProtocolVersion);
+  w.u32(req.engine);
+  w.u32(req.iters);
+  w.u32(req.dcf);
+  w.u32(static_cast<std::uint32_t>(req.path.size()));
+  w.u32(0);  // pad to 8-byte alignment of the u64s that follow
+  w.u64(req.deadline_ms);
+  w.u64(req.client_tag);
+  w.raw(req.path.data(), req.path.size());
+  return w.take();
+}
+
+DatasetRequestWire decode_dataset_request(const std::uint8_t* data,
+                                          std::size_t len) {
+  Reader r(data, len);
+  const std::uint32_t version = r.u32("version");
+  if (version != kProtocolVersion) {
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(version));
+  }
+  DatasetRequestWire req;
+  req.engine = r.u32("engine");
+  req.iters = r.u32("iters");
+  req.dcf = r.u32("dcf");
+  const std::uint32_t path_len = r.u32("path_len");
+  r.u32("pad");
+  req.deadline_ms = r.u64("deadline_ms");
+  req.client_tag = r.u64("client_tag");
+  if (req.dcf > 2) {
+    throw ProtocolError("unknown dcf mode " + std::to_string(req.dcf));
+  }
+  if (path_len == 0) throw ProtocolError("empty dataset path");
+  if (path_len > 4096) throw ProtocolError("dataset path implausibly long");
+  if (path_len != r.remaining()) {
+    throw ProtocolError("body carries " + std::to_string(r.remaining()) +
+                        " path bytes, expected " + std::to_string(path_len));
+  }
+  req.path.resize(path_len);
+  r.raw(req.path.data(), path_len, "path");
+  if (req.path.find('\0') != std::string::npos) {
+    throw ProtocolError("dataset path contains NUL");
+  }
+  r.expect_consumed();
+  return req;
+}
+
 std::vector<std::uint8_t> encode_open_session(const OpenSessionWire& req) {
   Writer w;
   w.u32(kProtocolVersion);
@@ -591,6 +639,7 @@ bool recv_frame(int fd, Frame& out, std::size_t max_body, int timeout_ms) {
     case MsgType::kOpenSession:
     case MsgType::kPushFrame:
     case MsgType::kCloseSession:
+    case MsgType::kReconDataset:
     case MsgType::kReconReply:
     case MsgType::kStatsReply:
     case MsgType::kSessionReply:

@@ -859,6 +859,34 @@ void Router::serve_connection(const std::shared_ptr<Connection>& conn) {
       }
       continue;
     }
+    if (frame.type == MsgType::kReconDataset) {
+      // By-reference datasets name a file on one worker's filesystem; the
+      // router cannot know which worker that is, so the request is
+      // worker-direct by design. Reject politely, keep the connection.
+      std::uint64_t tag = 0;
+      try {
+        tag = decode_dataset_request(frame.body.data(), frame.body.size())
+                  .client_tag;
+      } catch (const std::exception&) {
+      }
+      {
+        std::lock_guard<std::mutex> lk(counts_mu_);
+        ++counts_.received;
+        ++counts_.rejected;
+      }
+      ReconReplyWire reply;
+      reply.status = Status::kRejected;
+      reply.client_tag = tag;
+      reply.message =
+          "dataset requests are worker-direct (the path is worker-local); "
+          "connect to a worker endpoint";
+      try {
+        send_reply_locked(conn, reply);
+      } catch (const std::exception&) {
+        return;
+      }
+      continue;
+    }
     if (frame.type != MsgType::kRecon) {
       return;  // a client sending reply types is not salvageable
     }

@@ -1,5 +1,6 @@
 #include "trajectory/trajectory.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -30,6 +31,7 @@ std::string to_string(TrajectoryType t) {
     case TrajectoryType::Cartesian: return "cartesian";
     case TrajectoryType::GoldenRadial: return "golden-radial";
     case TrajectoryType::VdSpiral: return "vd-spiral";
+    case TrajectoryType::Propeller: return "propeller";
   }
   return "unknown";
 }
@@ -110,6 +112,39 @@ std::vector<Coord<2>> rosette_2d(int samples, double w1, double w2) {
     const double r = 0.4999 * std::fabs(std::sin(w1 * t));
     const double ang = w2 * t;
     out.push_back({fold(r * std::cos(ang)), fold(r * std::sin(ang))});
+  }
+  return out;
+}
+
+std::vector<Coord<2>> propeller_2d(int blades, int lines_per_blade,
+                                   int samples_per_line, double blade_width) {
+  JIGSAW_REQUIRE(blades >= 1 && lines_per_blade >= 1 && samples_per_line >= 2,
+                 "propeller needs >=1 blade, >=1 line, >=2 samples per line");
+  JIGSAW_REQUIRE(blade_width > 0.0 && blade_width < 1.0,
+                 "propeller blade width must be in (0, 1) torus units");
+  std::vector<Coord<2>> out;
+  out.reserve(static_cast<std::size_t>(blades) * lines_per_blade *
+              samples_per_line);
+  for (int b = 0; b < blades; ++b) {
+    const double theta = kPi * static_cast<double>(b) /
+                         static_cast<double>(blades);
+    const double cx = std::cos(theta), sx = std::sin(theta);
+    for (int l = 0; l < lines_per_blade; ++l) {
+      // Line offset across the blade, symmetric about the center line.
+      const double off =
+          lines_per_blade == 1
+              ? 0.0
+              : blade_width * (static_cast<double>(l) /
+                                   static_cast<double>(lines_per_blade - 1) -
+                               0.5);
+      for (int i = 0; i < samples_per_line; ++i) {
+        // Readout position in [-0.5, 0.5), excluding the exact +0.5 edge.
+        const double r = -0.5 + static_cast<double>(i) /
+                                    static_cast<double>(samples_per_line);
+        // Blade frame: r along the readout, off across it; rotate by theta.
+        out.push_back({fold(r * cx - off * sx), fold(r * sx + off * cx)});
+      }
+    }
   }
   return out;
 }
@@ -200,6 +235,14 @@ std::vector<Coord<2>> make_2d(TrajectoryType type, std::int64_t m,
       const int per = static_cast<int>(std::sqrt(static_cast<double>(m) * 8));
       const int il = static_cast<int>((m + per - 1) / per);
       return vd_spiral_2d(il, per);
+    }
+    case TrajectoryType::Propeller: {
+      // Square-ish readout lines, a fixed 8-line blade, blades to cover m.
+      const int per = static_cast<int>(std::sqrt(static_cast<double>(m)));
+      const int lines = 8;
+      const int blades = static_cast<int>(
+          std::max<std::int64_t>(1, (m + per * lines - 1) / (per * lines)));
+      return propeller_2d(blades, lines, per);
     }
   }
   throw std::invalid_argument("jigsaw: unknown trajectory type");

@@ -24,6 +24,8 @@ enum class TrajectoryType {
                  // the dynamic-MRI acquisition every sliding window of
                  // consecutive spokes covers k-space near-uniformly
   VdSpiral,      // variable-density spiral: center-weighted radius law
+  Propeller,     // PROPELLER blades: rotated strips of parallel Cartesian
+                 // readout lines, every blade crossing the k-space center
 };
 
 std::string to_string(TrajectoryType t);
@@ -48,6 +50,16 @@ std::vector<Coord<2>> vd_spiral_2d(int interleaves, int samples_per_interleave,
 /// 2D rosette: r(t) = 0.5 |sin(w1 t)|, angle w2 t.
 std::vector<Coord<2>> rosette_2d(int samples, double w1 = 3.0,
                                  double w2 = 5.0);
+
+/// 2D PROPELLER: `blades` rectangular strips of `lines_per_blade` parallel
+/// Cartesian readout lines (`samples_per_line` points each, spanning the
+/// full [-0.5, 0.5) readout), blade b rotated by b*pi/blades. Every blade
+/// covers the low-frequency center — the self-navigation property PROPELLER
+/// acquisitions exploit. `blade_width` is the strip's full extent across
+/// the lines in torus units.
+std::vector<Coord<2>> propeller_2d(int blades, int lines_per_blade,
+                                   int samples_per_line,
+                                   double blade_width = 0.125);
 
 /// i.i.d. uniform samples on the d-torus.
 std::vector<Coord<2>> random_2d(std::int64_t m, std::uint64_t seed);

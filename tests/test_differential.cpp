@@ -23,11 +23,15 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
 #include "common/rng.hpp"
 #include "core/gridder.hpp"
 #include "core/metrics.hpp"
 #include "core/serial_gridder.hpp"
 #include "core/slice_dice_gridder.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
 #include "trajectory/trajectory.hpp"
 
 namespace jigsaw::core {
@@ -189,6 +193,31 @@ TEST_P(Differential2D, VdSpiralTrajectory) {
                       /*fixed_bound=*/1e-2);
 }
 
+TEST_P(Differential2D, RosetteTrajectory) {
+  const std::uint64_t seed = GetParam();
+  // Rosette petals re-cross the k-space center once per lobe, so central
+  // cells accumulate from many widely separated sample indices — a
+  // different ordering stress than radial spokes (which visit the center
+  // once per spoke, in order). Center depth rivals the VD spiral, so the
+  // fixed-point engine gets the same widened bound.
+  const auto coords =
+      trajectory::rosette_2d(1400, /*w1=*/3.0 + static_cast<double>(seed % 3),
+                             /*w2=*/5.0);
+  run_differential<2>(samples_on<2>(coords, seed), 16, seed + 8000,
+                      /*fixed_bound=*/1e-2);
+}
+
+TEST_P(Differential2D, PropellerTrajectory) {
+  const std::uint64_t seed = GetParam();
+  // PROPELLER blades are rotated Cartesian strips: long runs of exactly
+  // collinear, near-on-grid samples that all march through the low-k
+  // center strip. Exercises the on-grid/aligned code paths the purely
+  // curved trajectories never hit.
+  const auto coords = trajectory::propeller_2d(
+      6 + static_cast<int>(seed % 3), 8, 32);
+  run_differential<2>(samples_on<2>(coords, seed), 16, seed + 9000);
+}
+
 TEST_P(Differential2D, RandomTrajectory) {
   const std::uint64_t seed = GetParam();
   const auto coords = trajectory::random_2d(1500, seed);
@@ -214,6 +243,34 @@ TEST_P(Differential3D, RandomTrajectory) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential3D,
                          ::testing::Values(101u, 202u));
+
+// Cross-engine agreement on INGESTED data: the sample set comes from a
+// generated JKSD dataset chunk (multi-coil phantom k-space, round-tripped
+// through the binary format) instead of being synthesized in-process. The
+// values carry real phantom spectral structure — decaying magnitude,
+// coil-map phase — rather than i.i.d. noise, and the coords took the
+// writer/reader path, so this also pins the ingest layer into the oracle.
+TEST(DifferentialDataset, IngestedChunkDrivesAllEngines) {
+  const std::string path = "test_differential_dataset.jksd";
+  data::SyntheticOptions gen;
+  gen.n = 32;
+  gen.coils = 2;
+  gen.chunks = 1;
+  gen.samples_per_chunk = 1500;
+  data::generate_synthetic(path, gen);
+
+  data::DatasetReader reader(path);
+  data::Chunk chunk;
+  ASSERT_TRUE(reader.next(chunk));
+  ASSERT_TRUE(reader.report().rejects.empty());
+  for (int coil = 0; coil < gen.coils; ++coil) {
+    SampleSet<2> in;
+    in.coords = chunk.typed_coords<2>();
+    in.values = chunk.coil_values(coil);
+    run_differential<2>(in, 16, 12345u + static_cast<std::uint64_t>(coil));
+  }
+  std::remove(path.c_str());
+}
 
 }  // namespace
 }  // namespace jigsaw::core

@@ -124,6 +124,58 @@ TEST(SampleIo, HandlesCrlfAndTrailingBlankLines) {
   std::remove(path.c_str());
 }
 
+TEST(SampleIo3d, RoundTripsExactly) {
+  Rng rng(7);
+  SampleSet<3> orig;
+  for (int j = 0; j < 150; ++j) {
+    orig.coords.push_back({rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                           rng.uniform(-0.5, 0.5)});
+    orig.values.emplace_back(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  const std::string path = "test_io_roundtrip_3d.csv";
+  ASSERT_TRUE(save_samples_csv(path, orig));
+  const auto back = load_samples_csv_3d(path);
+  ASSERT_EQ(back.size(), orig.size());
+  for (std::size_t j = 0; j < orig.size(); ++j) {
+    EXPECT_EQ(back.coords[j], orig.coords[j]);
+    EXPECT_EQ(back.values[j], orig.values[j]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SampleIo3d, RecoversFromMalformedRowsWithReport) {
+  const std::string path = "test_io_recover_3d.csv";
+  {
+    std::ofstream f(path);
+    f << "0.1,0.2,0.3,1.0,-1.0\n"   // line 1: good
+      << "0.1,0.2,1.0,-1.0\n"       // line 2: 2D row in a 3D file
+      << "0.4,-0.1,0.2,0.5,0.25\n"; // line 3: good
+  }
+  CsvReport report;
+  const auto s = load_samples_csv_3d(path, &report);
+  ASSERT_EQ(s.size(), 2u);
+  ASSERT_EQ(report.rejects.size(), 1u);
+  EXPECT_EQ(report.rejects[0].line, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SampleIo3d, DimensionMismatchThrowsWithoutReport) {
+  // A 3D file read through the 2D loader (and vice versa) must fail loudly,
+  // not silently mis-parse columns.
+  const std::string path = "test_io_dim_mismatch.csv";
+  {
+    std::ofstream f(path);
+    f << "0.1,0.2,0.3,1.0,-1.0\n";
+  }
+  EXPECT_THROW(load_samples_csv(path), std::invalid_argument);
+  {
+    std::ofstream f(path);
+    f << "0.1,0.2,1.0,-1.0\n";
+  }
+  EXPECT_THROW(load_samples_csv_3d(path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
 TEST(SampleIo, MissingFileThrows) {
   EXPECT_THROW(load_samples_csv("no_such_file_zzz.csv"), std::runtime_error);
 }

@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cmath>
 #include <complex>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <thread>
 #include <vector>
@@ -17,6 +19,7 @@
 
 #include "core/nufft.hpp"
 #include "core/sense.hpp"
+#include "data/synthetic.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
@@ -562,6 +565,107 @@ TEST(ServeServer, MalformedBodyKeepsConnectionUsable) {
   EXPECT_EQ(reply.status, Status::kOk) << reply.message;
   EXPECT_EQ(reply.image.size(), 32u * 32u);
   server.stop();
+}
+
+TEST(ServeProtocol, DatasetRequestRoundTrip) {
+  DatasetRequestWire req;
+  req.engine = 3 | kEngineSimdFlag;
+  req.iters = 8;
+  req.dcf = 1;
+  req.deadline_ms = 2500;
+  req.client_tag = 0xfeedbeef;
+  req.path = "/data/scan042.jksd";
+  const auto body = encode_dataset_request(req);
+  const DatasetRequestWire back =
+      decode_dataset_request(body.data(), body.size());
+  EXPECT_EQ(back.engine, req.engine);
+  EXPECT_EQ(back.iters, req.iters);
+  EXPECT_EQ(back.dcf, req.dcf);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.client_tag, req.client_tag);
+  EXPECT_EQ(back.path, req.path);
+}
+
+TEST(ServeProtocol, DatasetRequestDecodeRejectsMalformed) {
+  DatasetRequestWire req;
+  req.path = "/data/x.jksd";
+  auto body = encode_dataset_request(req);
+  EXPECT_THROW(decode_dataset_request(body.data(), 8), ProtocolError);
+  // Path length disagreeing with the bytes present.
+  auto short_body = body;
+  short_body.pop_back();
+  EXPECT_THROW(decode_dataset_request(short_body.data(), short_body.size()),
+               ProtocolError);
+  // Out-of-enum dcf mode.
+  DatasetRequestWire bad_dcf = req;
+  bad_dcf.dcf = 9;
+  const auto b2 = encode_dataset_request(bad_dcf);
+  EXPECT_THROW(decode_dataset_request(b2.data(), b2.size()), ProtocolError);
+  // Empty path.
+  DatasetRequestWire no_path = req;
+  no_path.path.clear();
+  const auto b3 = encode_dataset_request(no_path);
+  EXPECT_THROW(decode_dataset_request(b3.data(), b3.size()), ProtocolError);
+}
+
+// End-to-end by-reference recon: generate a JKSD file, ask the server to
+// reconstruct it by path, get the mean-magnitude image back. Then corrupt
+// a chunk on disk — the same request still succeeds from the survivors
+// (the message reports the reject), and an unreadable path is a clean
+// ERROR reply on a connection that stays usable.
+TEST(ServeServer, DatasetByReferenceReconstructs) {
+  const std::string jksd =
+      "/tmp/jsrv_dataset_" + std::to_string(::getpid()) + ".jksd";
+  data::SyntheticOptions gen;
+  gen.n = 32;
+  gen.coils = 2;
+  gen.chunks = 2;
+  gen.samples_per_chunk = 1200;
+  data::generate_synthetic(jksd, gen);
+
+  ServeConfig config;
+  config.socket_path = unique_socket_path("dataset");
+  ReconServer server(config);
+  server.start();
+  {
+    ServeClient client(config.socket_path);
+    DatasetRequestWire req;
+    req.iters = 0;
+    req.dcf = 2;  // pipe-menon
+    req.client_tag = 77;
+    req.path = jksd;
+    const ReconReplyWire reply = client.recon_dataset(req);
+    EXPECT_EQ(reply.status, Status::kOk) << reply.message;
+    EXPECT_EQ(reply.client_tag, 77u);
+    EXPECT_EQ(reply.n, 32u);
+    EXPECT_EQ(reply.image.size(), 32u * 32u);
+    EXPECT_NE(reply.message.find("2 chunks read"), std::string::npos)
+        << reply.message;
+
+    // Corrupt chunk 1's payload on disk; the request must still succeed
+    // from the surviving chunk and say so.
+    {
+      std::fstream f(jksd, std::ios::binary | std::ios::in | std::ios::out);
+      char buf[32];
+      f.seekg(2048);
+      f.read(buf, sizeof buf);
+      for (char& b : buf) b = static_cast<char>(~b);
+      f.seekp(2048);
+      f.write(buf, sizeof buf);
+    }
+    const ReconReplyWire partial = client.recon_dataset(req);
+    EXPECT_EQ(partial.status, Status::kOk) << partial.message;
+    EXPECT_NE(partial.message.find("1 rejected"), std::string::npos)
+        << partial.message;
+
+    // Unreadable path: ERROR reply, connection still usable.
+    DatasetRequestWire missing = req;
+    missing.path = "/no/such/dataset.jksd";
+    EXPECT_EQ(client.recon_dataset(missing).status, Status::kError);
+    EXPECT_EQ(client.recon_dataset(req).status, Status::kOk);
+  }
+  server.stop();
+  std::remove(jksd.c_str());
 }
 
 TEST(ServeServer, StatsRequestReturnsJsonSnapshot) {

@@ -170,15 +170,81 @@ TEST(DensityWeights, RampShapeAndNormalization) {
   }
 }
 
+TEST(Propeller, CountAndRange) {
+  const int blades = 6, lines = 8, per_line = 32;
+  const auto t = propeller_2d(blades, lines, per_line);
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(blades * lines * per_line));
+  expect_in_torus<2>(t);
+}
+
+TEST(Propeller, LinesWithinABladeAreParallel) {
+  const int blades = 4, lines = 6, per_line = 16;
+  const auto t = propeller_2d(blades, lines, per_line);
+  for (int b = 0; b < blades; ++b) {
+    // Direction of each line = last sample minus first sample; all lines of
+    // one blade must share it (cross product vanishes).
+    const std::size_t blade0 =
+        static_cast<std::size_t>(b) * static_cast<std::size_t>(lines * per_line);
+    double ref_x = 0, ref_y = 0;
+    for (int l = 0; l < lines; ++l) {
+      const std::size_t line0 =
+          blade0 + static_cast<std::size_t>(l * per_line);
+      const double dx = t[line0 + per_line - 1][0] - t[line0][0];
+      const double dy = t[line0 + per_line - 1][1] - t[line0][1];
+      if (l == 0) {
+        ref_x = dx;
+        ref_y = dy;
+        continue;
+      }
+      EXPECT_NEAR(dx * ref_y - dy * ref_x, 0.0, 1e-12)
+          << "blade " << b << " line " << l;
+    }
+  }
+}
+
+TEST(Propeller, EveryBladeCoversTheCenterStrip) {
+  // The self-navigation property: every blade must sample near k = 0.
+  const int blades = 8, lines = 8, per_line = 32;
+  const auto t = propeller_2d(blades, lines, per_line);
+  for (int b = 0; b < blades; ++b) {
+    double min_r = 1.0;
+    for (int i = 0; i < lines * per_line; ++i) {
+      const auto& c = t[static_cast<std::size_t>(b * lines * per_line + i)];
+      min_r = std::min(min_r, std::hypot(c[0], c[1]));
+    }
+    EXPECT_LT(min_r, 0.05) << "blade " << b << " misses the center";
+  }
+}
+
+TEST(Propeller, BladesAreRotatedCopies) {
+  const auto t = propeller_2d(4, 4, 8);
+  // Blade 2 of 4 sits at angle 2*pi/4 = pi/2: it must be blade 0 rotated
+  // by 90 degrees, sample for sample.
+  const int per_blade = 4 * 8;
+  for (int i = 0; i < per_blade; ++i) {
+    const auto& a = t[static_cast<std::size_t>(i)];
+    const auto& b = t[static_cast<std::size_t>(2 * per_blade + i)];
+    EXPECT_NEAR(b[0], -a[1], 1e-12);
+    EXPECT_NEAR(b[1], a[0], 1e-12);
+  }
+}
+
+TEST(Propeller, MakeTrajectoryDispatch) {
+  const auto t = make_2d(TrajectoryType::Propeller, 2000);
+  EXPECT_GT(t.size(), 1000u);
+  EXPECT_LT(t.size(), 4000u);
+  expect_in_torus<2>(t);
+}
+
 TEST(TrajectoryNames, Distinct) {
   std::set<std::string> names;
   for (auto type : {TrajectoryType::Radial, TrajectoryType::Spiral,
                     TrajectoryType::Rosette, TrajectoryType::Random,
                     TrajectoryType::Cartesian, TrajectoryType::GoldenRadial,
-                    TrajectoryType::VdSpiral}) {
+                    TrajectoryType::VdSpiral, TrajectoryType::Propeller}) {
     names.insert(to_string(type));
   }
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
 }
 
 }  // namespace

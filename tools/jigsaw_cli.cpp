@@ -3,7 +3,8 @@
 //   jigsaw_cli recon    --n 128 --traj radial --samples 50000
 //                       [--engine slice-dice|auto] [--kernel kaiser-bessel]
 //                       [--width 6] [--sigma 2.0] [--table 32]
-//                       [--density ramp|pipe-menon|none] [--iters K]
+//                       [--dcf ramp|pipe-menon|none] [--iters K]
+//                       [--dataset file.jksd [--dcf none|embedded|pipe-menon]]
 //                       [--coils C] [--coil-threads T]   multi-coil CG-SENSE
 //                       [--sanitize none|strict|drop|clamp]
 //                       [--drop-spokes F] [--noise-spikes F]
@@ -35,6 +36,7 @@
 #include "core/nufft.hpp"
 #include "core/recon.hpp"
 #include "core/sense.hpp"
+#include "data/driver.hpp"
 #include "energy/asic_model.hpp"
 #include "jigsaw/cycle_sim.hpp"
 #include "kernels/simd/simd.hpp"
@@ -69,6 +71,7 @@ trajectory::TrajectoryType parse_traj(const std::string& s) {
     return trajectory::TrajectoryType::GoldenRadial;
   }
   if (s == "vd-spiral") return trajectory::TrajectoryType::VdSpiral;
+  if (s == "propeller") return trajectory::TrajectoryType::Propeller;
   throw std::invalid_argument("unknown trajectory: " + s);
 }
 
@@ -150,7 +153,83 @@ robustness::FaultSpec fault_spec_from(const CliArgs& args,
   return spec;
 }
 
+/// recon --dataset file.jksd: reconstruct an ingested JKSD acquisition
+/// chunk by chunk (data/driver.hpp). Corrupt chunks are reported and
+/// skipped; exit is 0 as long as at least one chunk reconstructed.
+int cmd_recon_dataset(const CliArgs& args) {
+  const std::string path = args.get("dataset");
+  data::ReconDatasetOptions opt;
+  opt.gridding = options_from(args);
+  opt.dcf = data::parse_dcf_mode(args.get("dcf", "pipe-menon"));
+  opt.iters = static_cast<int>(args.get_int("iters", 0));
+
+  // The header is the source of truth for the coil count; --coils here is
+  // a cross-check on what the caller believes they ingested.
+  data::DatasetInfo info;
+  data::DatasetReader probe(path);
+  info = probe.info();
+  if (args.has("coils") &&
+      args.get_int("coils", info.coils) != info.coils) {
+    std::fprintf(stderr,
+                 "dataset: header says %d coils, --coils %lld disagrees\n",
+                 info.coils,
+                 static_cast<long long>(args.get_int("coils", 0)));
+    return 2;
+  }
+  // Resolve --engine auto against the dataset's own shape (mean chunk size
+  // when the header knows it; the factory's slice-dice fallback otherwise).
+  if (info.chunk_count > 0 && info.total_samples > 0) {
+    opt.gridding = resolve_auto(
+        opt.gridding, args, info.n,
+        static_cast<std::int64_t>(info.total_samples / info.chunk_count));
+  }
+
+  Timer timer;
+  const auto result = data::recon_dataset(path, opt);
+  const double secs = timer.seconds();
+
+  std::printf("dataset: %s — %dD n=%lld, %d coils, source %s\n",
+              path.c_str(), result.info.dim,
+              static_cast<long long>(result.info.n), result.info.coils,
+              result.info.source == data::Source::kSheppLogan
+                  ? "shepp-logan"
+                  : "unknown");
+  std::printf("ingest: %llu chunks read (%llu samples), %zu rejected\n",
+              static_cast<unsigned long long>(result.report.chunks_read),
+              static_cast<unsigned long long>(result.report.samples_read),
+              result.report.rejects.size());
+  for (const auto& r : result.report.rejects) {
+    std::printf("ingest:   chunk slot %llu @ byte %llu: %s\n",
+                static_cast<unsigned long long>(r.ordinal),
+                static_cast<unsigned long long>(r.offset), r.reason.c_str());
+  }
+  for (const auto& c : result.chunks) {
+    std::printf("chunk %llu: m=%llu, dcf=%s, %d CG iters, NRMSE %.4f\n",
+                static_cast<unsigned long long>(c.index),
+                static_cast<unsigned long long>(c.m),
+                c.dcf_applied ? data::to_string(opt.dcf).c_str() : "none",
+                c.iterations, c.nrmse);
+  }
+  std::printf("dataset recon: mean NRMSE %.4f over %zu chunks "
+              "(%s engine, dcf %s, iters %d) in %.3f s\n",
+              result.mean_nrmse, result.chunks.size(),
+              core::to_string(core::GridderSpec{opt.gridding.kind,
+                                                opt.gridding.simd}).c_str(),
+              data::to_string(opt.dcf).c_str(), opt.iters, secs);
+
+  // First surviving chunk's image as the visual artifact.
+  const auto& first = result.chunks.front();
+  std::vector<c64> img(first.image.size());
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = first.image[i];
+  const std::string out = args.get("out", "recon.pgm");
+  write_pgm(out, img, static_cast<int>(result.info.n),
+            static_cast<int>(result.info.n));
+  std::printf("image written to %s\n", out.c_str());
+  return 0;
+}
+
 int cmd_recon(const CliArgs& args) {
+  if (args.has("dataset")) return cmd_recon_dataset(args);
   const std::int64_t n = args.get_int("n", 128);
   const std::int64_t m = args.get_int("samples", 50000);
   const auto traj_type = parse_traj(args.get("traj", "radial"));
@@ -248,18 +327,25 @@ int cmd_recon(const CliArgs& args) {
     return 0;
   }
 
-  const std::string density = args.get("density", "ramp");
+  // --dcf is the primary name; --density is the original spelling, kept as
+  // an alias (--dcf wins when both are given).
+  const std::string density = args.get("dcf", args.get("density", "ramp"));
   if (density == "ramp") {
     JIGSAW_REQUIRE(traj_type == trajectory::TrajectoryType::Radial ||
                        traj_type == trajectory::TrajectoryType::GoldenRadial,
-                   "--density ramp is only valid for radial trajectories");
+                   "--dcf ramp is only valid for radial trajectories");
     const auto w = trajectory::radial_density_weights(coords);
     for (std::size_t i = 0; i < kdata.size(); ++i) kdata[i] *= w[i];
-  } else if (density == "pipe-menon") {
-    const auto w = core::pipe_menon_weights<2>(plan.gridder(), coords);
+  } else if (density == "pipe-menon" || density == "pipe") {
+    core::PipeMenonReport dcf_report;
+    const auto w = core::pipe_menon_weights<2>(plan.gridder(), coords,
+                                               core::PipeMenonOptions{},
+                                               &dcf_report);
     for (std::size_t i = 0; i < kdata.size(); ++i) kdata[i] *= w[i];
+    std::printf("dcf: pipe-menon, %d iterations (max update %.2e)\n",
+                dcf_report.iterations, dcf_report.max_update);
   } else {
-    JIGSAW_REQUIRE(density == "none", "unknown density mode: " << density);
+    JIGSAW_REQUIRE(density == "none", "unknown dcf mode: " << density);
   }
 
   const auto iters = args.get_int("iters", 0);
@@ -409,7 +495,7 @@ int cmd_info() {
               "sinc-hann\n");
   std::printf(
       "trajectories: radial, golden-radial, spiral, vd-spiral, rosette, "
-      "random, cartesian\n");
+      "propeller, random, cartesian\n");
   std::printf("simd:         active=%s (supported: %s; override with "
               "--simd or $JIGSAW_SIMD)\n",
               kernels::simd::to_string(kernels::simd::active()),
@@ -439,7 +525,11 @@ void print_help(std::FILE* out) {
                "  --no-trials       skip calibration trials; use the cost "
                "model\n"
                "  --n N --samples M --traj radial|golden-radial|spiral|"
-               "vd-spiral|rosette|random|cartesian\n"
+               "vd-spiral|rosette|propeller|random|cartesian\n"
+               "  --dataset file.jksd   reconstruct an ingested JKSD "
+               "acquisition\n"
+               "            (--dcf none|embedded|pipe-menon, --iters K; see "
+               "docs/datasets.md)\n"
                "  --kernel kaiser-bessel|gaussian|bspline|triangle|sinc-hann\n"
                "  --width W --sigma S --table L --tile T --iters K\n",
                core::gridder_kind_names().c_str());
@@ -464,7 +554,7 @@ int main(int argc, char** argv) {
       "input",  "save",    "sanitize",  "drop-spokes",  "noise-spikes",
       "inject-nan", "perturb-coords", "bitflip-rate", "bitflip-bit",
       "seed",   "coils",   "coil-threads", "trace-json", "counters",
-      "wisdom", "no-trials", "simd"};
+      "wisdom", "no-trials", "simd", "dataset", "dcf"};
   try {
     CliArgs args(argc - 1, argv + 1, flags);
     // ISA override before any gridding: an unknown mode or one this host
